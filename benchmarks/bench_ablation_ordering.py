@@ -1,0 +1,100 @@
+"""Ablation — the within-cluster node ordering of Algorithm 1.
+
+DESIGN.md calls out the ascending within-cluster-degree ordering
+(§4.2.2's left-side-sparsity argument) as a design choice worth ablating:
+the bordered block-diagonal *structure* comes from the border extraction,
+but the *ordering inside clusters* only affects Incomplete Cholesky's
+approximation error and factorization cost.
+
+Benchmarked per dataset and ordering (paper order, reversed, node-id,
+random): factorization time; the report rows carry the resulting
+approximation quality (P@10 of ICF scores against exact scores), which is
+the paper's motivation for the ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_queries, get_graph
+from repro.core.permutation import build_permutation
+from repro.eval.metrics import p_at_k
+from repro.linalg.ldl import incomplete_ldl
+from repro.linalg.triangular import ldl_solve
+from repro.ranking.base import rank_scores
+from repro.ranking.exact import ExactRanker
+from repro.ranking.normalize import ranking_matrix
+
+DATASETS = ("coil", "pubfig")
+ORDERINGS = ("degree_asc", "degree_desc", "index", "random")
+ALPHA = 0.99
+K = 10
+
+_cache: dict[tuple, tuple] = {}
+
+
+def prepared(dataset: str, ordering: str):
+    key = (dataset, ordering)
+    if key not in _cache:
+        graph = get_graph(dataset)
+        perm = build_permutation(
+            graph.adjacency, within_order=ordering, seed=0
+        )
+        w = perm.permute_matrix(ranking_matrix(graph.adjacency, ALPHA))
+        _cache[key] = (graph, perm, w)
+    return _cache[key]
+
+
+def icf_p_at_k(graph, perm, factors, queries) -> float:
+    """Mean P@K of ICF approximate scores against the exact solution."""
+    exact = ExactRanker(graph, alpha=ALPHA)
+    hits = []
+    for query in queries:
+        query = int(query)
+        q_vec = np.zeros(graph.n_nodes)
+        q_vec[perm.inverse[query]] = 1.0 - ALPHA
+        approx = np.empty(graph.n_nodes)
+        approx[perm.order] = ldl_solve(factors, q_vec)
+        approx_top = rank_scores(approx, K, exclude=query)
+        exact_top = exact.top_k(query, K)
+        hits.append(p_at_k(approx_top.indices, exact_top.indices))
+    return float(np.mean(hits))
+
+
+@pytest.mark.parametrize("ordering", ORDERINGS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_factorization_under_ordering(benchmark, dataset, ordering):
+    graph, perm, w = prepared(dataset, ordering)
+    benchmark.group = f"ablation-ordering:{dataset}"
+    benchmark.name = f"ICF ({ordering})"
+    factors = benchmark(lambda: incomplete_ldl(w))
+    quality = icf_p_at_k(graph, perm, factors, bench_queries(dataset, 5))
+    benchmark.extra_info["p_at_k_vs_exact"] = round(quality, 4)
+    benchmark.extra_info["pivot_perturbations"] = factors.pivot_perturbations
+    assert factors.nnz > 0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_shape_ordering_quality_comparable(benchmark, dataset):
+    """Measured finding (recorded, not asserted as a win): on our
+    synthetic graphs the ICF error is dominated by *cross-cluster*
+    dropped fill, so the within-cluster ordering moves P@k only at noise
+    level — the paper's left-side-sparsity effect needs their larger,
+    denser real graphs to emerge.  What must hold here is that every
+    ordering yields a usable factorization in the same quality band."""
+    graph, perm_asc, w_asc = prepared(dataset, "degree_asc")
+    _, perm_rnd, w_rnd = prepared(dataset, "random")
+    queries = bench_queries(dataset, 5)
+
+    def compare():
+        quality_asc = icf_p_at_k(graph, perm_asc, incomplete_ldl(w_asc), queries)
+        quality_rnd = icf_p_at_k(graph, perm_rnd, incomplete_ldl(w_rnd), queries)
+        return quality_asc, quality_rnd
+
+    benchmark.group = f"ablation-ordering-shape:{dataset}"
+    benchmark.name = "paper-vs-random-quality"
+    quality_asc, quality_rnd = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["p_at_k_paper_order"] = round(quality_asc, 4)
+    benchmark.extra_info["p_at_k_random_order"] = round(quality_rnd, 4)
+    assert abs(quality_asc - quality_rnd) <= 0.25  # same quality band

@@ -1,0 +1,99 @@
+"""Ablation — search-time knobs: cluster visit order, damping, graph k.
+
+Three sweeps the paper fixes but a deployment would tune:
+
+* ``cluster_order``: Algorithm 2 visits clusters in index order (paper) or
+  by decreasing upper bound ("bound_desc"), which tightens the pruning
+  threshold sooner at the cost of an O(N log N) sort per query.
+* ``alpha``: damping 0.8 / 0.9 / 0.99 — alpha shifts score mass toward or
+  away from the query; whether that changes pruning depends on how close
+  to saturation the bounds already are.
+* graph ``k``: 5 (paper) vs 10 vs 20 neighbours — denser graphs mean a
+  denser factor and a larger border.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_queries, get_dataset, get_graph, get_ranker
+
+DATASET = "pubfig"
+K = 10
+
+
+def _cycle(queries):
+    state = {"i": 0}
+
+    def next_query() -> int:
+        value = int(queries[state["i"] % len(queries)])
+        state["i"] += 1
+        return value
+
+    return next_query
+
+
+@pytest.mark.parametrize("order", ["index", "bound_desc"])
+def test_cluster_order(benchmark, order):
+    ranker = get_ranker(DATASET, "mogul", cluster_order=order)
+    next_query = _cycle(bench_queries(DATASET))
+    benchmark.group = "ablation-cluster-order"
+    benchmark.name = f"Mogul ({order})"
+    result = benchmark(lambda: ranker.top_k(next_query(), K))
+    assert len(result) == K
+    benchmark.extra_info["prune_fraction"] = round(
+        ranker.last_stats.prune_fraction, 3
+    )
+
+
+_alpha_rankers: dict[float, object] = {}
+
+
+@pytest.mark.parametrize("alpha", [0.8, 0.9, 0.99])
+def test_alpha_sweep(benchmark, alpha):
+    from repro.core.index import MogulRanker
+
+    if alpha not in _alpha_rankers:
+        _alpha_rankers[alpha] = MogulRanker(get_graph(DATASET), alpha=alpha)
+    ranker = _alpha_rankers[alpha]
+    next_query = _cycle(bench_queries(DATASET))
+    benchmark.group = "ablation-alpha"
+    benchmark.name = f"Mogul (alpha={alpha})"
+    result = benchmark(lambda: ranker.top_k(next_query(), K))
+    assert len(result) == K
+    benchmark.extra_info["prune_fraction"] = round(
+        ranker.last_stats.prune_fraction, 3
+    )
+
+
+@pytest.mark.parametrize("graph_k", [5, 10, 20])
+def test_graph_k_sweep(benchmark, graph_k):
+    from repro.core.index import MogulRanker
+
+    graph = get_dataset(DATASET).build_graph(k=graph_k)
+    ranker = MogulRanker(graph, alpha=0.99)
+    next_query = _cycle(bench_queries(DATASET))
+    benchmark.group = "ablation-graph-k"
+    benchmark.name = f"Mogul (graph k={graph_k})"
+    result = benchmark(lambda: ranker.top_k(next_query(), K))
+    assert len(result) == K
+    benchmark.extra_info["factor_nnz"] = ranker.index.factors.nnz
+    benchmark.extra_info["border_size"] = (
+        ranker.index.permutation.border_slice.stop
+        - ranker.index.permutation.border_slice.start
+    )
+
+
+@pytest.mark.parametrize("n_seeds", [1, 2, 5, 10])
+def test_multi_seed_scaling(benchmark, n_seeds):
+    """Multi-seed queries (relevance feedback) touch more seed clusters but
+    stay bound-pruned; cost grows mildly with the seed count."""
+    import numpy as np
+
+    ranker = get_ranker(DATASET, "mogul")
+    queries = bench_queries(DATASET, n_seeds)
+    seeds = np.unique(queries)[:n_seeds]
+    benchmark.group = "ablation-multi-seed"
+    benchmark.name = f"Mogul ({seeds.size} seeds)"
+    result = benchmark(lambda: ranker.top_k_multi(seeds, K))
+    assert len(result) == K

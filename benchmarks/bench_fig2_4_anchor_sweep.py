@@ -1,0 +1,99 @@
+"""Figures 2-4 benchmark — EMR's anchor trade-off vs parameter-free Mogul.
+
+* Figure 4's timing axis: EMR query time grows with the anchor count d
+  (the d^3 Woodbury core), Mogul/MogulE are flat — benchmarked directly.
+* Figures 2-3's accuracy axes are computed inside the timing bodies and
+  asserted as shapes: EMR accuracy rises with d; Mogul beats small-d EMR;
+  MogulE's P@k is exactly 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_queries, get_graph, get_ranker
+from repro.eval.metrics import p_at_k, retrieval_precision
+
+ANCHOR_COUNTS = (10, 50, 200)
+K = 5
+
+
+def _exact_reference(queries):
+    exact = get_ranker("coil", "inverse")
+    return {int(q): exact.top_k(int(q), K).indices for q in queries}
+
+
+@pytest.mark.parametrize("anchors", ANCHOR_COUNTS)
+def test_emr_query_time_vs_anchors(benchmark, anchors):
+    graph = get_graph("coil")
+    if anchors > graph.n_nodes:
+        pytest.skip("more anchors than points at this scale")
+    ranker = get_ranker("coil", "emr", n_anchors=anchors)
+    queries = bench_queries("coil")
+    state = {"i": 0}
+
+    def one_query():
+        q = int(queries[state["i"] % len(queries)])
+        state["i"] += 1
+        return ranker.top_k(q, K)
+
+    benchmark.group = "fig4:coil"
+    benchmark.name = f"EMR(d={anchors})"
+    benchmark(one_query)
+
+
+@pytest.mark.parametrize("variant", ["mogul", "mogul_e"])
+def test_mogul_query_time_flat(benchmark, variant):
+    ranker = get_ranker("coil", variant)
+    queries = bench_queries("coil")
+    state = {"i": 0}
+
+    def one_query():
+        q = int(queries[state["i"] % len(queries)])
+        state["i"] += 1
+        return ranker.top_k(q, K)
+
+    benchmark.group = "fig4:coil"
+    benchmark.name = "Mogul" if variant == "mogul" else "MogulE"
+    benchmark(one_query)
+
+
+def test_accuracy_shapes(benchmark):
+    """Figures 2-3 in one pass: accuracy vs anchors, Mogul constants."""
+    graph = get_graph("coil")
+    labels = __import__("benchmarks.conftest", fromlist=["get_dataset"]).get_dataset(
+        "coil"
+    ).labels
+    queries = bench_queries("coil", count=8)
+    reference = _exact_reference(queries)
+
+    def evaluate(ranker):
+        ps, rs = [], []
+        for q in queries:
+            result = ranker.top_k(int(q), K)
+            ps.append(p_at_k(result.indices, reference[int(q)]))
+            rs.append(retrieval_precision(result.indices, labels, int(labels[int(q)])))
+        return float(np.mean(ps)), float(np.mean(rs))
+
+    def body():
+        emr_small = evaluate(get_ranker("coil", "emr", n_anchors=10))
+        emr_large = evaluate(
+            get_ranker("coil", "emr", n_anchors=min(200, graph.n_nodes))
+        )
+        mogul = evaluate(get_ranker("coil", "mogul"))
+        mogul_e = evaluate(get_ranker("coil", "mogul_e"))
+        return emr_small, emr_large, mogul, mogul_e
+
+    benchmark.group = "fig2-3:coil"
+    benchmark.name = "accuracy-sweep"
+    emr_small, emr_large, mogul, mogul_e = benchmark.pedantic(
+        body, rounds=1, iterations=1
+    )
+    # Figure 2 shapes
+    assert mogul_e[0] == pytest.approx(1.0)  # exact factorization
+    assert emr_large[0] >= emr_small[0] - 0.05  # accuracy rises with d
+    assert mogul[0] >= emr_small[0]  # Mogul beats small-d EMR
+    # Figure 3 shapes: >90% retrieval precision for Mogul (paper §5.2.1)
+    assert mogul[1] >= 0.9
+    assert mogul_e[1] >= 0.9

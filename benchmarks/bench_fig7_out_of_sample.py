@@ -1,0 +1,65 @@
+"""Figure 7 benchmark — out-of-sample query time, Mogul vs EMR.
+
+Held-out feature vectors are ranked against a database that never saw
+them.  Mogul reuses its precomputed factorization (§4.6.2); EMR rebuilds
+its anchor-graph core per query.  Paper shape: Mogul is faster (up to 35x
+at their scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, get_dataset
+from repro.baselines.emr import EMRRanker
+from repro.core.index import MogulRanker
+
+DATASETS = ("coil", "pubfig", "nuswide", "inria")
+K = 5
+
+_setups: dict[str, tuple] = {}
+
+
+def oos_setup(dataset: str):
+    """Split off held-out queries and build both rankers (cached)."""
+    if dataset not in _setups:
+        ds = get_dataset(dataset)
+        n_holdout = max(3, ds.n_points // 200)
+        reduced, held, _ = ds.holdout_split(n_holdout, seed=BENCH_SEED)
+        graph = reduced.build_graph(k=5)
+        mogul = MogulRanker(graph, alpha=0.99)
+        emr = EMRRanker(graph, alpha=0.99, n_anchors=10)
+        _setups[dataset] = (held, mogul, emr)
+    return _setups[dataset]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_mogul_out_of_sample(benchmark, dataset):
+    held, mogul, _ = oos_setup(dataset)
+    state = {"i": 0}
+
+    def one_query():
+        feature = held[state["i"] % len(held)]
+        state["i"] += 1
+        return mogul.top_k_out_of_sample(feature, K)
+
+    benchmark.group = f"fig7:{dataset}"
+    benchmark.name = "Mogul"
+    result = benchmark(one_query)
+    assert len(result) == K
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_emr_out_of_sample(benchmark, dataset):
+    held, _, emr = oos_setup(dataset)
+    state = {"i": 0}
+
+    def one_query():
+        feature = held[state["i"] % len(held)]
+        state["i"] += 1
+        return emr.top_k_out_of_sample(feature, K)
+
+    benchmark.group = f"fig7:{dataset}"
+    benchmark.name = "EMR"
+    result = benchmark(one_query)
+    assert len(result) == K

@@ -1,0 +1,77 @@
+"""Image retrieval on the COIL-100 substitute — the paper's case study.
+
+Run with::
+
+    python examples/image_retrieval_coil.py
+
+Reproduces the Figure 9 situation: objects whose pose manifolds pass near
+each other (the "orange truck vs tomato" problem).  For queries at those
+collision viewpoints, plain k-NN neighbours cross to the wrong object,
+while Manifold Ranking — and Mogul, its scalable implementation — stays on
+the query's manifold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EMRRanker, MogulRanker
+from repro.datasets import make_coil
+from repro.eval import retrieval_precision
+
+
+def main() -> None:
+    dataset = make_coil(n_objects=20, n_poses=72, confusable_fraction=0.4, seed=0)
+    graph = dataset.build_graph(k=5)
+    labels = dataset.labels
+    print(
+        f"COIL substitute: {dataset.n_points} images of {dataset.n_classes} objects "
+        f"({dataset.metadata['confusable_pairs']} confusable pairs)"
+    )
+
+    mogul = MogulRanker(graph, alpha=0.99)
+    emr = EMRRanker(graph, alpha=0.99, n_anchors=100)
+
+    # case-study queries: poses whose direct neighbours cross objects
+    collisions = [
+        node
+        for node in range(graph.n_nodes)
+        if np.any(labels[graph.neighbors(node)] != labels[node])
+    ]
+    rng = np.random.default_rng(1)
+    queries = rng.choice(collisions, size=min(6, len(collisions)), replace=False)
+    print(f"{len(collisions)} collision poses; showing {len(queries)} case studies\n")
+
+    header = f"{'query':>6} {'class':>5}  {'connected':>18} {'Mogul':>18} {'EMR':>18}"
+    print(header)
+    print("-" * len(header))
+    totals = {"connected": [], "mogul": [], "emr": []}
+    for q in queries:
+        q = int(q)
+        label = int(labels[q])
+        connected = graph.neighbors(q)[:5]
+        mogul_answers = mogul.top_k(q, 5).indices
+        emr_answers = emr.top_k(q, 5).indices
+
+        def classes(ids: np.ndarray) -> str:
+            return ",".join(f"{labels[i]}" for i in ids)
+
+        print(
+            f"{q:>6} {label:>5}  {classes(connected):>18} "
+            f"{classes(mogul_answers):>18} {classes(emr_answers):>18}"
+        )
+        totals["connected"].append(retrieval_precision(connected, labels, label))
+        totals["mogul"].append(retrieval_precision(mogul_answers, labels, label))
+        totals["emr"].append(retrieval_precision(emr_answers, labels, label))
+
+    print("\nmean retrieval precision on collision queries:")
+    for name, values in totals.items():
+        print(f"  {name:>10}: {np.mean(values):.2f}")
+    print(
+        "\nexpected shape (paper Fig. 9): Mogul above connected/k-NN — Manifold "
+        "Ranking resolves the semantic gap where raw feature proximity fails."
+    )
+
+
+if __name__ == "__main__":
+    main()

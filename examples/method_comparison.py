@@ -1,0 +1,72 @@
+"""Side-by-side comparison of every ranking method in the library.
+
+Run with::
+
+    python examples/method_comparison.py
+
+Builds one dataset and runs all six methods — Inverse, Iterative, FMR,
+EMR, Mogul, MogulE — reporting per-query time, P@5 against the exact
+answers, and retrieval precision against ground truth.  A miniature,
+single-dataset version of the paper's whole evaluation section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EMRRanker,
+    ExactRanker,
+    FMRRanker,
+    IterativeRanker,
+    MogulRanker,
+)
+from repro.datasets import make_coil
+from repro.eval import ExperimentTable, p_at_k, retrieval_precision, sample_queries
+from repro.eval.harness import time_queries
+
+
+def main() -> None:
+    dataset = make_coil(n_objects=15, n_poses=72, seed=0)
+    graph = dataset.build_graph(k=5)
+    labels = dataset.labels
+    print(f"dataset: {graph.n_nodes} images, {dataset.n_classes} objects\n")
+
+    print("precomputing all methods (this is the offline stage) ...")
+    exact = ExactRanker(graph, alpha=0.99)
+    methods = {
+        "Inverse": exact,
+        "Iterative": IterativeRanker(graph, alpha=0.99),
+        "FMR": FMRRanker(graph, alpha=0.99, n_partitions=8, seed=0),
+        "EMR(d=10)": EMRRanker(graph, alpha=0.99, n_anchors=10, seed=0),
+        "EMR(d=100)": EMRRanker(graph, alpha=0.99, n_anchors=100, seed=0),
+        "Mogul": MogulRanker(graph, alpha=0.99),
+        "MogulE": MogulRanker(graph, alpha=0.99, exact=True),
+    }
+
+    queries = sample_queries(graph.n_nodes, 10, seed=3)
+    reference = {int(q): exact.top_k(int(q), 5).indices for q in queries}
+
+    table = ExperimentTable(
+        title="method comparison (k=5)",
+        columns=["method", "time/query [ms]", "P@5 vs exact", "retrieval precision"],
+    )
+    for name, ranker in methods.items():
+        seconds = time_queries(lambda q, r=ranker: r.top_k(int(q), 5), queries)
+        p_vals, r_vals = [], []
+        for q in queries:
+            result = ranker.top_k(int(q), 5)
+            p_vals.append(p_at_k(result.indices, reference[int(q)]))
+            r_vals.append(
+                retrieval_precision(result.indices, labels, int(labels[int(q)]))
+            )
+        table.add_row(
+            name, seconds * 1e3, float(np.mean(p_vals)), float(np.mean(r_vals))
+        )
+    table.add_note("Inverse/MogulE P@5 = 1 by definition; Mogul trades a little")
+    table.add_note("P@5 for large speedups while keeping semantic precision high")
+    print(table.to_text())
+
+
+if __name__ == "__main__":
+    main()

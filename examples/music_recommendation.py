@@ -1,0 +1,76 @@
+"""Music recommendation with Manifold Ranking — a non-image application.
+
+Run with::
+
+    python examples/music_recommendation.py
+
+The paper notes (section 1.1) that top-k Manifold Ranking search applies
+beyond images: music recommendation, video concept detection, biological
+analysis.  This example builds a synthetic music catalogue where each
+genre evolves continuously along a "style axis" (a 1-D manifold: e.g.
+blues -> rock -> metal), so that audio-feature proximity alone confuses
+adjacent genres while the manifold structure separates them.
+
+Given a seed track, Mogul returns recommendations from the same stylistic
+manifold — and, thanks to the O(n) search, it would keep doing so at
+catalogue scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MogulRanker, build_knn_graph
+from repro.eval import retrieval_precision
+
+GENRES = ("blues", "jazz", "electronic", "classical", "hiphop", "ambient")
+
+
+def synthetic_catalogue(tracks_per_genre: int = 150, dim: int = 24, seed: int = 0):
+    """Tracks along per-genre style curves in audio-feature space."""
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for g, _genre in enumerate(GENRES):
+        # a smooth random curve: cumulative sum of small steps from a base
+        base = rng.normal(scale=2.0, size=dim) / np.sqrt(dim) * 4
+        direction = rng.normal(size=dim)
+        direction /= np.linalg.norm(direction)
+        curve_pos = np.linspace(0.0, 3.0, tracks_per_genre)
+        wiggle = rng.normal(scale=0.05, size=(tracks_per_genre, dim))
+        block = base + np.outer(curve_pos, direction) + wiggle
+        features.append(block)
+        labels.extend([g] * tracks_per_genre)
+    return np.vstack(features), np.asarray(labels)
+
+
+def main() -> None:
+    features, labels = synthetic_catalogue()
+    print(f"catalogue: {features.shape[0]} tracks, {len(GENRES)} genres")
+
+    graph = build_knn_graph(features, k=5)
+    recommender = MogulRanker(graph, alpha=0.99)
+
+    rng = np.random.default_rng(7)
+    seeds = rng.choice(features.shape[0], size=5, replace=False)
+    precisions = []
+    for seed_track in seeds:
+        seed_track = int(seed_track)
+        result = recommender.top_k(seed_track, k=10)
+        genre = GENRES[labels[seed_track]]
+        recommended = [GENRES[labels[i]] for i in result.indices[:5]]
+        precision = retrieval_precision(result.indices, labels, labels[seed_track])
+        precisions.append(precision)
+        print(
+            f"seed track {seed_track:4d} ({genre:>10}): recommends {recommended} "
+            f"(genre precision {precision:.2f})"
+        )
+        stats = recommender.last_stats
+        print(
+            f"    search pruned {stats.clusters_pruned}/{stats.clusters_total} "
+            f"clusters; scored {stats.nodes_scored}/{graph.n_nodes} tracks"
+        )
+    print(f"\nmean genre precision over seeds: {np.mean(precisions):.2f}")
+
+
+if __name__ == "__main__":
+    main()

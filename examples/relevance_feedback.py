@@ -1,0 +1,67 @@
+"""Relevance feedback: refine retrieval with multi-seed Manifold Ranking.
+
+Run with::
+
+    python examples/relevance_feedback.py
+
+Retrieval systems rarely stop at one query: the user marks a few returned
+images as relevant and the engine re-ranks.  With Manifold Ranking this is
+the generalized multi-seed query of He et al. [7] — the marked images all
+receive query mass — and with Mogul it reuses the same precomputed index,
+so each feedback round costs one bound-pruned search
+(:meth:`repro.MogulRanker.top_k_multi`).
+
+The demo simulates a user on the COIL substitute: start from one image of
+an object, mark the returned images of the same object as relevant, repeat.
+Precision@10 typically climbs within two rounds because the growing seed
+set pins down the object's pose manifold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MogulRanker
+from repro.datasets import make_coil
+from repro.eval import retrieval_precision
+
+ROUNDS = 3
+K = 10
+
+
+def main() -> None:
+    dataset = make_coil(n_objects=12, n_poses=72, seed=4)
+    graph = dataset.build_graph(k=5)
+    ranker = MogulRanker(graph, alpha=0.99)
+    labels = dataset.labels
+    print(
+        f"database: {dataset.n_points} images of {dataset.n_classes} objects; "
+        f"index has {ranker.index.n_clusters} clusters"
+    )
+
+    rng = np.random.default_rng(11)
+    for trial in range(3):
+        query = int(rng.integers(dataset.n_points))
+        target = labels[query]
+        seeds = [query]
+        print(f"\nquery image {query} (object {target}):")
+        for round_number in range(1, ROUNDS + 1):
+            result = ranker.top_k_multi(np.asarray(seeds), K)
+            precision = retrieval_precision(result.indices, labels, target)
+            print(
+                f"  round {round_number}: seeds={len(seeds):2d} "
+                f"P@{K}={precision:.2f} answers={result.indices[:6]}..."
+            )
+            # The simulated user marks correct answers as relevant.
+            confirmed = [
+                int(i) for i in result.indices if labels[i] == target
+            ]
+            new_seeds = [i for i in confirmed if i not in seeds]
+            if not new_seeds:
+                print("  no new relevant results to mark; stopping early")
+                break
+            seeds.extend(new_seeds[:4])  # users mark a handful, not all
+
+
+if __name__ == "__main__":
+    main()

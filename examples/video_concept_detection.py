@@ -1,0 +1,105 @@
+"""Video concept detection with Manifold Ranking (paper section 1.1, [23]).
+
+Run with::
+
+    python examples/video_concept_detection.py
+
+Yuan et al. [23] rank video shots against a concept by propagating a few
+labelled example shots over the shot-similarity graph — exactly the
+multi-seed Manifold Ranking workload.  This demo simulates a video corpus
+where each *shot* is a short smooth trajectory in visual-feature space
+(consecutive frames barely differ) and each *concept* groups many shots.
+Given a handful of labelled shots per concept, every remaining frame is
+scored against each concept with :meth:`repro.MogulRanker.scores_for_vector`
+and assigned to the argmax — semi-supervised detection on top of the same
+Mogul index used for retrieval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MogulRanker, build_knn_graph
+
+CONCEPTS = ("beach", "crowd", "night-drive", "kitchen")
+SHOTS_PER_CONCEPT = 12
+FRAMES_PER_SHOT = 25
+DIM = 48
+LABELED_SHOTS = 2  # labelled example shots per concept
+
+
+def synthetic_corpus(seed: int = 0):
+    """Frames along per-shot trajectories; shots cluster by concept."""
+    rng = np.random.default_rng(seed)
+    features, concept_of_frame, shot_of_frame = [], [], []
+    shot_id = 0
+    for c in range(len(CONCEPTS)):
+        concept_center = rng.normal(size=DIM) * 6.0 / np.sqrt(DIM)
+        for _ in range(SHOTS_PER_CONCEPT):
+            # Shots of one concept start close together and wander through
+            # the concept's region, so trajectories interleave — the k-NN
+            # graph connects shots of a concept while concepts stay apart.
+            start = concept_center + rng.normal(size=DIM) * 0.5 / np.sqrt(DIM)
+            direction = rng.normal(size=DIM)
+            direction /= np.linalg.norm(direction)
+            steps = np.linspace(0.0, 1.0, FRAMES_PER_SHOT)
+            frames = start + np.outer(steps, direction)
+            frames += rng.normal(scale=0.1, size=frames.shape)
+            features.append(frames)
+            concept_of_frame.extend([c] * FRAMES_PER_SHOT)
+            shot_of_frame.extend([shot_id] * FRAMES_PER_SHOT)
+            shot_id += 1
+    return (
+        np.vstack(features),
+        np.asarray(concept_of_frame),
+        np.asarray(shot_of_frame),
+    )
+
+
+def main() -> None:
+    features, concepts, shots = synthetic_corpus()
+    n = features.shape[0]
+    print(
+        f"corpus: {n} frames, {shots.max() + 1} shots, "
+        f"{len(CONCEPTS)} concepts"
+    )
+
+    graph = build_knn_graph(features, k=5)
+    ranker = MogulRanker(graph, alpha=0.99)
+
+    # Label the first LABELED_SHOTS shots of each concept.
+    rng = np.random.default_rng(3)
+    labeled_frames: dict[int, np.ndarray] = {}
+    for c in range(len(CONCEPTS)):
+        concept_shots = np.unique(shots[concepts == c])
+        chosen = rng.choice(concept_shots, size=LABELED_SHOTS, replace=False)
+        labeled_frames[c] = np.flatnonzero(np.isin(shots, chosen))
+    all_labeled = np.concatenate(list(labeled_frames.values()))
+    print(
+        f"labelled {all_labeled.size} frames "
+        f"({LABELED_SHOTS} shots per concept); detecting the rest"
+    )
+
+    # One multi-seed score vector per concept, argmax assignment.
+    score_matrix = np.empty((len(CONCEPTS), n))
+    for c, frames in labeled_frames.items():
+        q = np.zeros(n)
+        q[frames] = 1.0 / frames.size
+        score_matrix[c] = ranker.scores_for_vector(q)
+
+    unlabeled = np.setdiff1d(np.arange(n), all_labeled)
+    predicted = np.argmax(score_matrix[:, unlabeled], axis=0)
+    accuracy = float(np.mean(predicted == concepts[unlabeled]))
+    print(f"frame-level detection accuracy: {accuracy:.3f}")
+
+    per_concept = []
+    for c, name in enumerate(CONCEPTS):
+        mask = concepts[unlabeled] == c
+        acc = float(np.mean(predicted[mask] == c))
+        per_concept.append(f"{name}={acc:.2f}")
+    print("per concept: " + ", ".join(per_concept))
+    assert accuracy > 0.8, "manifold propagation should dominate chance (0.25)"
+
+
+if __name__ == "__main__":
+    main()

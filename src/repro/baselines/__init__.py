@@ -1,0 +1,17 @@
+"""Approximation baselines the paper compares Mogul against.
+
+* :class:`EMRRanker` — Efficient Manifold Ranking (Xu et al., SIGIR 2011
+  [21]): the state-of-the-art competitor.  Approximates the manifold with a
+  d-anchor graph (k-means anchors, Nadaraya-Watson weights under an
+  Epanechnikov kernel) and solves through a d-by-d Woodbury system:
+  O(nd + d^3) per query, with the accuracy/speed trade-off in ``d`` that
+  Figures 2-4 sweep.
+* :class:`FMRRanker` — Fast Manifold Ranking (He et al. [8]): spectral
+  partitioning into blocks plus an SVD low-rank correction of the
+  cross-block residual, combined by Woodbury.
+"""
+
+from repro.baselines.emr import EMRRanker
+from repro.baselines.fmr import FMRRanker
+
+__all__ = ["EMRRanker", "FMRRanker"]

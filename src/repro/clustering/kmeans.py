@@ -1,0 +1,144 @@
+"""k-means clustering (k-means++ seeding + Lloyd iterations), from scratch.
+
+EMR [21] selects its anchor points as k-means centroids of the feature
+matrix, and spectral clustering (used by FMR [8]) runs k-means on the
+Laplacian eigenvector embedding.  scikit-learn is unavailable in this
+environment, so this module provides the required functionality on plain
+numpy with the standard guarantees: k-means++ initialisation, empty-cluster
+repair, monotone inertia, and deterministic behaviour under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.knn import pairwise_sq_distances
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, m)`` centroid matrix.
+    labels:
+        Cluster id per input row.
+    inertia:
+        Sum of squared distances to assigned centroids.
+    n_iter:
+        Lloyd iterations executed (over the best restart).
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    n_init: int = 1,
+    seed: SeedLike = None,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups by Lloyd's algorithm.
+
+    Parameters
+    ----------
+    points:
+        ``(n, m)`` dense matrix.
+    k:
+        Number of clusters; must satisfy ``1 <= k <= n``.
+    max_iter:
+        Lloyd iteration cap per restart.
+    tol:
+        Relative inertia improvement below which iteration stops.
+    n_init:
+        Independent k-means++ restarts; the lowest-inertia run wins.
+    seed:
+        RNG seed (restarts draw from one generator, so a fixed seed fixes
+        the whole procedure).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(f"points must be a non-empty 2-D array, got {points.shape}")
+    k = check_positive_int(k, "k")
+    if k > points.shape[0]:
+        raise ValueError(f"k={k} exceeds the number of points {points.shape[0]}")
+    check_positive_int(n_init, "n_init")
+    rng = as_rng(seed)
+
+    best: KMeansResult | None = None
+    for _ in range(n_init):
+        result = _single_run(points, k, max_iter, tol, rng)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _single_run(
+    points: np.ndarray, k: int, max_iter: int, tol: float, rng: np.random.Generator
+) -> KMeansResult:
+    centroids = _kmeans_pp_init(points, k, rng)
+    prev_inertia = np.inf
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        d2 = pairwise_sq_distances(points, centroids)
+        labels = np.argmin(d2, axis=1)
+        inertia = float(d2[np.arange(points.shape[0]), labels].sum())
+        centroids = _update_centroids(points, labels, k, rng)
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1e-12):
+            prev_inertia = inertia
+            break
+        prev_inertia = inertia
+    # Final assignment against the last centroids for consistency.
+    d2 = pairwise_sq_distances(points, centroids)
+    labels = np.argmin(d2, axis=1)
+    inertia = float(d2[np.arange(points.shape[0]), labels].sum())
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia, n_iter=n_iter)
+
+
+def _kmeans_pp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D^2."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest_d2 = pairwise_sq_distances(points, centroids[0:1]).ravel()
+    for c in range(1, k):
+        total = float(closest_d2.sum())
+        if total <= 0.0:
+            # All remaining points coincide with chosen centroids.
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=closest_d2 / total))
+        centroids[c] = points[choice]
+        new_d2 = pairwise_sq_distances(points, centroids[c : c + 1]).ravel()
+        np.minimum(closest_d2, new_d2, out=closest_d2)
+    return centroids
+
+
+def _update_centroids(
+    points: np.ndarray, labels: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Mean update with empty-cluster repair (re-seed at a random point)."""
+    m = points.shape[1]
+    sums = np.zeros((k, m), dtype=np.float64)
+    np.add.at(sums, labels, points)
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    empty = counts == 0
+    counts[empty] = 1.0
+    centroids = sums / counts[:, None]
+    for c in np.flatnonzero(empty):
+        centroids[c] = points[int(rng.integers(points.shape[0]))]
+    return centroids

@@ -1,0 +1,48 @@
+"""Mogul — the paper's contribution: O(n) top-k Manifold Ranking.
+
+Pipeline (all precomputable before any query, §4.2.2):
+
+1. :func:`build_permutation` — Algorithm 1: cluster the k-NN graph by
+   modularity, pull every node with a cross-cluster edge into the border
+   cluster :math:`C_N`, order nodes within clusters by ascending
+   within-cluster degree, emit the permutation matrix ``P``.
+2. :class:`MogulIndex` — factorize the permuted system matrix
+   :math:`W' = I - \\alpha (C')^{-1/2} A' (C')^{-1/2}` with Incomplete
+   Cholesky (Mogul) or Modified Cholesky (MogulE), and precompute the
+   query-independent parts of the upper-bound estimations (Def. 1-2).
+3. :func:`top_k_search` — Algorithm 2: restricted forward/back substitution
+   over :math:`C_Q \\cup C_N` (Lemmas 4-5), then bound-driven pruning of
+   every other cluster (Lemma 7).
+
+:class:`MogulRanker` wraps the pipeline in the common
+:class:`repro.ranking.Ranker` interface; ``MogulRanker(exact=True)`` is
+MogulE (§4.6.1); :meth:`MogulRanker.top_k_out_of_sample` implements §4.6.2.
+"""
+
+from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_bounds
+from repro.core.diagnostics import IndexReport, diagnose_index, expected_prune_rate
+from repro.core.dynamic import DynamicMogulRanker
+from repro.core.index import MogulIndex, MogulRanker
+from repro.core.permutation import Permutation, build_permutation
+from repro.core.search import SearchStats, top_k_search
+from repro.core.serialize import load_index, save_index
+from repro.core.solver import ClusterSolver
+
+__all__ = [
+    "BoundsTable",
+    "ClusterBoundData",
+    "ClusterSolver",
+    "DynamicMogulRanker",
+    "IndexReport",
+    "MogulIndex",
+    "MogulRanker",
+    "Permutation",
+    "SearchStats",
+    "build_permutation",
+    "diagnose_index",
+    "expected_prune_rate",
+    "load_index",
+    "precompute_cluster_bounds",
+    "save_index",
+    "top_k_search",
+]

@@ -1,0 +1,147 @@
+"""Index health diagnostics: will pruning actually work on this data?
+
+Mogul's practical speed rests on properties of the *data*, not just the
+algorithm: clusters must be small enough for the geometric bound
+:math:`X_i (1+\\bar{U}_i)^{N_i-1}` to bite, the border cluster must stay a
+small fraction of the graph (it is scored on every query), and the
+factorization must not have needed pivot guards.  This module condenses
+those properties into one report so a deployment can judge an index
+before serving it — the same role `EXPLAIN` plays for a query planner.
+
+::
+
+    report = diagnose_index(index)
+    print(report.to_text())
+    report.warnings      # ["border cluster holds 34% of nodes", ...]
+
+Exposed on the CLI as ``python -m repro info --verbose <index>``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Border fraction above which every query pays a large fixed cost.
+_BORDER_WARN_FRACTION = 0.25
+#: Fraction of never-prunable clusters above which pruning is cosmetic.
+_UNPRUNABLE_WARN_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class IndexReport:
+    """Summary statistics of one :class:`repro.core.MogulIndex`.
+
+    Attributes mirror the quantities discussed in the paper: cluster size
+    distribution (Algorithm 1's output), border mass (Lemma 4's fixed
+    per-query cost), factor sparsity (Lemma 1's O(n) claim), bound
+    saturation (which clusters can never be pruned because their
+    geometric growth factor overflowed), and pivot health.
+    """
+
+    n_nodes: int
+    n_clusters: int
+    border_size: int
+    interior_min: int
+    interior_median: float
+    interior_max: int
+    factor_nnz: int
+    nnz_per_node: float
+    pivot_perturbations: int
+    saturated_bounds: int
+    factorization: str
+    alpha: float
+    warnings: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def border_fraction(self) -> float:
+        """Share of nodes living in the border cluster."""
+        return self.border_size / self.n_nodes if self.n_nodes else 0.0
+
+    def to_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"nodes:               {self.n_nodes}",
+            f"alpha:               {self.alpha}",
+            f"factorization:       {self.factorization}",
+            f"clusters:            {self.n_clusters} (border last)",
+            f"border:              {self.border_size} nodes "
+            f"({100.0 * self.border_fraction:.1f}% of graph)",
+            f"interior sizes:      min {self.interior_min} / "
+            f"median {self.interior_median:.0f} / max {self.interior_max}",
+            f"factor non-zeros:    {self.factor_nnz} "
+            f"({self.nnz_per_node:.2f} per node)",
+            f"pivot guards hit:    {self.pivot_perturbations}",
+            f"saturated bounds:    {self.saturated_bounds} of "
+            f"{self.n_clusters - 1} interior clusters",
+        ]
+        for warning in self.warnings:
+            lines.append(f"WARNING: {warning}")
+        return "\n".join(lines)
+
+
+def diagnose_index(index) -> IndexReport:
+    """Build an :class:`IndexReport` for a :class:`repro.core.MogulIndex`."""
+    perm = index.permutation
+    border = perm.border_slice
+    interior_sizes = np.asarray(
+        [sl.stop - sl.start for sl in perm.cluster_slices[:-1]], dtype=np.int64
+    )
+    n = perm.n_nodes
+    border_size = border.stop - border.start
+
+    saturated = sum(1 for bound in index.bounds if math.isinf(bound.growth))
+
+    warnings: list[str] = []
+    border_fraction = border_size / n if n else 0.0
+    if border_fraction > _BORDER_WARN_FRACTION:
+        warnings.append(
+            f"border cluster holds {100.0 * border_fraction:.0f}% of nodes; "
+            "every query scores it — consider a finer clustering "
+            "(louvain_refined) or a sparser graph (smaller k)"
+        )
+    n_interior = max(1, len(index.bounds))
+    if saturated / n_interior > _UNPRUNABLE_WARN_FRACTION:
+        warnings.append(
+            f"{saturated} of {n_interior} interior clusters have saturated "
+            "(infinite) bounds and can never be pruned; cluster sizes are "
+            "too large for the geometric bound"
+        )
+    if index.factors.pivot_perturbations:
+        warnings.append(
+            f"{index.factors.pivot_perturbations} pivots hit the safety "
+            "floor during factorization; approximate scores may degrade "
+            "(consider exact=True)"
+        )
+
+    return IndexReport(
+        n_nodes=n,
+        n_clusters=perm.n_clusters,
+        border_size=border_size,
+        interior_min=int(interior_sizes.min()) if interior_sizes.size else 0,
+        interior_median=float(np.median(interior_sizes)) if interior_sizes.size else 0.0,
+        interior_max=int(interior_sizes.max()) if interior_sizes.size else 0,
+        factor_nnz=index.factors.nnz,
+        nnz_per_node=index.factors.nnz / n if n else 0.0,
+        pivot_perturbations=index.factors.pivot_perturbations,
+        saturated_bounds=saturated,
+        factorization=index.factorization,
+        alpha=index.alpha,
+        warnings=tuple(warnings),
+    )
+
+
+def expected_prune_rate(ranker, queries, k: int = 5) -> float:
+    """Empirical prune fraction over a query sample (paper Figure 5's
+    mechanism, measured instead of predicted).
+
+    Runs the queries through the ranker and averages
+    :attr:`repro.core.SearchStats.prune_fraction`.
+    """
+    fractions = []
+    for query in queries:
+        ranker.top_k(int(query), k)
+        fractions.append(ranker.last_stats.prune_fraction)
+    return float(np.mean(fractions)) if fractions else 0.0

@@ -1,0 +1,324 @@
+"""A dynamic database on top of the static Mogul index.
+
+The paper builds a static index (Algorithm 1 + the factorization are
+query independent, Lemma 2) and §4.6.2 handles query points *outside*
+the database by seeding their nearest in-database neighbours into the
+query vector.  :class:`DynamicMogulRanker` turns that same mechanism into
+a practical **insert path**, the way buffered search indexes
+(IVF insert buffers, LSM memtables) absorb writes between rebuilds:
+
+* **Insert** (:meth:`DynamicMogulRanker.add`) appends the new feature to
+  a pending buffer — O(1), no factorization work.
+* **Query**: answers come from the base index as usual; every pending
+  point additionally receives the *generalized Manifold Ranking
+  estimate* of He et al. [7] — the similarity-weighted average of its
+  in-database neighbours' scores, exactly the quantity the paper's
+  out-of-sample treatment is built on, read in the opposite direction —
+  and competes for the top-k on that estimate.
+* **Delete** (:meth:`DynamicMogulRanker.remove`) tombstones a node: it
+  stays in the graph (its edges still carry smoothness information, like
+  a deleted-but-unmerged document in an LSM tree) but can no longer be
+  returned as an answer.
+* **Rebuild** (:meth:`DynamicMogulRanker.rebuild`) folds the buffer and
+  the tombstones into a fresh graph + index.  With
+  ``auto_rebuild_fraction`` set, a rebuild triggers automatically once
+  the buffer outgrows that fraction of the database — the classic
+  amortisation: n inserts cost one O(n) rebuild.
+
+The estimate for pending points is an approximation (the paper's §4.6.2
+argument): tests bound its error against a full rebuild, and the
+``pending_penalty`` factor (default 1.0 = off) lets deployments shade
+buffered points' scores to favour fully indexed data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import MogulIndex, MogulRanker
+from repro.graph.adjacency import KnnGraph
+from repro.graph.build import build_knn_graph
+from repro.graph.knn import knn_search
+from repro.ranking.base import DEFAULT_ALPHA, TopKResult
+from repro.utils.validation import check_alpha, check_positive_int
+
+
+class DynamicMogulRanker:
+    """Mogul with buffered insertions and tombstone deletions.
+
+    Node ids are *stable across rebuilds*: the i-th point ever added
+    (counting the initial features first) keeps id ``i`` forever; deleted
+    ids are never reused.
+
+    Parameters
+    ----------
+    features:
+        Initial ``(n, m)`` database.
+    alpha:
+        Damping parameter (paper uses 0.99).
+    k:
+        k-NN graph degree (paper uses 5).
+    exact:
+        Build MogulE (Modified Cholesky) indexes instead.
+    auto_rebuild_fraction:
+        Rebuild when ``pending / indexed`` exceeds this fraction
+        (``None`` disables automatic rebuilds).
+    pending_penalty:
+        Multiplier in ``(0, 1]`` applied to pending points' estimated
+        scores (1.0 = estimates compete at face value).
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        alpha: float = DEFAULT_ALPHA,
+        k: int = 5,
+        exact: bool = False,
+        auto_rebuild_fraction: float | None = 0.2,
+        pending_penalty: float = 1.0,
+    ):
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] < 2:
+            raise ValueError(
+                f"features must be a 2-D matrix with at least 2 rows, "
+                f"got shape {features.shape}"
+            )
+        self.alpha = check_alpha(alpha)
+        self.k = check_positive_int(k, "k")
+        self.exact = exact
+        if auto_rebuild_fraction is not None and auto_rebuild_fraction <= 0:
+            raise ValueError(
+                f"auto_rebuild_fraction must be positive or None, "
+                f"got {auto_rebuild_fraction}"
+            )
+        if not 0.0 < pending_penalty <= 1.0:
+            raise ValueError(
+                f"pending_penalty must be in (0, 1], got {pending_penalty}"
+            )
+        self.auto_rebuild_fraction = auto_rebuild_fraction
+        self.pending_penalty = pending_penalty
+
+        self._dim = features.shape[1]
+        #: Global id -> feature, append-only.
+        self._features: list[np.ndarray] = [row for row in features]
+        self._tombstones: set[int] = set()
+        #: Global ids currently served by the base index, in index order.
+        self._indexed_ids = np.arange(features.shape[0], dtype=np.int64)
+        self._pending_ids: list[int] = []
+        self._rebuilds = 0
+        self._build_base()
+
+    # -- sizes -----------------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        """All ids ever created (including tombstoned ones)."""
+        return len(self._features)
+
+    @property
+    def n_live(self) -> int:
+        """Ids that can be returned as answers."""
+        return self.n_total - len(self._tombstones)
+
+    @property
+    def n_pending(self) -> int:
+        """Points buffered since the last rebuild."""
+        return len(self._pending_ids)
+
+    @property
+    def n_indexed(self) -> int:
+        """Points inside the base index."""
+        return int(self._indexed_ids.shape[0])
+
+    @property
+    def rebuild_count(self) -> int:
+        """Number of rebuilds performed (auto + manual)."""
+        return self._rebuilds
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, feature: np.ndarray) -> int:
+        """Insert a new point; returns its permanent id.
+
+        O(1): the point lands in the pending buffer.  May trigger an
+        automatic rebuild when the buffer outgrows
+        ``auto_rebuild_fraction``.
+        """
+        feature = np.asarray(feature, dtype=np.float64)
+        if feature.shape != (self._dim,):
+            raise ValueError(
+                f"feature must have shape ({self._dim},), got {feature.shape}"
+            )
+        new_id = len(self._features)
+        self._features.append(feature)
+        self._pending_ids.append(new_id)
+        if (
+            self.auto_rebuild_fraction is not None
+            and self.n_pending > self.auto_rebuild_fraction * max(1, self.n_indexed)
+        ):
+            self.rebuild()
+        return new_id
+
+    def remove(self, node: int) -> None:
+        """Tombstone a point: it is never returned as an answer again.
+
+        The point's edges keep contributing to score smoothness until the
+        next rebuild, at which point it leaves the graph entirely.
+        """
+        if not 0 <= node < self.n_total:
+            raise ValueError(f"node {node} does not exist")
+        if node in self._tombstones:
+            raise ValueError(f"node {node} is already removed")
+        self._tombstones.add(node)
+
+    def rebuild(self) -> None:
+        """Fold pending points and tombstones into a fresh index (O(n))."""
+        live = [
+            gid
+            for gid in range(self.n_total)
+            if gid not in self._tombstones
+        ]
+        if len(live) < 2:
+            raise ValueError("cannot rebuild an index with fewer than 2 live points")
+        self._indexed_ids = np.asarray(live, dtype=np.int64)
+        self._pending_ids = []
+        self._build_base()
+        self._rebuilds += 1
+
+    # -- queries ----------------------------------------------------------
+
+    def top_k(self, query: int, k: int, exclude_query: bool = True) -> TopKResult:
+        """Top-k live points for a query id (indexed or pending).
+
+        An indexed query runs Algorithm 2 on the base index; a pending
+        query runs the out-of-sample path on its feature.  Pending points
+        compete for answers with their He-et-al. estimates.
+        """
+        k = check_positive_int(k, "k")
+        if not 0 <= query < self.n_total:
+            raise ValueError(f"query {query} does not exist")
+        if query in self._tombstones:
+            raise ValueError(f"query {query} was removed")
+        local = self._local_of_global(query)
+        overfetch = k + 1 + len(self._tombstones)
+        if local is not None:
+            base = self._ranker.top_k(int(local), overfetch, exclude_query=False)
+            field_fn = lambda: self._ranker.scores(int(local))  # noqa: E731
+        else:
+            feature = self._features[query]
+            base = self._ranker.top_k_out_of_sample(feature, overfetch)
+            field_fn = lambda: self._score_field(feature)  # noqa: E731
+        indices, scores = self._merge_pending(base, field_fn)
+        exclude = {query} if exclude_query else set()
+        exclude |= self._tombstones
+        keep = [i for i, gid in enumerate(indices) if gid not in exclude]
+        return _take_top(indices[keep], scores[keep], k)
+
+    def top_k_out_of_sample(self, feature: np.ndarray, k: int) -> TopKResult:
+        """Top-k live points for a feature vector outside the database."""
+        k = check_positive_int(k, "k")
+        feature = np.asarray(feature, dtype=np.float64)
+        if feature.shape != (self._dim,):
+            raise ValueError(
+                f"feature must have shape ({self._dim},), got {feature.shape}"
+            )
+        overfetch = k + len(self._tombstones)
+        base = self._ranker.top_k_out_of_sample(feature, overfetch)
+        indices, scores = self._merge_pending(
+            base, lambda: self._score_field(feature)
+        )
+        keep = [i for i, gid in enumerate(indices) if gid not in self._tombstones]
+        return _take_top(indices[keep], scores[keep], k)
+
+    # -- internals --------------------------------------------------------
+
+    def _build_base(self) -> None:
+        features = np.asarray([self._features[g] for g in self._indexed_ids])
+        self._graph: KnnGraph = build_knn_graph(features, k=self.k)
+        self._ranker = MogulRanker(self._graph, alpha=self.alpha, exact=self.exact)
+        self._index: MogulIndex = self._ranker.index
+        self._local_by_global = {
+            int(gid): local for local, gid in enumerate(self._indexed_ids)
+        }
+
+    def _local_of_global(self, gid: int) -> int | None:
+        return self._local_by_global.get(int(gid))
+
+    def _merge_pending(
+        self, base: TopKResult, field_fn
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Translate base answers to global ids and splice in pending points.
+
+        A pending point's score is the similarity-weighted average of its
+        in-database neighbours' scores (generalized MR estimate [7]) over
+        the same approximate score field the base answers were ranked by;
+        ``field_fn`` produces that field lazily (it costs one solve, paid
+        only when the buffer is non-empty).
+        """
+        base_global = self._indexed_ids[base.indices]
+        if not self._pending_ids:
+            return base_global, base.scores.copy()
+        field = field_fn()
+        pending = np.asarray(self._pending_ids, dtype=np.int64)
+        pending_features = np.asarray([self._features[g] for g in pending])
+        count = min(self.k, self.n_indexed)
+        idx, dist = knn_search(
+            self._graph.features, count, queries=pending_features
+        )
+        sigma = self._graph.sigma
+        estimates = np.empty(pending.shape[0], dtype=np.float64)
+        for row in range(pending.shape[0]):
+            if sigma > 0:
+                weights = np.exp(-np.square(dist[row]) / (2.0 * sigma * sigma))
+            else:
+                weights = np.ones(count)
+            total = float(weights.sum())
+            if total <= 0:
+                weights = np.full(count, 1.0 / count)
+            else:
+                weights = weights / total
+            estimates[row] = float(np.dot(weights, field[idx[row]]))
+        estimates *= self.pending_penalty
+        merged_ids = np.concatenate([base_global, pending])
+        merged_scores = np.concatenate([base.scores, estimates])
+        return merged_ids, merged_scores
+
+    def _score_field(self, seed_feature: np.ndarray) -> np.ndarray:
+        """Approximate scores of every indexed node for this query."""
+        from repro.core.out_of_sample import build_query_seeds
+
+        seeds = build_query_seeds(
+            seed_feature,
+            self._index.cluster_means,
+            self._index.cluster_members,
+            self._graph.features,
+            n_neighbors=self.k,
+            sigma=self._graph.sigma,
+        )
+        q = np.zeros(self.n_indexed, dtype=np.float64)
+        q[seeds.nodes] = seeds.weights
+        return self._ranker.scores_for_vector(q)
+
+
+def _take_top(indices: np.ndarray, scores: np.ndarray, k: int) -> TopKResult:
+    """Order (score desc, id asc) and truncate to k."""
+    ranked = rank_scores_by_pairs(indices, scores)
+    return TopKResult(indices=ranked.indices[:k], scores=ranked.scores[:k])
+
+
+def rank_scores_by_pairs(indices: np.ndarray, scores: np.ndarray) -> TopKResult:
+    """Sort (id, score) pairs by (score desc, id asc), dropping duplicates.
+
+    Duplicates can arise when a pending point was also returned by the
+    base index after a partial rebuild; the higher score wins.
+    """
+    order = np.lexsort((indices, -scores))
+    seen: set[int] = set()
+    keep: list[int] = []
+    for position in order:
+        gid = int(indices[position])
+        if gid not in seen:
+            seen.add(gid)
+            keep.append(position)
+    keep_arr = np.asarray(keep, dtype=np.int64)
+    return TopKResult(indices=indices[keep_arr], scores=scores[keep_arr])

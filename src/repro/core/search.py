@@ -1,0 +1,261 @@
+"""Algorithm 2: Mogul's bound-driven top-k search.
+
+Given the precomputed factorization and bounds, a query is answered in
+three stages:
+
+1. **Forward substitution** restricted to the seed clusters and the border
+   cluster — every other row of ``y`` is provably zero (Lemma 4).
+2. **Back substitution** for the border cluster first (its scores feed both
+   the other clusters' substitutions and the bound estimations), then the
+   seed clusters; their nodes initialise the top-k heap (paper lines 8-16).
+3. **Bound-driven scan** of the remaining clusters (lines 17-30): a cluster
+   whose upper bound falls below the current k-th best score is pruned
+   without computing a single member score; otherwise its scores are
+   computed by cluster-local back substitution (Lemma 5).
+
+The heap starts with ``k`` dummy entries of score 0 (lines 1-3), so
+negative-score nodes can never displace real answers — matching the paper's
+initialisation.
+
+Two switches expose the ablations of Figure 5:
+
+* ``use_pruning=False`` — "W/O estimation": stages 1-2 plus exhaustive
+  cluster scoring, still exploiting the sparsity structure.
+* ``use_sparsity=False`` — "Incomplete Cholesky": plain full forward/back
+  substitution over all n rows, no structure, no pruning.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bounds import BoundsTable, ClusterBoundData
+from repro.core.permutation import Permutation
+from repro.core.solver import ClusterSolver
+from repro.linalg.ldl import LDLFactors
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for one Algorithm 2 run.
+
+    The paper's Figure 5 argues most clusters are pruned in practice;
+    these counters let tests and benchmarks verify that directly.
+    """
+
+    clusters_total: int = 0
+    clusters_pruned: int = 0
+    clusters_scored: int = 0
+    nodes_scored: int = 0
+    bound_evaluations: int = 0
+    pruned_nodes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def prune_fraction(self) -> float:
+        """Fraction of eligible clusters pruned (0.0 when none eligible)."""
+        eligible = self.clusters_pruned + self.clusters_scored
+        return self.clusters_pruned / eligible if eligible else 0.0
+
+
+def top_k_search(
+    factors: LDLFactors,
+    permutation: Permutation,
+    bounds: Sequence[ClusterBoundData],
+    seed_positions: np.ndarray,
+    seed_weights: np.ndarray,
+    k: int,
+    exclude_positions: Iterable[int] = (),
+    use_pruning: bool = True,
+    use_sparsity: bool = True,
+    cluster_order: str = "index",
+    solver: ClusterSolver | None = None,
+    bounds_table: BoundsTable | None = None,
+) -> tuple[list[tuple[int, float]], SearchStats]:
+    """Run Algorithm 2 in permuted coordinates.
+
+    Parameters
+    ----------
+    factors, permutation, bounds:
+        The precomputed index parts (see :class:`repro.core.MogulIndex`).
+    seed_positions, seed_weights:
+        The non-zeros of the permuted, pre-scaled query vector
+        ``q' = (1-alpha) P q``.  A single in-database query is one position
+        with weight ``1-alpha``; out-of-sample queries seed several
+        neighbours (§4.6.2).
+    k:
+        Number of answers requested.
+    exclude_positions:
+        Positions never admitted to the answer set (the query itself,
+        for retrieval semantics).
+    use_pruning, use_sparsity:
+        Ablation switches, see module docstring.
+    cluster_order:
+        ``"index"`` visits clusters in paper order; ``"bound_desc"``
+        visits by decreasing bound so the threshold tightens sooner
+        (an optimisation ablated in the benchmarks).
+    solver:
+        Prebuilt :class:`repro.core.ClusterSolver` (the index builds it
+        once); constructed on the fly when omitted, which is correct but
+        wastes the packing work on every call.
+    bounds_table:
+        Prebuilt vectorized bound table matching ``bounds``; constructed
+        on the fly when omitted.
+
+    Returns
+    -------
+    (answers, stats):
+        ``answers`` is a list of ``(position, approximate_score)`` sorted
+        by (score desc, position asc), at most ``k`` long; ``stats`` is the
+        :class:`SearchStats` instrumentation.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if cluster_order not in ("index", "bound_desc"):
+        raise ValueError(f"unknown cluster_order {cluster_order!r}")
+    if solver is None:
+        solver = ClusterSolver(factors, permutation)
+    n = factors.n
+    stats = SearchStats(clusters_total=permutation.n_clusters)
+    excluded = set(int(p) for p in exclude_positions)
+
+    q_vec = np.zeros(n, dtype=np.float64)
+    q_vec[np.asarray(seed_positions, dtype=np.int64)] = np.asarray(
+        seed_weights, dtype=np.float64
+    )
+
+    seed_clusters = sorted(
+        {int(permutation.cluster_of_position[int(p)]) for p in seed_positions}
+    )
+    border_id = permutation.border_cluster
+    border = permutation.border_slice
+
+    # Lines 1-3: threshold 0 and k dummy answers.  Entries are
+    # (score, -position); the dummy sentinel compares *below* every real
+    # position so that at equal score a dummy is evicted before a real
+    # answer, and among real ties the largest position goes first (keeping
+    # the deterministic "score desc, position asc" answer order).
+    dummy = (0.0, -(n + 2))
+    heap: list[tuple[float, int]] = [dummy] * k
+    heapq.heapify(heap)
+    threshold = 0.0
+
+    def offer_block(start: int, stop: int) -> None:
+        """Admit the block members that can still enter the top-k heap.
+
+        At most ``k`` block members can displace heap entries (plus exact
+        score ties at the k-th boundary, kept so tie resolution stays
+        deterministic), so candidates are cut down to that set with one
+        vectorised partition before any of them touches the heap.  Pushes
+        run in descending score order to raise the threshold as early as
+        possible.
+        """
+        nonlocal threshold
+        block_scores = x[start:stop]
+        candidates = np.flatnonzero(block_scores >= threshold)
+        if excluded:
+            for position in excluded:
+                if start <= position < stop:
+                    candidates = candidates[candidates != position - start]
+        if candidates.size > k:
+            kth = np.partition(block_scores[candidates], candidates.size - k)[
+                candidates.size - k
+            ]
+            candidates = candidates[block_scores[candidates] >= kth]
+        # Deterministic (score desc, position asc) push order.
+        candidates = candidates[np.lexsort((candidates, -block_scores[candidates]))]
+        for offset in candidates:
+            score = float(block_scores[offset])
+            if score >= threshold:
+                heapq.heappushpop(heap, (score, -(start + int(offset))))
+                threshold = heap[0][0]
+
+    x = np.zeros(n, dtype=np.float64)
+
+    if not use_sparsity:
+        # "Incomplete Cholesky" configuration: full substitution, no
+        # structure exploited, every node scored.
+        y = solver.forward_full(q_vec)
+        x = solver.back_full(y)
+        stats.clusters_scored = permutation.n_clusters
+        stats.nodes_scored = n
+        offer_block(0, n)
+        return _collect(heap, n), stats
+
+    # Stage 1 — forward substitution over seed clusters + border (Lemma 4).
+    y = solver.forward(q_vec, seed_clusters)
+
+    # Stage 2 — border scores first (Lemma 5), then seed clusters.
+    solver.back_border(y, x)
+    for cid in seed_clusters:
+        if cid != border_id:
+            solver.back_cluster(cid, y, x)
+    scored_clusters = set(seed_clusters) | {border_id}
+    for cid in sorted(scored_clusters):
+        sl = permutation.cluster_slices[cid]
+        stats.nodes_scored += sl.stop - sl.start
+        offer_block(sl.start, sl.stop)
+    stats.clusters_scored = len(scored_clusters)
+
+    remaining = [
+        cid for cid in range(permutation.n_clusters - 1) if cid not in scored_clusters
+    ]
+
+    if not use_pruning:
+        # "W/O estimation" configuration: score everything, but still
+        # through the sparse structure — restricted forward pass above,
+        # and one batched interior solve here (the interior block of U is
+        # block diagonal, so this equals the per-cluster solves).  The
+        # remaining clusters are contiguous except at the seed clusters,
+        # so they are offered as merged runs, not one call per cluster.
+        solver.back_all_interior(y, x)
+        runs: list[list[int]] = []
+        for cid in remaining:
+            sl = permutation.cluster_slices[cid]
+            stats.clusters_scored += 1
+            stats.nodes_scored += sl.stop - sl.start
+            if runs and runs[-1][1] == sl.start:
+                runs[-1][1] = sl.stop
+            else:
+                runs.append([sl.start, sl.stop])
+        for start, stop in runs:
+            offer_block(start, stop)
+        return _collect(heap, n), stats
+
+    # Stage 3 — bound-driven scan of the remaining clusters (lines 17-30).
+    # All interior bounds are evaluated in one SpMV (Lemma 8's O(n) worst
+    # case, but compiled); only border scores feed the estimates.
+    if bounds_table is None:
+        bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
+    estimates = bounds_table.estimate_all(np.abs(x[border.start :]))
+    stats.bound_evaluations += len(remaining)
+    if cluster_order == "bound_desc":
+        remaining.sort(key=lambda cid: -estimates[cid])
+    for cid in remaining:
+        bound = float(estimates[cid])
+        sl = permutation.cluster_slices[cid]
+        if bound < threshold:
+            stats.clusters_pruned += 1
+            stats.pruned_nodes += sl.stop - sl.start
+            continue
+        solver.back_cluster(cid, y, x)
+        stats.clusters_scored += 1
+        stats.nodes_scored += sl.stop - sl.start
+        offer_block(sl.start, sl.stop)
+
+    return _collect(heap, n), stats
+
+
+def _collect(heap: list[tuple[float, int]], n: int) -> list[tuple[int, float]]:
+    """Drop dummies and order answers by (score desc, position asc)."""
+    real = [
+        (-neg_pos, score)
+        for score, neg_pos in heap
+        if 0 <= -neg_pos < n
+    ]
+    real.sort(key=lambda item: (-item[1], item[0]))
+    return real

@@ -1,0 +1,152 @@
+"""Persist and restore a :class:`repro.core.MogulIndex`.
+
+Lemma 2's point is that all of Mogul's heavy lifting is query independent —
+which makes the index worth saving: build once (Algorithm 1 + the LDL^T
+factorization), serve queries from any later process.
+
+The ``.npz`` format stores only the *primary* artifacts:
+
+* the permutation (node order + cluster boundaries),
+* the factor (strict lower triangle as CSR arrays + the diagonal of D),
+* the per-cluster feature means (for out-of-sample routing), and
+* the scalars ``alpha`` / ``factorization``.
+
+Everything else in the index (bounds, the packed per-cluster solvers, the
+vectorized bound table, ``U = L^T``) is a pure function of those artifacts
+and is **recomputed on load** — cheaper than storing it, and immune to
+format drift in derived structures.
+
+The graph itself is deliberately *not* part of the file: an index is
+(features -> ranking structure), and the caller re-attaches whichever
+feature store it keeps (see :meth:`repro.core.MogulRanker.from_index`).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = (
+    "format_version",
+    "order",
+    "cluster_starts",
+    "lower_data",
+    "lower_indices",
+    "lower_indptr",
+    "diag",
+    "pivot_perturbations",
+    "cluster_means",
+    "alpha",
+    "factorization",
+)
+
+
+def save_index(index, path: "str | os.PathLike") -> None:
+    """Write a :class:`repro.core.MogulIndex` to ``path`` (``.npz``).
+
+    The file is self-contained and versioned; load with
+    :func:`load_index`.
+    """
+    perm = index.permutation
+    starts = np.asarray(
+        [sl.start for sl in perm.cluster_slices] + [perm.n_nodes], dtype=np.int64
+    )
+    lower = index.factors.lower.tocsr()
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        order=perm.order,
+        cluster_starts=starts,
+        lower_data=lower.data,
+        lower_indices=lower.indices,
+        lower_indptr=lower.indptr,
+        diag=index.factors.diag,
+        pivot_perturbations=np.int64(index.factors.pivot_perturbations),
+        cluster_means=index.cluster_means,
+        alpha=np.float64(index.alpha),
+        factorization=np.str_(index.factorization),
+    )
+
+
+def load_index(path: "str | os.PathLike"):
+    """Read a :class:`repro.core.MogulIndex` previously saved by
+    :func:`save_index`, rebuilding all derived structures.
+    """
+    # Imported here: serialize <-> index would otherwise be a cycle.
+    from repro.core.bounds import BoundsTable, precompute_cluster_bounds
+    from repro.core.index import MogulIndex
+    from repro.core.permutation import Permutation
+    from repro.core.solver import ClusterSolver
+    from repro.linalg.ldl import LDLFactors
+
+    with np.load(path, allow_pickle=False) as archive:
+        missing = [key for key in _REQUIRED_KEYS if key not in archive]
+        if missing:
+            raise ValueError(f"not a Mogul index file (missing keys {missing})")
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"index file has format version {version}, "
+                f"this library reads version {FORMAT_VERSION}"
+            )
+        order = archive["order"].astype(np.int64)
+        starts = archive["cluster_starts"].astype(np.int64)
+        n = order.shape[0]
+        if starts[0] != 0 or starts[-1] != n or np.any(np.diff(starts) < 0):
+            raise ValueError("corrupt index file: bad cluster boundaries")
+
+        slices = tuple(
+            slice(int(a), int(b)) for a, b in zip(starts[:-1], starts[1:])
+        )
+        cluster_of_position = np.empty(n, dtype=np.int64)
+        for cid, sl in enumerate(slices):
+            cluster_of_position[sl] = cid
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.arange(n, dtype=np.int64)
+        permutation = Permutation(
+            order=order,
+            inverse=inverse,
+            cluster_slices=slices,
+            cluster_of_position=cluster_of_position,
+        )
+
+        lower = sp.csr_matrix(
+            (
+                archive["lower_data"].astype(np.float64),
+                archive["lower_indices"].astype(np.int64),
+                archive["lower_indptr"].astype(np.int64),
+            ),
+            shape=(n, n),
+        )
+        factors = LDLFactors(
+            lower=lower,
+            upper=lower.T.tocsr(),
+            diag=archive["diag"].astype(np.float64),
+            pivot_perturbations=int(archive["pivot_perturbations"]),
+        )
+        cluster_means = archive["cluster_means"].astype(np.float64)
+        alpha = float(archive["alpha"])
+        factorization = str(archive["factorization"])
+
+    bounds = precompute_cluster_bounds(factors, permutation)
+    solver = ClusterSolver(factors, permutation)
+    bounds_table = BoundsTable.from_bounds(
+        bounds, permutation.border_slice.start, n
+    )
+    members = tuple(order[sl] for sl in slices)
+    return MogulIndex(
+        permutation=permutation,
+        factors=factors,
+        bounds=bounds,
+        cluster_means=cluster_means,
+        cluster_members=members,
+        alpha=alpha,
+        factorization=factorization,
+        solver=solver,
+        bounds_table=bounds_table,
+    )

@@ -1,0 +1,206 @@
+"""Per-cluster packed substitution engine — the production tier of Lemmas 4/5.
+
+Algorithm 2 only ever solves triangular systems restricted to whole
+clusters: the query cluster and the border for the forward pass (Lemma 4),
+the border first and then arbitrary clusters for the backward pass
+(Lemma 5).  :class:`ClusterSolver` exploits that by slicing the factor
+**once per index build** into per-cluster blocks, each packed for repeated
+compiled solves (:class:`repro.linalg.PackedUnitLower`), so a query never
+touches scipy's slicing or per-call solver setup.
+
+The diagonal scaling trick: with :math:`L' = LD` (paper Eq. 4) and
+:math:`z = Dy`, forward substitution becomes the *unit*-lower solve
+:math:`(I + L_{strict})\\,z = q` followed by ``y = z / d`` — and the border
+coupling term :math:`\\sum_j L_{ij} D_{jj} y_j` is simply ``L[border,
+earlier] @ z``.  Back substitution on :math:`U = L^T` uses the transposed
+operator of the very same packed blocks, so each cluster is packed exactly
+once and serves both directions.
+
+Structure requirements (checked at construction): the factor must be
+bordered block diagonal w.r.t. the permutation's clusters — interior
+cluster rows of ``L`` may only reference columns inside their own cluster,
+and interior cluster rows of ``U`` only their own cluster plus the border.
+Both Incomplete Cholesky (pattern = W's pattern, Lemma 3) and Modified
+Cholesky (fill-in stays inside a cluster's block and the border, §4.6.1)
+satisfy this for factors produced from the matching permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.permutation import Permutation
+from repro.linalg.ldl import LDLFactors
+from repro.linalg.packed import PackedUnitLower
+
+
+class ClusterSolver:
+    """Precomputed per-cluster triangular solvers for one factorization.
+
+    Parameters
+    ----------
+    factors:
+        The :math:`LDL^T` factorization of the permuted system matrix.
+    permutation:
+        The Algorithm 1 permutation the factors were computed under.
+    use_superlu:
+        Forwarded to :class:`repro.linalg.PackedUnitLower` (``None`` =
+        auto-detect; ``False`` forces the public-API fallback, used by
+        equivalence tests).
+    """
+
+    def __init__(
+        self,
+        factors: LDLFactors,
+        permutation: Permutation,
+        use_superlu: bool | None = None,
+    ):
+        if factors.n != permutation.n_nodes:
+            raise ValueError(
+                f"factors are {factors.n}x{factors.n} but the permutation "
+                f"covers {permutation.n_nodes} nodes"
+            )
+        self.factors = factors
+        self.permutation = permutation
+        n = factors.n
+        lower = factors.lower.tocsr()
+        upper = factors.upper.tocsr()
+        border = permutation.border_slice
+        self._border_start = border.start
+        self._border_id = permutation.border_cluster
+        self._diag = np.asarray(factors.diag, dtype=np.float64)
+
+        self._blocks: list[PackedUnitLower] = []
+        self._couplings: list[sp.csr_matrix | None] = []
+        for cid, sl in enumerate(permutation.cluster_slices):
+            block = lower[sl.start : sl.stop, sl.start : sl.stop]
+            if cid != self._border_id:
+                outside = lower[sl.start : sl.stop, : sl.start]
+                if outside.nnz:
+                    raise ValueError(
+                        f"cluster {cid} rows of L reference earlier clusters; "
+                        "factors do not match this permutation"
+                    )
+                mid = upper[sl.start : sl.stop, sl.stop : border.start]
+                if mid.nnz:
+                    raise ValueError(
+                        f"cluster {cid} rows of U reference later interior "
+                        "clusters; factors do not match this permutation"
+                    )
+                coupling = upper[sl.start : sl.stop, border.start :].tocsr()
+                self._couplings.append(coupling)
+            else:
+                self._couplings.append(None)
+            self._blocks.append(PackedUnitLower(block, use_superlu=use_superlu))
+
+        # Border rows' coupling to every earlier column, consumed as one
+        # SpMV against z = D y in the forward pass.
+        self._border_left = lower[border.start :, : border.start].tocsr()
+        # Whole-factor solver for full solves and the no-sparsity ablation.
+        self._full = PackedUnitLower(lower, use_superlu=use_superlu)
+        # The interior range [0, c_N) of U is *block diagonal* (interior
+        # clusters never couple to each other, Lemma 3), so the no-pruning
+        # configuration can score every interior cluster with ONE solve
+        # instead of one per cluster — same numbers, none of the per-call
+        # overhead.
+        self._interior = PackedUnitLower(
+            lower[: border.start, : border.start], use_superlu=use_superlu
+        )
+        self._interior_coupling = upper[: border.start, border.start :].tocsr()
+
+    @property
+    def n(self) -> int:
+        """Dimension of the factored system."""
+        return self.factors.n
+
+    # -- forward substitution (paper Eq. 4, Lemma 4) ---------------------
+
+    def forward(self, q_vec: np.ndarray, seed_clusters: Iterable[int]) -> np.ndarray:
+        """Solve :math:`(LD)\\,y = q` restricted to seed clusters + border.
+
+        ``q_vec`` must be zero outside the seed clusters (Lemma 4's
+        premise); every row of ``y`` outside the seeds and the border is
+        provably zero and is never touched.
+        """
+        slices = self.permutation.cluster_slices
+        border = slices[self._border_id]
+        z = np.zeros(self.n, dtype=np.float64)
+        y = np.zeros(self.n, dtype=np.float64)
+        for cid in seed_clusters:
+            if cid == self._border_id:
+                continue
+            sl = slices[cid]
+            z[sl] = self._blocks[cid].solve_lower(q_vec[sl])
+            y[sl] = z[sl] / self._diag[sl]
+        rhs = q_vec[border.start :] - self._border_left @ z[: border.start]
+        z_border = self._blocks[self._border_id].solve_lower(rhs)
+        y[border.start :] = z_border / self._diag[border.start :]
+        return y
+
+    def forward_full(self, q_vec: np.ndarray) -> np.ndarray:
+        """Unrestricted forward substitution over all n rows."""
+        z = self._full.solve_lower(np.asarray(q_vec, dtype=np.float64))
+        return z / self._diag
+
+    # -- back substitution (paper Eq. 5, Lemma 5) ------------------------
+
+    def back_border(self, y: np.ndarray, x: np.ndarray) -> None:
+        """Compute border-cluster scores into ``x`` (must run first)."""
+        start = self._border_start
+        x[start:] = self._blocks[self._border_id].solve_upper(y[start:])
+
+    def back_cluster(self, cid: int, y: np.ndarray, x: np.ndarray) -> None:
+        """Compute one interior cluster's scores into ``x``.
+
+        ``x`` must already hold valid border scores
+        (:meth:`back_border`); interior clusters couple to nothing else
+        (Lemma 5), so any subset may be computed in any order.
+        """
+        if cid == self._border_id:
+            self.back_border(y, x)
+            return
+        sl = self.permutation.cluster_slices[cid]
+        rhs = y[sl] - self._couplings[cid] @ x[self._border_start :]
+        x[sl] = self._blocks[cid].solve_upper(rhs)
+
+    def back_all_interior(self, y: np.ndarray, x: np.ndarray) -> None:
+        """Compute every interior cluster's scores into ``x`` at once.
+
+        Equivalent to calling :meth:`back_cluster` for all interior
+        clusters (the interior block of ``U`` is block diagonal, so the
+        joint solve decouples into the per-cluster solves), but pays the
+        solver-call overhead once.  ``x`` must already hold valid border
+        scores.
+        """
+        start = self._border_start
+        rhs = y[:start] - self._interior_coupling @ x[start:]
+        x[:start] = self._interior.solve_upper(rhs)
+
+    def back_full(self, y: np.ndarray) -> np.ndarray:
+        """Unrestricted back substitution over all n rows."""
+        return self._full.solve_upper(np.asarray(y, dtype=np.float64))
+
+    # -- convenience ------------------------------------------------------
+
+    def solve(self, q_vec: np.ndarray) -> np.ndarray:
+        """Full :math:`LDL^T x = q` solve (both passes, all rows)."""
+        return self.back_full(self.forward_full(q_vec))
+
+    def solve_restricted(
+        self, q_vec: np.ndarray, seed_clusters: Sequence[int], clusters: Sequence[int]
+    ) -> np.ndarray:
+        """Scores for selected ``clusters`` given seeds (Lemmas 4+5 chained).
+
+        Returns a full-length vector with valid entries for the requested
+        clusters and the border, zeros elsewhere.
+        """
+        y = self.forward(q_vec, seed_clusters)
+        x = np.zeros(self.n, dtype=np.float64)
+        self.back_border(y, x)
+        for cid in clusters:
+            if cid != self._border_id:
+                self.back_cluster(cid, y, x)
+        return x

@@ -1,0 +1,42 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+The paper's data (COIL-100, PubFig, NUS-WIDE, INRIA) cannot be shipped in
+an offline environment, so each dataset is replaced by a deterministic
+generator that preserves the *structural* properties the algorithms are
+sensitive to — manifold shape, dimensionality, cluster balance, scale.
+DESIGN.md §3 documents each substitution and why it preserves behaviour.
+
+* :func:`make_coil` — objects as noisy 1-D pose circles (COIL-100).
+* :func:`make_pubfig` — overlapping attribute clusters (PubFig).
+* :func:`make_nuswide` — Zipf-unbalanced concept clusters (NUS-WIDE).
+* :func:`make_inria` — large SIFT-like descriptor mixture (INRIA).
+* :func:`load_dataset` — name-based access with a global ``scale`` knob so
+  benchmarks can run the same code at smoke-test and full size.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.coil import make_coil
+from repro.datasets.inria import make_inria
+from repro.datasets.nuswide import make_nuswide
+from repro.datasets.pubfig import make_pubfig
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.synthetic import (
+    circle_manifolds,
+    gaussian_clusters,
+    multimodal_clusters,
+    zipf_cluster_sizes,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "circle_manifolds",
+    "gaussian_clusters",
+    "load_dataset",
+    "make_coil",
+    "make_inria",
+    "make_nuswide",
+    "make_pubfig",
+    "multimodal_clusters",
+    "zipf_cluster_sizes",
+]

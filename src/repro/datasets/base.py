@@ -1,0 +1,88 @@
+"""The :class:`Dataset` container: features + ground-truth labels.
+
+Ground-truth labels (object / identity / concept ids) drive the paper's
+*retrieval precision* metric — the fraction of answers sharing the query's
+semantic class (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.adjacency import KnnGraph
+from repro.graph.build import build_knn_graph
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled feature collection ready for graph construction.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"coil"``).
+    features:
+        ``(n, m)`` float feature matrix.
+    labels:
+        ``(n,)`` integer semantic class per point.
+    metadata:
+        Generator parameters recorded for experiment logs.
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {self.features.shape}")
+        if self.labels.shape != (self.features.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({self.features.shape[0]},), "
+                f"got {self.labels.shape}"
+            )
+
+    @property
+    def n_points(self) -> int:
+        """Number of points (images)."""
+        return self.features.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality."""
+        return self.features.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct semantic classes."""
+        return int(np.unique(self.labels).shape[0])
+
+    def build_graph(self, k: int = 5, **kwargs) -> KnnGraph:
+        """Build the paper-standard k-NN graph over this dataset."""
+        return build_knn_graph(self.features, k=k, **kwargs)
+
+    def holdout_split(
+        self, n_holdout: int, seed: int | None = 0
+    ) -> tuple["Dataset", np.ndarray, np.ndarray]:
+        """Split off ``n_holdout`` points as out-of-sample queries.
+
+        Returns ``(reduced_dataset, holdout_features, holdout_labels)``;
+        the reduced dataset is re-indexed densely.
+        """
+        if not 0 < n_holdout < self.n_points:
+            raise ValueError(
+                f"n_holdout must be in (0, {self.n_points}), got {n_holdout}"
+            )
+        rng = np.random.default_rng(seed)
+        holdout = rng.choice(self.n_points, size=n_holdout, replace=False)
+        keep = np.setdiff1d(np.arange(self.n_points), holdout)
+        reduced = Dataset(
+            name=self.name,
+            features=self.features[keep],
+            labels=self.labels[keep],
+            metadata={**self.metadata, "holdout": n_holdout},
+        )
+        return reduced, self.features[holdout], self.labels[holdout]

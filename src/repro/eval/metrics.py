@@ -1,0 +1,142 @@
+"""The paper's accuracy metrics (§5.2.1) and rank diagnostics.
+
+* :func:`p_at_k` — "the fraction of answer nodes among the top-k results
+  that match those of the inverse matrix approach": set overlap between an
+  approximate answer list and the exact one.
+* :func:`retrieval_precision` — "the ratio of answer nodes that correspond
+  to the same objects as the query nodes": semantic quality against
+  ground-truth labels.
+* :func:`rank_correlation` — Spearman correlation between two full score
+  vectors; not in the paper but invaluable for testing approximation
+  quality beyond the top-k cutoff.
+* :func:`ndcg_at_k`, :func:`reciprocal_rank` — order-aware retrieval
+  quality (binary relevance against ground-truth labels), used by the
+  extended examples and ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def p_at_k(retrieved: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of ``retrieved`` ids that appear in the ``reference`` top-k.
+
+    Both arguments are id arrays (order ignored — the paper's P@k is set
+    overlap).  Lengths may differ; the denominator is ``len(retrieved)``.
+    """
+    retrieved = np.asarray(retrieved).ravel()
+    reference = np.asarray(reference).ravel()
+    if retrieved.size == 0:
+        return 0.0
+    if np.unique(retrieved).size != retrieved.size:
+        raise ValueError("retrieved ids must be unique")
+    hits = np.isin(retrieved, reference).sum()
+    return float(hits) / float(retrieved.size)
+
+
+def retrieval_precision(
+    retrieved: np.ndarray, labels: np.ndarray, query_label: int
+) -> float:
+    """Fraction of retrieved nodes sharing the query's semantic label."""
+    retrieved = np.asarray(retrieved).ravel()
+    if retrieved.size == 0:
+        return 0.0
+    labels = np.asarray(labels)
+    return float(np.mean(labels[retrieved] == query_label))
+
+
+def average_precision_at_k(
+    retrieved: np.ndarray, labels: np.ndarray, query_label: int
+) -> float:
+    """Order-aware precision: mean of precision@i over relevant positions.
+
+    A stricter companion to :func:`retrieval_precision` used by the
+    extended examples (0.0 when no retrieved item is relevant).
+    """
+    retrieved = np.asarray(retrieved).ravel()
+    if retrieved.size == 0:
+        return 0.0
+    labels = np.asarray(labels)
+    relevant = labels[retrieved] == query_label
+    if not np.any(relevant):
+        return 0.0
+    cumulative = np.cumsum(relevant)
+    positions = np.arange(1, retrieved.size + 1)
+    return float(np.mean((cumulative / positions)[relevant]))
+
+
+def ndcg_at_k(
+    retrieved: np.ndarray, labels: np.ndarray, query_label: int, k: int | None = None
+) -> float:
+    """Normalised discounted cumulative gain with binary relevance.
+
+    Relevance of a retrieved item is 1 when it shares the query's label.
+    The ideal ordering puts every relevant item first; the score is
+    DCG/IDCG in [0, 1].  Returns 0.0 when nothing relevant exists in the
+    database (no meaningful ideal) or the retrieved list is empty.
+    """
+    retrieved = np.asarray(retrieved).ravel()
+    labels = np.asarray(labels)
+    if k is not None:
+        retrieved = retrieved[:k]
+    if retrieved.size == 0:
+        return 0.0
+    relevant = (labels[retrieved] == query_label).astype(np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, retrieved.size + 2))
+    dcg = float(np.dot(relevant, discounts))
+    n_relevant_total = int(np.sum(labels == query_label))
+    ideal_hits = min(retrieved.size, n_relevant_total)
+    if ideal_hits == 0:
+        return 0.0
+    idcg = float(np.sum(discounts[:ideal_hits]))
+    return dcg / idcg
+
+
+def reciprocal_rank(
+    retrieved: np.ndarray, labels: np.ndarray, query_label: int
+) -> float:
+    """1 / rank of the first relevant answer (0.0 when none is relevant).
+
+    Averaged over queries this is MRR, the standard "how soon does the
+    user see something right" statistic.
+    """
+    retrieved = np.asarray(retrieved).ravel()
+    labels = np.asarray(labels)
+    relevant = np.flatnonzero(labels[retrieved] == query_label)
+    if relevant.size == 0:
+        return 0.0
+    return 1.0 / (float(relevant[0]) + 1.0)
+
+
+def rank_correlation(scores_a: np.ndarray, scores_b: np.ndarray) -> float:
+    """Spearman rank correlation between two score vectors.
+
+    Implemented directly (rank transform + Pearson) to keep the dependency
+    surface small; ties receive average ranks.
+    """
+    a = _average_ranks(np.asarray(scores_a, dtype=np.float64))
+    b = _average_ranks(np.asarray(scores_b, dtype=np.float64))
+    if a.shape != b.shape:
+        raise ValueError(f"score vectors differ in shape: {a.shape} vs {b.shape}")
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    denom = np.linalg.norm(a_centered) * np.linalg.norm(b_centered)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(a_centered, b_centered) / denom)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Rank transform with average ranks for ties."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.shape[0], dtype=np.float64)
+    ranks[order] = np.arange(values.shape[0], dtype=np.float64)
+    # Average the ranks inside each tie group.
+    sorted_vals = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
+    groups = np.split(order, boundaries)
+    for group in groups:
+        if group.size > 1:
+            ranks[group] = ranks[group].mean()
+    return ranks

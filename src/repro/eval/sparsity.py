@@ -1,0 +1,79 @@
+"""Sparsity-pattern diagnostics for factor matrices (Figure 6).
+
+The paper plots the non-zero pattern of the lower-triangular factor ``L``
+under Mogul's permutation versus a random permutation: Mogul's is singly
+bordered block diagonal (Lemma 3), random is scattered.  In a text
+environment we render the same comparison as a character raster (one cell
+aggregates a sub-block of the matrix) plus quantitative block statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.permutation import Permutation
+
+
+def sparsity_raster(matrix: sp.spmatrix, size: int = 40, mark: str = "#") -> list[str]:
+    """Render a matrix non-zero pattern as ``size`` lines of text.
+
+    Cell ``(r, c)`` is ``mark`` when any non-zero of the matrix falls in
+    the corresponding sub-block, ``.`` otherwise.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    matrix = matrix.tocoo()
+    n_rows, n_cols = matrix.shape
+    grid = np.zeros((size, size), dtype=bool)
+    if matrix.nnz:
+        r = (matrix.row * size) // max(n_rows, 1)
+        c = (matrix.col * size) // max(n_cols, 1)
+        grid[r, c] = True
+    return ["".join(mark if cell else "." for cell in row) for row in grid]
+
+
+def block_structure_stats(
+    lower: sp.spmatrix, permutation: Permutation
+) -> dict[str, float]:
+    """Quantify how bordered-block-diagonal a factor's pattern is.
+
+    Returns a dict with:
+
+    * ``nnz`` — total non-zeros in the strict lower factor;
+    * ``within_block`` — fraction inside interior-cluster diagonal blocks;
+    * ``border`` — fraction in the border cluster's rows;
+    * ``off_block`` — fraction violating Lemma 3 (between two distinct
+      interior clusters) — exactly 0.0 under Mogul's permutation;
+    * ``mean_band`` — mean ``|i - j| / n`` over factor entries.  For the
+      *incomplete* factorization the cluster-membership fractions are
+      permutation invariant (the factor inherits W's pattern), so the
+      visually obvious difference in the paper's Figure 6 — compact
+      diagonal blocks vs scatter — is captured by this band statistic:
+      ~cluster_size/(3n) under Mogul, ~1/3 under a random permutation.
+    """
+    coo = lower.tocoo()
+    nnz = coo.nnz
+    if nnz == 0:
+        return {
+            "nnz": 0.0,
+            "within_block": 0.0,
+            "border": 0.0,
+            "off_block": 0.0,
+            "mean_band": 0.0,
+        }
+    cluster_of = permutation.cluster_of_position
+    border_id = permutation.border_cluster
+    row_cluster = cluster_of[coo.row]
+    col_cluster = cluster_of[coo.col]
+    in_border = (row_cluster == border_id) | (col_cluster == border_id)
+    same_cluster = (row_cluster == col_cluster) & ~in_border
+    off_block = ~in_border & ~same_cluster
+    n = lower.shape[0]
+    return {
+        "nnz": float(nnz),
+        "within_block": float(np.mean(same_cluster)),
+        "border": float(np.mean(in_border)),
+        "off_block": float(np.mean(off_block)),
+        "mean_band": float(np.mean(np.abs(coo.row - coo.col))) / max(n, 1),
+    }

@@ -1,0 +1,27 @@
+"""Regeneration of every table and figure in the paper's evaluation (§5).
+
+One module per exhibit:
+
+========  ============================================================
+fig1      search time per method per dataset
+fig2-4    EMR anchor-count sweep vs Mogul/MogulE (P@k, precision, time)
+fig5      ablation: pruning and sparsity structure
+fig6      sparsity pattern of L, Mogul vs random permutation
+fig7      out-of-sample search time (plus Table 2's breakdown)
+fig8      precomputation time, Mogul vs random permutation
+fig9      case studies: connected / Mogul / EMR answer classes
+========  ============================================================
+
+Run from the command line::
+
+    python -m repro.experiments fig1 --scale 0.5
+    python -m repro.experiments all --out results.md
+
+Each module exposes ``run(config) -> list[ExperimentTable]`` so tests and
+benchmarks can call the same code that produces the printed record in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentConfig, clear_caches, get_dataset, get_graph
+
+__all__ = ["ExperimentConfig", "clear_caches", "get_dataset", "get_graph"]

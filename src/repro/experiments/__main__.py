@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.experiments <exhibit>``.
+
+Examples::
+
+    python -m repro.experiments fig1
+    python -m repro.experiments fig5 --scale 0.5 --queries 20
+    python -m repro.experiments all --out results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.eval.harness import ExperimentTable
+from repro.experiments import ablations, fig1, fig2_3_4, fig5, fig6, fig7_table2, fig8, fig9, scaling
+from repro.experiments.common import ExperimentConfig
+
+EXHIBITS: dict[str, Callable[[ExperimentConfig], list[ExperimentTable]]] = {
+    "fig1": fig1.run,
+    "fig2": fig2_3_4.run,
+    "fig3": fig2_3_4.run,
+    "fig4": fig2_3_4.run,
+    "fig2-4": fig2_3_4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7_table2.run,
+    "table2": fig7_table2.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "ablations": ablations.run,
+    "scaling": scaling.run,
+}
+
+#: Canonical execution order for ``all`` (deduplicated run functions).
+_ALL_ORDER = ("fig1", "fig2-4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "scaling")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=sorted(set(EXHIBITS)) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+    parser.add_argument("--queries", type=int, default=10, help="queries per cell")
+    parser.add_argument("--k", type=int, default=5, help="answers per query")
+    parser.add_argument("--alpha", type=float, default=0.99, help="damping parameter")
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        help="restrict to these datasets (default: all four)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="append results as markdown to this file"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        scale=args.scale,
+        n_queries=args.queries,
+        k=args.k,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    if args.datasets:
+        config.datasets = tuple(args.datasets)
+
+    if args.exhibit == "all":
+        runners = [EXHIBITS[name] for name in _ALL_ORDER]
+    else:
+        runners = [EXHIBITS[args.exhibit]]
+
+    tables: list[ExperimentTable] = []
+    for runner in runners:
+        tables.extend(runner(config))
+
+    for table in tables:
+        print(table.to_text())
+        print()
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            for table in tables:
+                handle.write(table.to_markdown())
+                handle.write("\n\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Figure 8 — precomputation time, staged honestly.
+
+The paper claims (a) Mogul's precomputation is linear in n and (b) its
+node ordering cuts the Incomplete Cholesky time by up to 20% because the
+left side of the permuted matrix is sparse.  Our reimplementation stages
+the comparison explicitly:
+
+* **Algorithm 1** — clustering + ordering (pure Python here; the paper's
+  clustering is optimised C++, so this column is relatively heavier for us
+  but is paid once per database);
+* **ICF (Mogul order)** vs **ICF (random order)** — the factorization under
+  the two orderings.  The paper's 20% saving stems from a left-looking
+  dense-ish kernel; our sparse-dict kernel's work is ordering-insensitive
+  to first order, so we expect parity rather than a win and record the
+  measured ratio (EXPERIMENTS.md discusses this deviation).
+
+Linearity in n — the headline of the paper's Figure 8 — is checked across
+the four dataset sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.permutation import build_permutation
+from repro.eval.harness import ExperimentTable
+from repro.experiments.common import ExperimentConfig, get_graph
+from repro.experiments.fig6 import random_permutation_like
+from repro.linalg.ldl import incomplete_ldl
+from repro.ranking.normalize import ranking_matrix
+from repro.utils.timer import Timer
+
+
+def run(config: ExperimentConfig | None = None) -> list[ExperimentTable]:
+    """Regenerate Figure 8; one row per dataset with staged timings."""
+    config = config or ExperimentConfig()
+    table = ExperimentTable(
+        title="Figure 8: precomputation time [s]",
+        columns=[
+            "dataset",
+            "n",
+            "Algorithm 1",
+            "ICF (Mogul order)",
+            "ICF (random order)",
+            "Mogul total",
+        ],
+    )
+    for name in config.datasets:
+        graph = get_graph(name, config)
+        w = ranking_matrix(graph.adjacency, config.alpha)
+
+        alg1_timer = Timer()
+        with alg1_timer:
+            permutation = build_permutation(graph.adjacency)
+        w_mogul = permutation.permute_matrix(w)
+        icf_timer = Timer()
+        with icf_timer:
+            incomplete_ldl(w_mogul)
+
+        random_perm = random_permutation_like(permutation, seed=config.seed)
+        w_random = random_perm.permute_matrix(w)
+        random_timer = Timer()
+        with random_timer:
+            incomplete_ldl(w_random)
+
+        table.add_row(
+            name,
+            graph.n_nodes,
+            alg1_timer.elapsed,
+            icf_timer.elapsed,
+            random_timer.elapsed,
+            alg1_timer.elapsed + icf_timer.elapsed,
+        )
+    table.add_note(
+        "paper reports up to 20% ICF savings from the ordering; our sparse-"
+        "dict kernel is ordering-insensitive, so expect parity there — the "
+        "linearity of every column in n is the shape that must hold"
+    )
+    return [table]
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    for table in run():
+        print(table.to_text())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

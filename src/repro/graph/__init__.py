@@ -1,0 +1,28 @@
+"""k-NN graph substrate: neighbour search, heat-kernel weights, container.
+
+Manifold Ranking models the database as a k-NN graph (paper §3): one node
+per image, an undirected edge between k-nearest neighbours, and heat-kernel
+edge weights :math:`A_{ij} = \\exp(-d^2(u_i, u_j) / 2\\sigma^2)`.  This
+package builds that graph from raw feature vectors:
+
+* :func:`knn_search` — exact k-nearest neighbours (chunked brute force, or
+  the from-scratch KD-tree in :mod:`repro.graph.kdtree` for low dimensions).
+* :func:`heat_kernel_weights` — edge weighting with automatic bandwidth.
+* :func:`build_knn_graph` — the one-call entry point producing a
+  :class:`KnnGraph`.
+"""
+
+from repro.graph.adjacency import KnnGraph
+from repro.graph.build import build_knn_graph
+from repro.graph.heat_kernel import estimate_sigma, heat_kernel_weights
+from repro.graph.kdtree import KDTree
+from repro.graph.knn import knn_search
+
+__all__ = [
+    "KDTree",
+    "KnnGraph",
+    "build_knn_graph",
+    "estimate_sigma",
+    "heat_kernel_weights",
+    "knn_search",
+]

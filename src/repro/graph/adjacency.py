@@ -1,0 +1,90 @@
+"""The :class:`KnnGraph` container shared by every ranker in the library.
+
+A ``KnnGraph`` bundles the raw feature matrix with the symmetric weighted
+adjacency matrix of its k-NN graph, plus the construction metadata (k, the
+heat-kernel bandwidth, the symmetrisation mode).  Rankers only consume the
+adjacency matrix; the features are retained for out-of-sample queries
+(paper §4.6.2) and for dataset-level bookkeeping (labels live alongside in
+:mod:`repro.datasets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_symmetric
+
+
+@dataclass(frozen=True)
+class KnnGraph:
+    """An undirected, weighted k-NN graph over a feature matrix.
+
+    Attributes
+    ----------
+    features:
+        ``(n, m)`` feature matrix the graph was built from.
+    adjacency:
+        ``(n, n)`` symmetric CSR weight matrix with a zero diagonal
+        (no self loops, paper §3).
+    k:
+        Neighbour count used at construction.
+    sigma:
+        Heat-kernel bandwidth used for the edge weights (``0.0`` when the
+        graph uses binary weights).
+    mode:
+        ``"union"`` (edge if either endpoint lists the other among its k
+        nearest — the common k-NN-graph convention) or ``"mutual"``.
+    """
+
+    features: np.ndarray
+    adjacency: sp.csr_matrix
+    k: int
+    sigma: float
+    mode: str = "union"
+    _degrees: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        adj = self.adjacency
+        if adj.shape[0] != self.features.shape[0]:
+            raise ValueError(
+                f"adjacency is {adj.shape[0]}x{adj.shape[1]} but features have "
+                f"{self.features.shape[0]} rows"
+            )
+        check_symmetric(adj, "adjacency", tol=1e-8)
+        if np.any(adj.diagonal() != 0):
+            raise ValueError("k-NN graphs must not contain self loops")
+        if adj.nnz and np.any(adj.data < 0):
+            raise ValueError("edge weights must be non-negative")
+        object.__setattr__(self, "_degrees", np.asarray(adj.sum(axis=1)).ravel())
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (images) in the graph."""
+        return self.adjacency.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.adjacency.nnz // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Weighted degree vector ``C_ii = sum_j A_ij`` (paper Eq. 1)."""
+        return self._degrees
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Indices of nodes adjacent to ``node``."""
+        start, stop = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]
+        return self.adjacency.indices[start:stop]
+
+    def edge_weight(self, i: int, j: int) -> float:
+        """Weight of edge ``(i, j)`` (0.0 when absent)."""
+        return float(self.adjacency[i, j])
+
+    def subgraph_adjacency(self, nodes: np.ndarray) -> sp.csr_matrix:
+        """Adjacency restricted to ``nodes`` (used by the FMR blocks)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.adjacency[nodes][:, nodes].tocsr()

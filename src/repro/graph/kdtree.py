@@ -1,0 +1,152 @@
+"""A from-scratch KD-tree for exact k-nearest-neighbour queries.
+
+Median-split construction over the widest-spread dimension, array-based node
+storage, and best-first descent with a bounded max-heap per query.  Exactness
+is guaranteed by the usual hypersphere/hyperplane pruning test; the test
+suite cross-checks every query against brute force.
+
+The tree is the low-dimensional engine behind :func:`repro.graph.knn_search`
+and also serves the out-of-sample path (paper §4.6.2), where neighbour
+queries against a single cluster's features are frequent and small.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _Node:
+    """One KD-tree node; leaves keep point indices, splits keep a plane."""
+
+    indices: np.ndarray | None = None  # leaf payload
+    split_dim: int = -1
+    split_value: float = 0.0
+    left: int = -1  # child node ids
+    right: int = -1
+
+
+class KDTree:
+    """Exact k-NN index over an ``(n, m)`` point matrix.
+
+    Parameters
+    ----------
+    points:
+        Dense feature matrix; a float64 copy is kept for query-time
+        distance evaluation.
+    leaf_size:
+        Points per leaf before splitting stops.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(f"points must be a non-empty 2-D array, got {points.shape}")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.points = points
+        self.leaf_size = leaf_size
+        self._nodes: list[_Node] = []
+        self._build(np.arange(points.shape[0], dtype=np.int64))
+
+    # -- construction --------------------------------------------------
+
+    def _build(self, indices: np.ndarray) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append(_Node())
+        if indices.shape[0] <= self.leaf_size:
+            self._nodes[node_id].indices = indices
+            return node_id
+        subset = self.points[indices]
+        spreads = subset.max(axis=0) - subset.min(axis=0)
+        dim = int(np.argmax(spreads))
+        if spreads[dim] == 0.0:  # all duplicates: cannot split further
+            self._nodes[node_id].indices = indices
+            return node_id
+        values = subset[:, dim]
+        order = np.argsort(values, kind="stable")
+        mid = indices.shape[0] // 2
+        split_value = float(values[order[mid]])
+        left_idx = indices[order[:mid]]
+        right_idx = indices[order[mid:]]
+        node = self._nodes[node_id]
+        node.split_dim = dim
+        node.split_value = split_value
+        node.left = self._build(left_idx)
+        node.right = self._build(right_idx)
+        return node_id
+
+    # -- queries -------------------------------------------------------
+
+    def query(
+        self,
+        queries: np.ndarray,
+        k: int,
+        exclude_self: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """k nearest neighbours for each query row.
+
+        ``exclude_self`` drops a neighbour at distance zero with index equal
+        to the query's row position — the convention used when the queries
+        *are* the indexed points (k-NN graph construction).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.points.shape[1]:
+            raise ValueError(
+                f"queries must have {self.points.shape[1]} columns, got {queries.shape[1]}"
+            )
+        limit = self.points.shape[0] - (1 if exclude_self else 0)
+        if k > limit:
+            raise ValueError(f"k={k} exceeds the {limit} available neighbours")
+        nbr_idx = np.empty((queries.shape[0], k), dtype=np.int64)
+        nbr_dist = np.empty((queries.shape[0], k), dtype=np.float64)
+        for row, query in enumerate(queries):
+            skip = row if exclude_self else -1
+            idx, dist = self._query_one(query, k, skip)
+            nbr_idx[row] = idx
+            nbr_dist[row] = dist
+        return nbr_idx, nbr_dist
+
+    def _query_one(
+        self, query: np.ndarray, k: int, skip: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Max-heap of (-distance^2, index) keeping the k best so far.
+        heap: list[tuple[float, int]] = []
+
+        def consider_leaf(indices: np.ndarray) -> None:
+            diffs = self.points[indices] - query
+            d2 = np.einsum("ij,ij->i", diffs, diffs)
+            for idx, dist2 in zip(indices, d2):
+                if idx == skip:
+                    continue
+                if len(heap) < k:
+                    heapq.heappush(heap, (-dist2, int(idx)))
+                elif -dist2 > heap[0][0]:
+                    heapq.heapreplace(heap, (-dist2, int(idx)))
+
+        def worst() -> float:
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        def descend(node_id: int) -> None:
+            node = self._nodes[node_id]
+            if node.indices is not None:
+                consider_leaf(node.indices)
+                return
+            diff = query[node.split_dim] - node.split_value
+            near, far = (node.right, node.left) if diff >= 0 else (node.left, node.right)
+            descend(near)
+            # Only cross the plane if the hypersphere of the current worst
+            # candidate intersects the far half-space.
+            if diff * diff < worst():
+                descend(far)
+
+        descend(0)
+        best = sorted(((-neg_d2, idx) for neg_d2, idx in heap))
+        idx = np.fromiter((i for _, i in best), dtype=np.int64, count=len(best))
+        dist = np.sqrt(np.fromiter((d for d, _ in best), dtype=np.float64, count=len(best)))
+        return idx, dist

@@ -1,0 +1,104 @@
+"""Elimination tree and row-pattern reachability for sparse Cholesky.
+
+The Modified (complete) Cholesky factorization of paper §4.6.1 introduces
+fill-in, so the non-zero pattern of each factor row must be predicted before
+numeric work.  The classic tools are:
+
+* the *elimination tree* (``parent[j]`` = first row above ``j`` whose factor
+  row touches column ``j``), and
+* *ereach*, which walks the tree to enumerate — in topological order — the
+  columns participating in one factor row.
+
+Both follow the standard algorithms (Davis, "Direct Methods for Sparse
+Linear Systems", §4): union-find-style path compression for the tree and
+marked upward walks for the reach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def elimination_tree(pattern: sp.csr_matrix) -> np.ndarray:
+    """Compute the elimination tree of a symmetric sparsity pattern.
+
+    Parameters
+    ----------
+    pattern:
+        Square CSR matrix; only the structure of its lower triangle is used.
+        The matrix is assumed structurally symmetric (true for every graph
+        matrix in this library).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``parent`` array of length n; ``parent[j] == -1`` marks a root.
+    """
+    n = pattern.shape[0]
+    if pattern.shape[0] != pattern.shape[1]:
+        raise ValueError(f"pattern must be square, got shape {pattern.shape}")
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    indptr, indices = pattern.indptr, pattern.indices
+    for k in range(n):
+        for p in range(indptr[k], indptr[k + 1]):
+            i = indices[p]
+            if i >= k:
+                continue
+            # Walk from i to the root of its current subtree, compressing
+            # the path through `ancestor` as we go.
+            while i != -1 and i != k:
+                next_i = ancestor[i]
+                ancestor[i] = k
+                if next_i == -1:
+                    parent[i] = k
+                i = next_i
+    return parent
+
+
+def ereach(
+    pattern: sp.csr_matrix,
+    k: int,
+    parent: np.ndarray,
+    marks: np.ndarray,
+) -> list[int]:
+    """Columns of row ``k`` of the complete Cholesky factor, in topological order.
+
+    Implements the ``cs_ereach`` walk: for every structural non-zero
+    ``(k, j)`` with ``j < k``, climb the elimination tree from ``j`` towards
+    ``k``, collecting unvisited nodes.  The returned list is ordered so that
+    each column appears after all tree descendants that also appear — the
+    order the numeric up-looking solve requires.
+
+    Parameters
+    ----------
+    pattern:
+        CSR pattern of the original matrix (structurally symmetric).
+    k:
+        Row whose factor pattern is requested.
+    parent:
+        Elimination tree from :func:`elimination_tree`.
+    marks:
+        Integer scratch array of length n.  ``marks[j] == k`` flags ``j`` as
+        visited for this row; callers reuse the array across rows to avoid
+        re-allocation (initialise with ``-1``).
+    """
+    reach: list[int] = []
+    stack: list[int] = []
+    marks[k] = k
+    indptr, indices = pattern.indptr, pattern.indices
+    for p in range(indptr[k], indptr[k + 1]):
+        j = indices[p]
+        if j >= k:
+            continue
+        # Climb from j towards the root until an already-visited node.
+        while marks[j] != k:
+            stack.append(j)
+            marks[j] = k
+            j = parent[j]
+        # Unwind: nodes discovered closest to the root must come last.
+        while stack:
+            reach.append(stack.pop())
+    reach.sort()
+    return reach

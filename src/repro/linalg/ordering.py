@@ -1,0 +1,156 @@
+"""Classic sparse-matrix orderings, for comparison with Algorithm 1.
+
+The paper's permutation problem (minimise Incomplete Cholesky error,
+Theorem 1: NP-complete by reduction from minimum fill-in) sits in a long
+line of sparse-matrix reordering heuristics.  This module implements the
+standard baseline of that field from scratch:
+
+* :func:`reverse_cuthill_mckee` — BFS levelling from a peripheral vertex,
+  neighbours visited in ascending degree, order reversed; the classic
+  bandwidth-minimising ordering (Cuthill & McKee 1969 / George 1971).
+* :func:`bandwidth` / :func:`profile` — the quantities RCM optimises,
+  used by tests and by the Figure 6 style comparisons.
+
+RCM produces a *banded* matrix; Algorithm 1 produces a *bordered block
+diagonal* one.  Both beat a random ordering for ICF, but only the block
+structure supports Mogul's cluster-restricted substitution (Lemmas 4/5)
+and bound pruning — which is precisely the paper's design point, and the
+`bench_fig8_precompute`/`experiments.fig6` comparisons make it visible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_square, check_symmetric
+
+
+def reverse_cuthill_mckee(adjacency: sp.spmatrix) -> np.ndarray:
+    """Compute the RCM ordering of a symmetric sparse matrix.
+
+    Returns ``order`` such that ``order[position] = original node``, the
+    same convention as :class:`repro.core.Permutation.order`.  Each
+    connected component is started from a pseudo-peripheral vertex found
+    by repeated BFS; components are processed in ascending order of their
+    smallest node id, so the result is deterministic.
+    """
+    adjacency = check_symmetric(adjacency.tocsr(), "adjacency", tol=1e-8)
+    n = adjacency.shape[0]
+    indptr, indices = adjacency.indptr, adjacency.indices
+    degrees = np.diff(indptr)
+
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for start in range(n):
+        if visited[start]:
+            continue
+        root = _pseudo_peripheral(start, indptr, indices, degrees, visited)
+        order.extend(_cuthill_mckee_component(root, indptr, indices, degrees, visited))
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def _cuthill_mckee_component(
+    root: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    visited: np.ndarray,
+) -> list[int]:
+    """BFS from ``root``, neighbours in ascending (degree, id) order."""
+    component: list[int] = []
+    queue: deque[int] = deque([root])
+    visited[root] = True
+    while queue:
+        node = queue.popleft()
+        component.append(node)
+        neighbors = [
+            j
+            for j in indices[indptr[node] : indptr[node + 1]]
+            if not visited[j] and j != node
+        ]
+        neighbors.sort(key=lambda j: (degrees[j], j))
+        for j in neighbors:
+            visited[j] = True
+            queue.append(j)
+    return component
+
+
+def _pseudo_peripheral(
+    start: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    visited: np.ndarray,
+) -> int:
+    """George-Liu style pseudo-peripheral vertex of ``start``'s component.
+
+    Repeated BFS: move to a minimum-degree vertex of the last level until
+    the eccentricity stops growing.  ``visited`` is only read here.
+    """
+    current = start
+    last_depth = -1
+    for _ in range(16):  # eccentricity growth stalls long before this
+        levels = _bfs_levels(current, indptr, indices, visited)
+        depth = int(levels.max())  # root has level 0, unreached stay -1
+        if depth <= last_depth:
+            break
+        last_depth = depth
+        last_level = np.flatnonzero(levels == depth)
+        current = int(min(last_level, key=lambda j: (degrees[j], j)))
+    return current
+
+
+def _bfs_levels(
+    root: int, indptr: np.ndarray, indices: np.ndarray, visited: np.ndarray
+) -> np.ndarray:
+    """BFS depths from ``root`` over unvisited nodes (-1 = unreached).
+
+    Unreached nodes keep -1 so the caller never confuses them with the
+    root's own level — the peripheral search must stay inside the
+    component it started in.
+    """
+    n = visited.shape[0]
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[root] = 0
+    queue: deque[int] = deque([root])
+    while queue:
+        node = queue.popleft()
+        for j in indices[indptr[node] : indptr[node + 1]]:
+            if levels[j] < 0 and not visited[j] and j != node:
+                levels[j] = levels[node] + 1
+                queue.append(j)
+    return levels
+
+
+def bandwidth(matrix: sp.spmatrix) -> int:
+    """The matrix bandwidth ``max |i - j|`` over non-zeros (0 if empty)."""
+    matrix = check_square(matrix, "matrix").tocoo()
+    if matrix.nnz == 0:
+        return 0
+    return int(np.max(np.abs(matrix.row - matrix.col)))
+
+
+def profile(matrix: sp.spmatrix) -> int:
+    """The (lower) envelope profile: ``sum_i (i - min_j{ j : A_ij != 0 })``.
+
+    The quantity envelope methods minimise; smaller = tighter rows.
+    """
+    matrix = check_square(matrix, "matrix").tocsr()
+    total = 0
+    for i in range(matrix.shape[0]):
+        row = matrix.indices[matrix.indptr[i] : matrix.indptr[i + 1]]
+        lower = row[row <= i]
+        if lower.size:
+            total += i - int(lower.min())
+    return total
+
+
+def apply_order(matrix: sp.spmatrix, order: np.ndarray) -> sp.csr_matrix:
+    """Symmetrically permute ``matrix`` by ``order`` (``P M P^T``)."""
+    matrix = matrix.tocsr()
+    permuted = matrix[order][:, order].tocsr()
+    permuted.sort_indices()
+    return permuted

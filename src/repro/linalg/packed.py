@@ -1,0 +1,144 @@
+"""Prepacked unit-triangular solves for repeated right-hand sides.
+
+:func:`scipy.sparse.linalg.spsolve_triangular` spends the bulk of its time
+on per-call validation, copies and format conversion — two orders of
+magnitude more than the compiled substitution itself for the small
+cluster-sized systems Mogul solves per query (Lemmas 4/5 restrict each
+query to a handful of blocks).  :class:`PackedUnitLower` does all of that
+work **once**: it packs a unit-lower-triangular block into the exact CSC
+arrays SuperLU's ``gstrs`` kernel consumes and then answers each solve with
+a single compiled call.
+
+One packed block serves both substitution directions, because Mogul's back
+substitution runs on :math:`U = L^T` (paper Eq. 5) and ``gstrs`` can apply
+the transposed operator:
+
+* :meth:`PackedUnitLower.solve_lower` — forward substitution
+  :math:`(I + L_{strict})\\,z = b` (paper Eq. 4 after diagonal scaling).
+* :meth:`PackedUnitLower.solve_upper` — back substitution
+  :math:`(I + L_{strict})^T\\,z = b`.
+
+``gstrs`` is a private SciPy API, so a pure public-API fallback
+(``spsolve_triangular``) is kept behind the same interface; construction
+chooses automatically and tests force the fallback to assert both tiers
+agree to machine precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+try:  # pragma: no cover - exercised implicitly by every solve
+    from scipy.sparse._sputils import safely_cast_index_arrays
+    from scipy.sparse.linalg._dsolve import _superlu
+
+    HAVE_SUPERLU_GSTRS = True
+except ImportError:  # pragma: no cover - depends on scipy build
+    HAVE_SUPERLU_GSTRS = False
+
+
+class PackedUnitLower:
+    """A unit-lower-triangular block packed for repeated fast solves.
+
+    Parameters
+    ----------
+    strict_lower:
+        Sparse matrix holding the **strict** lower triangle of the block
+        (the unit diagonal is implied, matching
+        :class:`repro.linalg.LDLFactors` storage).  Anything on or above
+        the diagonal raises.
+    use_superlu:
+        ``True`` forces the SuperLU kernel (raises if unavailable),
+        ``False`` forces the public spsolve_triangular fallback, ``None``
+        picks SuperLU when present.
+    """
+
+    def __init__(self, strict_lower: sp.spmatrix, use_superlu: bool | None = None):
+        strict_lower = strict_lower.tocsr()
+        rows, cols = strict_lower.shape
+        if rows != cols:
+            raise ValueError(f"block must be square, got shape {strict_lower.shape}")
+        coo = strict_lower.tocoo()
+        if np.any(coo.row <= coo.col) and coo.nnz:
+            # Explicit zeros on/above the diagonal are tolerated; values not.
+            bad = coo.data[coo.row <= coo.col]
+            if np.any(bad != 0.0):
+                raise ValueError("strict_lower has entries on or above the diagonal")
+        self.n = rows
+        if use_superlu is None:
+            use_superlu = HAVE_SUPERLU_GSTRS
+        elif use_superlu and not HAVE_SUPERLU_GSTRS:  # pragma: no cover
+            raise RuntimeError("SuperLU gstrs kernel is not available in this scipy")
+        self.uses_superlu = bool(use_superlu) and self.n > 1
+
+        if self.n <= 1:
+            # 0x0 and 1x1 unit systems are identities; no packing needed.
+            self._unit_csc = None
+            return
+
+        unit = (strict_lower + sp.identity(self.n, format="csr")).tocsc()
+        unit.sum_duplicates()
+        unit.sort_indices()
+        unit = unit.astype(np.float64)
+        if self.uses_superlu:
+            indices, indptr = safely_cast_index_arrays(unit, np.intc, "SuperLU")
+            self._l_data = np.ascontiguousarray(unit.data)
+            self._l_indices = np.ascontiguousarray(indices)
+            self._l_indptr = np.ascontiguousarray(indptr)
+            self._l_nnz = unit.nnz
+            # gstrs wants an (empty) U factor alongside L.
+            self._u_data = np.empty(0, dtype=np.float64)
+            self._u_index = np.empty(0, dtype=np.intc)
+            self._u_indptr = np.zeros(self.n + 1, dtype=np.intc)
+            self._unit_csc = None
+        else:
+            self._unit_csc = unit.tocsr()
+            self._unit_csc_t = self._unit_csc.T.tocsr()
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zeros including the unit diagonal."""
+        if self.n <= 1:
+            return self.n
+        if self.uses_superlu:
+            return int(self._l_nnz)
+        return self._unit_csc.nnz
+
+    def solve_lower(self, b: np.ndarray) -> np.ndarray:
+        """Solve :math:`(I + L_{strict})\\,z = b` (forward substitution)."""
+        return self._solve(b, trans="N")
+
+    def solve_upper(self, b: np.ndarray) -> np.ndarray:
+        """Solve :math:`(I + L_{strict})^T z = b` (back substitution)."""
+        return self._solve(b, trans="T")
+
+    def _solve(self, b: np.ndarray, trans: str) -> np.ndarray:
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise ValueError(f"b must have shape ({self.n},), got {b.shape}")
+        if self.n <= 1:
+            return b.copy()
+        if self.uses_superlu:
+            x, info = _superlu.gstrs(
+                trans,
+                self.n,
+                self._l_nnz,
+                self._l_data,
+                self._l_indices,
+                self._l_indptr,
+                self.n,
+                0,
+                self._u_data,
+                self._u_index,
+                self._u_indptr,
+                b.copy(),
+            )
+            if info:  # pragma: no cover - unit diagonal cannot be singular
+                raise np.linalg.LinAlgError("triangular solve reported singularity")
+            return x
+        matrix = self._unit_csc if trans == "N" else self._unit_csc_t
+        return spla.spsolve_triangular(
+            matrix, b, lower=(trans == "N"), unit_diagonal=True
+        )

@@ -1,0 +1,35 @@
+"""The Manifold Ranking problem and its reference solvers.
+
+Given the k-NN graph adjacency ``A`` with degree matrix ``C`` and damping
+``alpha``, Manifold Ranking scores are the minimiser of the cost function
+(paper Eq. 1), with closed form (paper Eq. 2):
+
+.. math::
+    x^* = (1-\\alpha)\\,(I - \\alpha C^{-1/2} A C^{-1/2})^{-1} q
+
+This package provides the shared problem plumbing plus the two classical
+solvers the paper compares against:
+
+* :class:`ExactRanker` — the "Inverse" baseline: dense O(n^3)/O(n^2) solve.
+* :class:`IterativeRanker` — Zhou et al.'s power iteration, O(n t).
+
+Mogul itself lives in :mod:`repro.core`; EMR and FMR in
+:mod:`repro.baselines`.  All of them implement the common
+:class:`repro.ranking.base.Ranker` interface.
+"""
+
+from repro.ranking.base import Ranker, TopKResult
+from repro.ranking.exact import ExactRanker, cost_function
+from repro.ranking.iterative import IterativeRanker
+from repro.ranking.normalize import query_vector, ranking_matrix, symmetric_normalize
+
+__all__ = [
+    "ExactRanker",
+    "IterativeRanker",
+    "Ranker",
+    "TopKResult",
+    "cost_function",
+    "query_vector",
+    "ranking_matrix",
+    "symmetric_normalize",
+]

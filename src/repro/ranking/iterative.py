@@ -1,0 +1,67 @@
+"""The "Iterative" baseline: Zhou et al.'s fixed-point iteration [26].
+
+Repeats :math:`x \\leftarrow \\alpha S x + (1-\\alpha) q` until the update
+residual drops below a tolerance (the paper's experiments terminate at
+``1e-4``).  Each sweep costs one sparse mat-vec, i.e. O(n) on a k-NN graph,
+for a total of O(n t).  The fixed point is the exact solution, but any
+finite ``t`` leaves an approximation error — this is the trade-off Mogul
+removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import KnnGraph
+from repro.ranking.base import DEFAULT_ALPHA, Ranker
+from repro.ranking.normalize import query_vector, symmetric_normalize
+
+#: Residual threshold used in the paper's experiments (§5.1).
+DEFAULT_TOLERANCE = 1e-4
+
+
+class IterativeRanker(Ranker):
+    """Power-iteration Manifold Ranking (Zhou et al. [26])."""
+
+    name = "Iterative"
+
+    def __init__(
+        self,
+        graph: KnnGraph,
+        alpha: float = DEFAULT_ALPHA,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_iterations: int = 10_000,
+    ):
+        super().__init__(graph, alpha)
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self._s = symmetric_normalize(graph.adjacency)
+        #: Iterations used by the most recent :meth:`scores` call.
+        self.last_iterations = 0
+
+    def scores(self, query: int) -> np.ndarray:
+        """Iterate to the requested residual and return the score vector."""
+        self._check_query(query)
+        q = query_vector(self.n_nodes, query)
+        return self.scores_for_vector(q)
+
+    def scores_for_vector(self, q: np.ndarray) -> np.ndarray:
+        """Iterate from an arbitrary (e.g. multi-seed) query vector."""
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (self.n_nodes,):
+            raise ValueError(f"q must have shape ({self.n_nodes},), got {q.shape}")
+        base = (1.0 - self.alpha) * q
+        x = base.copy()
+        for iteration in range(1, self.max_iterations + 1):
+            x_next = self.alpha * (self._s @ x) + base
+            residual = float(np.max(np.abs(x_next - x)))
+            x = x_next
+            if residual < self.tolerance:
+                self.last_iterations = iteration
+                return x
+        self.last_iterations = self.max_iterations
+        return x

@@ -1,0 +1,57 @@
+"""Graph normalisation and query-vector helpers shared by all rankers.
+
+Symbols follow the paper's Table 1: ``A`` is the k-NN adjacency matrix,
+``C`` the diagonal degree matrix, ``S = C^{-1/2} A C^{-1/2}`` the
+symmetrically normalised adjacency, and ``W = I - alpha * S`` the SPD system
+matrix whose (approximate) factorizations drive every method in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import check_alpha, check_symmetric
+
+
+def symmetric_normalize(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Return :math:`S = C^{-1/2} A C^{-1/2}`.
+
+    Isolated nodes (zero degree) keep zero rows/columns — they simply never
+    receive score mass, matching the behaviour of the closed form.
+
+    ``S`` is symmetric with spectral radius at most 1, which makes
+    ``W = I - alpha S`` positive definite for any ``0 < alpha < 1``; Mogul's
+    factorizations rely on this.
+    """
+    adjacency = check_symmetric(adjacency.tocsr(), "adjacency", tol=1e-8)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+    d_half = sp.diags(inv_sqrt)
+    normalized = (d_half @ adjacency @ d_half).tocsr()
+    normalized.sort_indices()
+    return normalized
+
+
+def ranking_matrix(adjacency: sp.spmatrix, alpha: float) -> sp.csr_matrix:
+    """Return the SPD system matrix :math:`W = I - \\alpha S` (paper §4.2.1).
+
+    The exact Manifold Ranking scores satisfy ``W x* = (1 - alpha) q``.
+    """
+    alpha = check_alpha(alpha)
+    s = symmetric_normalize(adjacency)
+    n = s.shape[0]
+    w = (sp.identity(n, format="csr") - s.multiply(alpha)).tocsr()
+    w.sort_indices()
+    return w
+
+
+def query_vector(n: int, query: int) -> np.ndarray:
+    """The one-hot query vector ``q`` (``q_q = 1``, paper Table 1)."""
+    if not 0 <= query < n:
+        raise ValueError(f"query index {query} out of range for n={n}")
+    q = np.zeros(n, dtype=np.float64)
+    q[query] = 1.0
+    return q

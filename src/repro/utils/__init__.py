@@ -1,0 +1,30 @@
+"""Small shared utilities: validation, deterministic RNG, and timing.
+
+These helpers are deliberately dependency-light; every other subpackage in
+:mod:`repro` may import from here, but this package imports nothing from the
+rest of the library.
+"""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timer import Timer, time_call
+from repro.utils.validation import (
+    check_alpha,
+    check_positive_int,
+    check_probability,
+    check_square,
+    check_symmetric,
+    check_vector,
+)
+
+__all__ = [
+    "Timer",
+    "as_rng",
+    "check_alpha",
+    "check_positive_int",
+    "check_probability",
+    "check_square",
+    "check_symmetric",
+    "check_vector",
+    "spawn_rngs",
+    "time_call",
+]

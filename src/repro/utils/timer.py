@@ -1,0 +1,65 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports wall-clock seconds (Figures 1, 4, 5, 7, 8 and Table 2);
+:class:`Timer` is the single primitive all of our experiment code uses so
+that measured sections are consistent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timer:
+    """Context manager accumulating wall-clock time over repeated sections.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per recorded lap (0.0 when no laps recorded)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Discard all recorded laps."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+def time_call(fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any) -> tuple[Any, float]:
+    """Call ``fn`` ``repeats`` times; return (last result, mean seconds)."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    timer = Timer()
+    result: Any = None
+    for _ in range(repeats):
+        with timer:
+            result = fn(*args, **kwargs)
+    return result, timer.mean

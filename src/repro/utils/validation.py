@@ -1,0 +1,66 @@
+"""Argument validation helpers shared across the library.
+
+All helpers raise :class:`ValueError` (or :class:`TypeError` for outright
+wrong types) with messages that name the offending argument, so errors
+surface close to the user's call site instead of deep inside numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_alpha(alpha: float) -> float:
+    """Validate the Manifold Ranking damping parameter ``0 < alpha < 1``."""
+    alpha = float(alpha)
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must satisfy 0 < alpha < 1, got {alpha}")
+    return alpha
+
+
+def check_vector(x: np.ndarray, name: str, size: int | None = None) -> np.ndarray:
+    """Validate a 1-D float vector, optionally of an exact size."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {x.shape}")
+    if size is not None and x.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {x.shape[0]}")
+    return x
+
+
+def check_square(matrix, name: str):
+    """Validate that ``matrix`` is 2-D square (dense or sparse)."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_symmetric(matrix, name: str, tol: float = 1e-10):
+    """Validate that a dense or sparse matrix is symmetric within ``tol``."""
+    check_square(matrix, name)
+    if sp.issparse(matrix):
+        diff = (matrix - matrix.T).tocoo()
+        max_dev = np.max(np.abs(diff.data)) if diff.nnz else 0.0
+    else:
+        max_dev = float(np.max(np.abs(matrix - matrix.T))) if matrix.size else 0.0
+    if max_dev > tol:
+        raise ValueError(f"{name} must be symmetric; max asymmetry {max_dev:.3e} > tol {tol:.3e}")
+    return matrix

@@ -1,0 +1,111 @@
+"""Shared fixtures and helpers for the test suite.
+
+Conventions:
+
+* Graph-level fixtures are module- or session-scoped where construction is
+  expensive; they must never be mutated by tests.
+* ``graph_from_adjacency`` builds a :class:`repro.graph.KnnGraph` around an
+  arbitrary symmetric adjacency matrix, letting structural tests bypass
+  feature-space k-NN construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.adjacency import KnnGraph
+from repro.graph.build import build_knn_graph
+
+
+def graph_from_adjacency(
+    adjacency: sp.spmatrix,
+    features: np.ndarray | None = None,
+    k: int = 5,
+    sigma: float = 1.0,
+) -> KnnGraph:
+    """Wrap a hand-built adjacency in a KnnGraph (features optional)."""
+    adjacency = adjacency.tocsr().astype(np.float64)
+    n = adjacency.shape[0]
+    if features is None:
+        features = np.random.default_rng(0).normal(size=(n, 4))
+    return KnnGraph(
+        features=np.asarray(features, dtype=np.float64),
+        adjacency=adjacency,
+        k=k,
+        sigma=sigma,
+    )
+
+
+def random_symmetric_adjacency(
+    n: int, density: float = 0.15, seed: int = 0, connected_path: bool = True
+) -> sp.csr_matrix:
+    """Random symmetric non-negative adjacency with zero diagonal.
+
+    ``connected_path`` threads a Hamiltonian path so no node is isolated,
+    which keeps degree normalisation non-degenerate.
+    """
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n))
+    mask = rng.random((n, n)) < density
+    upper = np.triu(dense * mask, k=1)
+    if connected_path and n > 1:
+        idx = np.arange(n - 1)
+        upper[idx, idx + 1] = rng.random(n - 1) * 0.5 + 0.5
+    sym = upper + upper.T
+    return sp.csr_matrix(sym)
+
+
+def three_cluster_features(
+    per_cluster: int = 40, dim: int = 8, separation: float = 6.0, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Three well-separated Gaussian clusters plus labels."""
+    rng = np.random.default_rng(seed)
+    blocks, labels = [], []
+    for c in range(3):
+        center = np.zeros(dim)
+        center[c % dim] = separation * (c + 1)
+        blocks.append(center + rng.normal(scale=0.7, size=(per_cluster, dim)))
+        labels.extend([c] * per_cluster)
+    return np.vstack(blocks), np.asarray(labels, dtype=np.int64)
+
+
+@pytest.fixture(scope="session")
+def clustered_graph() -> KnnGraph:
+    """k-NN graph over three well-separated Gaussian clusters (n=120)."""
+    features, _ = three_cluster_features()
+    return build_knn_graph(features, k=5)
+
+
+@pytest.fixture(scope="session")
+def clustered_labels() -> np.ndarray:
+    """Ground-truth labels matching ``clustered_graph``."""
+    _, labels = three_cluster_features()
+    return labels
+
+
+@pytest.fixture(scope="session")
+def bridged_graph() -> KnnGraph:
+    """Two clusters joined by bridge nodes — guarantees a non-empty border.
+
+    Cluster A = nodes 0-39, cluster B = 40-79, bridges = 80-84 placed on
+    the segment between the cluster centres so their k-NN edges cross.
+    """
+    rng = np.random.default_rng(3)
+    dim = 6
+    a = rng.normal(scale=0.5, size=(40, dim))
+    b = rng.normal(scale=0.5, size=(40, dim)) + 4.0
+    bridges = rng.normal(scale=0.3, size=(5, dim)) + 2.0
+    features = np.vstack([a, b, bridges])
+    return build_knn_graph(features, k=4)
+
+
+@pytest.fixture(scope="session")
+def small_ring_graph() -> KnnGraph:
+    """A single noisy circle: the manifold case ICF handles almost exactly."""
+    rng = np.random.default_rng(7)
+    angles = np.linspace(0, 2 * np.pi, 60, endpoint=False)
+    features = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    features = features + rng.normal(scale=0.02, size=features.shape)
+    return build_knn_graph(features, k=4)

@@ -1,0 +1,142 @@
+"""End-to-end tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDatasets:
+    def test_lists_all_four(self, capsys):
+        code, out, _ = run_cli(capsys, "datasets", "--scale", "0.2")
+        assert code == 0
+        for name in ("coil", "pubfig", "nuswide", "inria"):
+            assert name in out
+
+
+class TestBuildInfoSearch:
+    @pytest.fixture(scope="class")
+    def index_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "coil.idx.npz"
+        code = main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_build_writes_file(self, index_path):
+        assert index_path.exists()
+
+    def test_info(self, index_path, capsys):
+        code, out, _ = run_cli(capsys, "info", str(index_path))
+        assert code == 0
+        assert "nodes:" in out
+        assert "incomplete" in out
+
+    def test_search_single(self, index_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "3", "-k", "4",
+        )
+        assert code == 0
+        assert out.count("node") >= 4
+
+    def test_search_multi_seed(self, index_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "3", "--query", "4", "-k", "4",
+        )
+        assert code == 0
+        assert "[3, 4]" in out
+
+    def test_search_from_npy_features(self, index_path, capsys, tmp_path):
+        from repro.datasets.registry import load_dataset
+
+        features = load_dataset("coil", scale=0.2, seed=0).features
+        npy = tmp_path / "features.npy"
+        np.save(npy, features)
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--features", str(npy),
+            "--query", "3", "-k", "2",
+        )
+        assert code == 0
+
+
+class TestErrors:
+    def test_bad_index_path_is_reported(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "search", str(tmp_path / "missing.npz"),
+            "--dataset", "coil", "--query", "0",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_mismatched_features_rejected(self, capsys, tmp_path):
+        index = tmp_path / "tiny.idx.npz"
+        assert main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(index)]
+        ) == 0
+        code, _, err = run_cli(
+            capsys,
+            "search", str(index),
+            "--dataset", "coil", "--scale", "0.3",  # different size
+            "--query", "0",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_build_fill_level(self, capsys, tmp_path):
+        plain = tmp_path / "plain.idx.npz"
+        filled = tmp_path / "filled.idx.npz"
+        assert main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(plain)]
+        ) == 0
+        assert main(
+            [
+                "build", "--dataset", "coil", "--scale", "0.2",
+                "--fill-level", "2", "--out", str(filled),
+            ]
+        ) == 0
+        from repro.core.index import MogulIndex
+
+        assert (
+            MogulIndex.load(filled).factors.nnz
+            >= MogulIndex.load(plain).factors.nnz
+        )
+
+    def test_info_verbose(self, capsys, tmp_path):
+        index = tmp_path / "v.idx.npz"
+        assert main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(index)]
+        ) == 0
+        code, out, _ = run_cli(capsys, "info", str(index), "--verbose")
+        assert code == 0
+        assert "saturated bounds" in out
+        assert "border" in out
+
+    def test_build_exact_flag(self, capsys, tmp_path):
+        index = tmp_path / "exact.idx.npz"
+        code = main(
+            [
+                "build", "--dataset", "coil", "--scale", "0.2",
+                "--exact", "--out", str(index),
+            ]
+        )
+        assert code == 0
+        _, out, _ = run_cli(capsys, "info", str(index))
+        assert "complete" in out

@@ -1,0 +1,137 @@
+"""Tests for the vectorized bound table (repro.core.bounds.BoundsTable).
+
+The table must agree with the per-cluster reference
+(`ClusterBoundData.estimate`) to within floating-point summation order
+(the SpMV may sum border terms in a different order than ``np.dot``),
+and its overflow saturation must keep Lemma 7 intact (an infinite bound
+never prunes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    BoundsTable,
+    ClusterBoundData,
+    precompute_cluster_bounds,
+)
+from repro.core.index import MogulRanker
+from repro.core.permutation import build_permutation
+from repro.linalg.ldl import incomplete_ldl
+from repro.ranking.normalize import ranking_matrix
+
+
+@pytest.fixture(scope="module")
+def bound_parts(bridged_graph):
+    perm = build_permutation(bridged_graph.adjacency)
+    w = perm.permute_matrix(ranking_matrix(bridged_graph.adjacency, 0.95))
+    factors = incomplete_ldl(w)
+    bounds = precompute_cluster_bounds(factors, perm)
+    table = BoundsTable.from_bounds(bounds, perm.border_slice.start, perm.n_nodes)
+    return perm, factors, bounds, table
+
+
+class TestAgreement:
+    def test_matches_per_cluster_estimate(self, bound_parts):
+        perm, factors, bounds, table = bound_parts
+        rng = np.random.default_rng(0)
+        border_start = perm.border_slice.start
+        n = perm.n_nodes
+        for _ in range(5):
+            x_abs = np.abs(rng.normal(size=n))
+            vectorized = table.estimate_all(x_abs[border_start:])
+            for cid, bound in enumerate(bounds):
+                reference = bound.estimate(x_abs)
+                assert vectorized[cid] == pytest.approx(
+                    reference, rel=1e-12
+                ), f"cluster {cid}"
+
+    def test_zero_border_scores_give_zero_bounds(self, bound_parts):
+        perm, _, bounds, table = bound_parts
+        zeros = np.zeros(perm.n_nodes - perm.border_slice.start)
+        np.testing.assert_array_equal(
+            table.estimate_all(zeros), np.zeros(len(bounds))
+        )
+
+    def test_empty_bounds_tuple(self):
+        table = BoundsTable.from_bounds((), border_start=3, n=10)
+        assert table.estimate_all(np.ones(7)).shape == (0,)
+
+
+class TestGrowthFactor:
+    def test_growth_matches_log_space_definition(self):
+        bound = ClusterBoundData(
+            border_cols=np.asarray([5]),
+            border_maxima=np.asarray([0.5]),
+            internal_max=0.3,
+            size=10,
+        )
+        assert bound.growth == pytest.approx(math.exp(9 * math.log1p(0.3)))
+
+    def test_growth_saturates_to_inf(self):
+        bound = ClusterBoundData(
+            border_cols=np.asarray([0]),
+            border_maxima=np.asarray([1.0]),
+            internal_max=0.5,
+            size=10_000,
+        )
+        assert bound.growth == math.inf
+
+    def test_inf_growth_never_yields_nan(self):
+        bound = ClusterBoundData(
+            border_cols=np.asarray([0]),
+            border_maxima=np.asarray([1.0]),
+            internal_max=0.5,
+            size=10_000,
+        )
+        table = BoundsTable.from_bounds((bound,), border_start=0, n=4)
+        # zero border score * inf growth must be 0 (no answer there), not nan
+        np.testing.assert_array_equal(table.estimate_all(np.zeros(4)), [0.0])
+        # positive border score * inf growth is +inf (prunes nothing)
+        assert table.estimate_all(np.ones(4))[0] == math.inf
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        internal=st.floats(min_value=0.0, max_value=2.0),
+        size=st.integers(min_value=1, max_value=100),
+        score=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_bound_upper_bounds_geometric_sum(self, internal, size, score):
+        """The closed form X*(1+u)^(N-1) dominates the recursive chain of
+        Definition 2 (each node's estimate ≤ the cluster estimate)."""
+        bound = ClusterBoundData(
+            border_cols=np.asarray([0]),
+            border_maxima=np.asarray([1.0]),
+            internal_max=internal,
+            size=size,
+        )
+        x = np.asarray([score])
+        estimate = bound.estimate(x)
+        # chain: e_last = score; e_prev = (1+u) * e_next
+        chain = score
+        for _ in range(size - 1):
+            chain *= 1.0 + internal
+            if math.isinf(chain):
+                break
+        assert estimate >= chain or estimate == pytest.approx(chain, rel=1e-9)
+
+
+class TestPruningSafety:
+    def test_pruned_clusters_contain_no_answer(self, clustered_graph):
+        """End-to-end Lemma 7: compare Algorithm 2's pruning decisions
+        against the true approximate scores."""
+        ranker = MogulRanker(clustered_graph, alpha=0.95)
+        for query in (0, 40, 81):
+            result = ranker.top_k(query, 5)
+            full = ranker.scores(query)
+            full[query] = -np.inf
+            true_top = np.sort(full)[-5:]
+            np.testing.assert_allclose(
+                np.sort(result.scores), true_top, atol=1e-12
+            )

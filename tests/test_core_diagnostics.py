@@ -1,0 +1,81 @@
+"""Tests for the index health diagnostics (repro.core.diagnostics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import diagnose_index, expected_prune_rate
+from repro.core.index import MogulRanker
+
+
+@pytest.fixture(scope="module")
+def ranker(clustered_graph):
+    return MogulRanker(clustered_graph, alpha=0.95)
+
+
+class TestReport:
+    def test_basic_fields(self, ranker):
+        report = diagnose_index(ranker.index)
+        assert report.n_nodes == ranker.n_nodes
+        assert report.n_clusters == ranker.index.n_clusters
+        assert report.factor_nnz == ranker.index.factors.nnz
+        assert report.interior_min <= report.interior_median <= report.interior_max
+        assert report.nnz_per_node == pytest.approx(
+            report.factor_nnz / report.n_nodes
+        )
+        assert 0.0 <= report.border_fraction <= 1.0
+
+    def test_healthy_index_has_no_warnings(self, ranker):
+        report = diagnose_index(ranker.index)
+        assert report.warnings == ()
+
+    def test_to_text_mentions_key_numbers(self, ranker):
+        text = diagnose_index(ranker.index).to_text()
+        assert str(ranker.n_nodes) in text
+        assert "border" in text
+        assert "saturated" in text
+
+    def test_saturation_counted(self, ranker):
+        """An index whose interior bounds saturate (cluster far beyond the
+        overflow threshold) must be counted and warned about.  Saturation
+        needs clusters of thousands of nodes, so the bound table is
+        substituted directly instead of building such a graph."""
+        from dataclasses import replace
+
+        from repro.core.bounds import ClusterBoundData
+
+        saturated = tuple(
+            ClusterBoundData(
+                border_cols=bound.border_cols,
+                border_maxima=bound.border_maxima,
+                internal_max=0.5,
+                size=10_000,  # growth overflows -> inf
+            )
+            for bound in ranker.index.bounds
+        )
+        index = replace(ranker.index, bounds=saturated)
+        report = diagnose_index(index)
+        assert report.saturated_bounds == len(saturated)
+        assert any("saturated" in warning for warning in report.warnings)
+
+    def test_border_warning(self, clustered_graph):
+        """Alternating labels put every node on a cross-cluster edge, so
+        everything lands in the border."""
+        labels = np.arange(clustered_graph.n_nodes, dtype=np.int64) % 2
+        ranker = MogulRanker(clustered_graph, alpha=0.95, cluster_labels=labels)
+        report = diagnose_index(ranker.index)
+        assert report.border_fraction > 0.25
+        assert any("border" in warning for warning in report.warnings)
+
+
+class TestPruneRate:
+    def test_matches_last_stats(self, ranker):
+        queries = np.asarray([0, 40, 80])
+        rate = expected_prune_rate(ranker, queries, k=5)
+        assert 0.0 <= rate <= 1.0
+        # The clustered fixture prunes aggressively.
+        assert rate > 0.3
+
+    def test_empty_queries(self, ranker):
+        assert expected_prune_rate(ranker, []) == 0.0

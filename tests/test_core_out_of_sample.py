@@ -1,0 +1,205 @@
+"""Tests for out-of-sample queries (paper §4.6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import MogulRanker
+from repro.core.out_of_sample import build_query_seeds, nearest_cluster
+from repro.eval.metrics import p_at_k
+
+
+class TestNearestCluster:
+    def test_picks_closest_mean(self):
+        means = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        assert nearest_cluster(np.array([9.0, 1.0]), means) == 1
+        assert nearest_cluster(np.array([0.5, 0.5]), means) == 0
+        assert nearest_cluster(np.array([1.0, 11.0]), means) == 2
+
+
+class TestBuildQuerySeeds:
+    def test_seeds_come_from_nearest_cluster(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        index = ranker.index
+        feature = clustered_graph.features[0] + 0.01
+        seeds = build_query_seeds(
+            feature,
+            index.cluster_means,
+            index.cluster_members,
+            clustered_graph.features,
+            n_neighbors=3,
+            sigma=clustered_graph.sigma,
+        )
+        members = set(index.cluster_members[seeds.cluster].tolist())
+        assert set(seeds.nodes.tolist()) <= members
+        assert seeds.weights.shape == seeds.nodes.shape
+
+    def test_weights_normalised(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        index = ranker.index
+        seeds = build_query_seeds(
+            clustered_graph.features[5],
+            index.cluster_means,
+            index.cluster_members,
+            clustered_graph.features,
+            n_neighbors=4,
+            sigma=clustered_graph.sigma,
+        )
+        assert seeds.weights.sum() == pytest.approx(1.0)
+        assert np.all(seeds.weights > 0)
+
+    def test_uniform_fallback_without_sigma(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        index = ranker.index
+        seeds = build_query_seeds(
+            clustered_graph.features[5],
+            index.cluster_means,
+            index.cluster_members,
+            clustered_graph.features,
+            n_neighbors=3,
+            sigma=0.0,
+        )
+        np.testing.assert_allclose(seeds.weights, 1.0 / 3.0)
+
+    def test_neighbor_count_clamped_to_cluster_size(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        index = ranker.index
+        seeds = build_query_seeds(
+            clustered_graph.features[5],
+            index.cluster_means,
+            index.cluster_members,
+            clustered_graph.features,
+            n_neighbors=10_000,
+            sigma=1.0,
+        )
+        assert seeds.nodes.size <= max(m.size for m in index.cluster_members)
+
+
+class TestMultiProbe:
+    def test_nearest_clusters_ordering(self):
+        from repro.core.out_of_sample import nearest_clusters
+
+        means = np.asarray([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        feature = np.asarray([0.9, 0.0])
+        probed = nearest_clusters(feature, means, 2)
+        np.testing.assert_array_equal(probed, [1, 0])
+
+    def test_nearest_clusters_clamped(self):
+        from repro.core.out_of_sample import nearest_clusters
+
+        means = np.asarray([[0.0], [1.0]])
+        assert nearest_clusters(np.asarray([0.2]), means, 10).shape == (2,)
+
+    def test_probe_widens_candidate_pool(self, clustered_graph):
+        """A query exactly between two cluster means must reach members of
+        both clusters when probed with n_probe=2."""
+        from repro.core.index import MogulIndex
+        from repro.core.out_of_sample import build_query_seeds
+
+        index = MogulIndex.build(clustered_graph, alpha=0.95)
+        sizes = [m.size for m in index.cluster_members]
+        big = sorted(range(len(sizes)), key=lambda c: -sizes[c])[:2]
+        midpoint = 0.5 * (
+            index.cluster_means[big[0]] + index.cluster_means[big[1]]
+        )
+        single = build_query_seeds(
+            midpoint, index.cluster_means, index.cluster_members,
+            clustered_graph.features, n_neighbors=10,
+            sigma=clustered_graph.sigma, n_probe=1,
+        )
+        multi = build_query_seeds(
+            midpoint, index.cluster_means, index.cluster_members,
+            clustered_graph.features, n_neighbors=10,
+            sigma=clustered_graph.sigma, n_probe=2,
+        )
+        def clusters_of(seeds):
+            return {
+                int(index.permutation.cluster_of_position[
+                    index.permutation.inverse[n]
+                ])
+                for n in seeds.nodes
+            }
+        assert len(clusters_of(multi)) >= len(clusters_of(single))
+
+    def test_empty_clusters_never_probed(self, clustered_graph):
+        """Zero-mean placeholder rows of empty clusters must not win."""
+        from repro.core.out_of_sample import build_query_seeds
+
+        members = (
+            np.asarray([0, 1, 2]),
+            np.asarray([], dtype=np.int64),  # empty cluster with zero mean
+        )
+        means = np.vstack([
+            clustered_graph.features[:3].mean(axis=0),
+            np.zeros(clustered_graph.features.shape[1]),
+        ])
+        # a query at the origin is closest to the empty cluster's mean
+        seeds = build_query_seeds(
+            np.zeros(clustered_graph.features.shape[1]), means, members,
+            clustered_graph.features, n_neighbors=2, sigma=1.0,
+        )
+        assert set(seeds.nodes.tolist()) <= {0, 1, 2}
+
+    def test_ranker_n_probe_parameter(self, clustered_graph):
+        from repro.core.index import MogulRanker
+
+        ranker = MogulRanker(clustered_graph, alpha=0.95)
+        feature = clustered_graph.features[5] + 0.01
+        one = ranker.top_k_out_of_sample(feature, 5, n_probe=1)
+        many = ranker.top_k_out_of_sample(feature, 5, n_probe=3)
+        assert len(one) == len(many) == 5
+
+    def test_bad_n_probe_rejected(self, clustered_graph):
+        from repro.core.index import MogulRanker
+
+        ranker = MogulRanker(clustered_graph, alpha=0.95)
+        with pytest.raises(ValueError, match="n_probe"):
+            ranker.top_k_out_of_sample(clustered_graph.features[0], 5, n_probe=0)
+
+
+class TestOutOfSampleSearch:
+    def test_database_point_recovers_in_sample_answers(self, clustered_graph):
+        """Querying with an existing point's feature vector approximates
+        the in-sample answer set (the query's own node will top the list)."""
+        ranker = MogulRanker(clustered_graph)
+        node = 20
+        oos = ranker.top_k_out_of_sample(clustered_graph.features[node], 6)
+        assert node in oos.indices  # finds the point itself
+        in_sample = ranker.top_k(node, 5).indices
+        overlap = p_at_k(
+            np.setdiff1d(oos.indices, [node])[:5], in_sample
+        )
+        assert overlap >= 0.6
+
+    def test_perturbed_query_stays_in_cluster(self, clustered_graph, clustered_labels):
+        ranker = MogulRanker(clustered_graph)
+        rng = np.random.default_rng(0)
+        node = 50
+        feature = clustered_graph.features[node] + rng.normal(
+            scale=0.05, size=clustered_graph.features.shape[1]
+        )
+        result = ranker.top_k_out_of_sample(feature, 8)
+        assert np.all(clustered_labels[result.indices] == clustered_labels[node])
+
+    def test_breakdown_recorded(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        ranker.top_k_out_of_sample(clustered_graph.features[0], 5)
+        breakdown = ranker.last_breakdown
+        assert breakdown is not None
+        assert set(breakdown) == {"nearest_neighbor", "top_k", "overall"}
+        assert breakdown["overall"] == pytest.approx(
+            breakdown["nearest_neighbor"] + breakdown["top_k"]
+        )
+
+    def test_validation(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        with pytest.raises(ValueError, match="feature"):
+            ranker.top_k_out_of_sample(np.zeros(3), 5)
+        with pytest.raises(ValueError):
+            ranker.top_k_out_of_sample(clustered_graph.features[0], 0)
+
+    def test_works_with_exact_variant(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph, exact=True)
+        result = ranker.top_k_out_of_sample(clustered_graph.features[1], 5)
+        assert len(result) == 5

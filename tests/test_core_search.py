@@ -1,0 +1,181 @@
+"""Tests for Algorithm 2 (top_k_search) and the MogulRanker facade.
+
+The central correctness property (paper §4.3): with pruning enabled the
+returned answers are **exactly** the top-k of the full approximate score
+vector — the bounds may only skip clusters that provably contain no
+answer.  We verify it by brute force across graphs, queries, and k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import MogulIndex, MogulRanker
+from repro.ranking import ExactRanker
+from repro.ranking.base import rank_scores
+from tests.conftest import graph_from_adjacency, random_symmetric_adjacency
+from tests.test_core_permutation import random_labels
+
+
+def assert_same_answers(result, reference):
+    """Tie-tolerant top-k comparison: score sequences must match exactly;
+    indices must match wherever the score is unique."""
+    np.testing.assert_allclose(result.scores, reference.scores, atol=1e-12)
+    for pos, (i, j) in enumerate(zip(result.indices, reference.indices)):
+        if i != j:
+            assert result.scores[pos] == pytest.approx(reference.scores[pos])
+
+
+class TestAlgorithmTwoEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_matches_bruteforce_of_approx_scores(self, bridged_graph, k):
+        ranker = MogulRanker(bridged_graph, alpha=0.95)
+        for query in (0, 17, 44, 80):
+            full = ranker.scores(query)
+            reference = rank_scores(full, k, exclude=query)
+            result = ranker.top_k(query, k)
+            assert_same_answers(result, reference)
+
+    def test_include_query(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph, alpha=0.9)
+        query = 12
+        full = ranker.scores(query)
+        reference = rank_scores(full, 5)
+        result = ranker.top_k(query, 5, exclude_query=False)
+        assert_same_answers(result, reference)
+
+    def test_ablations_agree_on_answers(self, bridged_graph):
+        """All three Figure 5 configurations return the same answer set —
+        they only differ in how much work they do."""
+        query, k = 7, 6
+        full = MogulRanker(bridged_graph, alpha=0.95)
+        no_est = MogulRanker(bridged_graph, alpha=0.95, use_pruning=False)
+        plain = MogulRanker(bridged_graph, alpha=0.95, use_sparsity=False)
+        r_full = full.top_k(query, k)
+        r_no_est = no_est.top_k(query, k)
+        r_plain = plain.top_k(query, k)
+        assert_same_answers(r_no_est, r_full)
+        assert_same_answers(r_plain, r_full)
+
+    def test_bound_desc_order_agrees(self, bridged_graph):
+        query, k = 31, 5
+        index_order = MogulRanker(bridged_graph, alpha=0.95)
+        bound_order = MogulRanker(bridged_graph, alpha=0.95, cluster_order="bound_desc")
+        assert_same_answers(
+            bound_order.top_k(query, k), index_order.top_k(query, k)
+        )
+
+    def test_stats_populated(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph)
+        ranker.top_k(0, 5)
+        stats = ranker.last_stats
+        assert stats is not None
+        assert stats.clusters_total == ranker.index.n_clusters
+        assert stats.nodes_scored > 0
+        assert 0.0 <= stats.prune_fraction <= 1.0
+
+    def test_pruning_skips_clusters_on_clustered_data(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        ranker.top_k(0, 5)
+        assert ranker.last_stats.clusters_pruned > 0
+
+    def test_invalid_inputs(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph)
+        with pytest.raises(ValueError):
+            ranker.top_k(0, 0)
+        with pytest.raises(ValueError):
+            ranker.top_k(bridged_graph.n_nodes, 5)
+        with pytest.raises(ValueError, match="cluster_order"):
+            MogulRanker(bridged_graph, cluster_order="typo").top_k(0, 5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        n_clusters=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=300),
+        k=st.integers(min_value=1, max_value=8),
+        alpha=st.floats(min_value=0.1, max_value=0.99),
+    )
+    def test_property_equivalence(self, n, n_clusters, seed, k, alpha):
+        """Algorithm 2 == brute force over random graphs, clusterings,
+        queries, k and alpha."""
+        adjacency = random_symmetric_adjacency(n, seed=seed)
+        graph = graph_from_adjacency(adjacency)
+        labels = random_labels(n, n_clusters, seed)
+        ranker = MogulRanker(graph, alpha=alpha, cluster_labels=labels)
+        query = seed % n
+        full = ranker.scores(query)
+        reference = rank_scores(full, k, exclude=query)
+        # negative approximate scores rank below the dummy floor of 0: the
+        # algorithm may legitimately return fewer answers, matching only
+        # the non-negative prefix.
+        non_negative = reference.scores >= 0
+        result = ranker.top_k(query, k)
+        assert len(result) >= int(non_negative.sum())
+        prefix = int(non_negative.sum())
+        np.testing.assert_allclose(
+            result.scores[:prefix], reference.scores[:prefix], atol=1e-12
+        )
+
+
+class TestMogulE:
+    def test_matches_inverse_exactly(self, bridged_graph):
+        exact = ExactRanker(bridged_graph, alpha=0.99)
+        mogul_e = MogulRanker(bridged_graph, alpha=0.99, exact=True)
+        for query in (0, 40, 83):
+            np.testing.assert_allclose(
+                mogul_e.scores(query), exact.scores(query), atol=1e-10
+            )
+
+    def test_top_k_matches_inverse(self, bridged_graph):
+        exact = ExactRanker(bridged_graph, alpha=0.99)
+        mogul_e = MogulRanker(bridged_graph, alpha=0.99, exact=True)
+        for query in (5, 50):
+            ref = exact.top_k(query, 8)
+            got = mogul_e.top_k(query, 8)
+            assert_same_answers(got, ref)
+
+    def test_denser_factor_than_incomplete(self, clustered_graph):
+        approx = MogulRanker(clustered_graph)
+        exact = MogulRanker(clustered_graph, exact=True)
+        assert exact.index.factors.nnz >= approx.index.factors.nnz
+
+    def test_name_reflects_variant(self, clustered_graph):
+        assert MogulRanker(clustered_graph).name == "Mogul"
+        assert MogulRanker(clustered_graph, exact=True).name == "MogulE"
+
+
+class TestMogulIndex:
+    def test_build_validation(self, clustered_graph):
+        with pytest.raises(ValueError, match="factorization"):
+            MogulIndex.build(clustered_graph, factorization="cholmod")
+        with pytest.raises(ValueError, match="alpha"):
+            MogulIndex.build(clustered_graph, alpha=1.5)
+
+    def test_cluster_members_partition_nodes(self, clustered_graph):
+        index = MogulIndex.build(clustered_graph)
+        all_nodes = np.concatenate(index.cluster_members)
+        np.testing.assert_array_equal(
+            np.sort(all_nodes), np.arange(clustered_graph.n_nodes)
+        )
+
+    def test_cluster_means_match_members(self, clustered_graph):
+        index = MogulIndex.build(clustered_graph)
+        for cid, members in enumerate(index.cluster_members):
+            if members.size:
+                np.testing.assert_allclose(
+                    index.cluster_means[cid],
+                    clustered_graph.features[members].mean(axis=0),
+                    atol=1e-12,
+                )
+
+    def test_bounds_one_per_interior_cluster(self, clustered_graph):
+        index = MogulIndex.build(clustered_graph)
+        assert len(index.bounds) == index.n_clusters - 1
+
+    def test_n_nodes(self, clustered_graph):
+        index = MogulIndex.build(clustered_graph)
+        assert index.n_nodes == clustered_graph.n_nodes

@@ -1,0 +1,111 @@
+"""Tests for index persistence (repro.core.serialize).
+
+A loaded index must be *behaviourally identical* to the one saved: same
+answers, same scores, same pruning statistics — because everything derived
+is recomputed from the same primary artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import MogulIndex, MogulRanker
+from repro.core.serialize import FORMAT_VERSION, load_index, save_index
+
+
+@pytest.fixture(scope="module", params=["incomplete", "complete"])
+def built_ranker(request, bridged_graph):
+    return MogulRanker(
+        bridged_graph, alpha=0.95, exact=(request.param == "complete")
+    )
+
+
+class TestRoundTrip:
+    def test_top_k_identical(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        loaded = MogulIndex.load(path)
+        restored = MogulRanker.from_index(built_ranker.graph, loaded)
+        assert restored.name == built_ranker.name
+        for query in (0, 7, 42, 80):
+            a = built_ranker.top_k(query, 6)
+            b = restored.top_k(query, 6)
+            np.testing.assert_array_equal(a.indices, b.indices)
+            np.testing.assert_allclose(a.scores, b.scores, rtol=0, atol=0)
+
+    def test_scores_identical(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        restored = MogulRanker.from_index(built_ranker.graph, MogulIndex.load(path))
+        np.testing.assert_allclose(
+            built_ranker.scores(3), restored.scores(3), rtol=0, atol=0
+        )
+
+    def test_out_of_sample_identical(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        restored = MogulRanker.from_index(built_ranker.graph, MogulIndex.load(path))
+        feature = built_ranker.graph.features.mean(axis=0)
+        a = built_ranker.top_k_out_of_sample(feature, 5)
+        b = restored.top_k_out_of_sample(feature, 5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_metadata_preserved(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        index = built_ranker.index
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.alpha == index.alpha
+        assert loaded.factorization == index.factorization
+        assert loaded.n_clusters == index.n_clusters
+        assert loaded.factors.nnz == index.factors.nnz
+        assert loaded.factors.pivot_perturbations == index.factors.pivot_perturbations
+        np.testing.assert_array_equal(loaded.permutation.order, index.permutation.order)
+        np.testing.assert_allclose(loaded.cluster_means, index.cluster_means)
+
+    def test_load_does_not_need_graph(self, built_ranker, tmp_path):
+        """The file alone suffices: no feature matrix is required to load."""
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        loaded = MogulIndex.load(path)
+        assert loaded.n_nodes == built_ranker.n_nodes
+
+
+class TestValidation:
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_index(path)
+
+    def test_version_mismatch_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["format_version"] = np.int64(FORMAT_VERSION + 1)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="format version"):
+            load_index(path)
+
+    def test_corrupt_boundaries_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["cluster_starts"] = payload["cluster_starts"][:-1]
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="boundaries"):
+            load_index(path)
+
+    def test_from_index_checks_node_count(self, built_ranker, small_ring_graph):
+        with pytest.raises(ValueError, match="nodes"):
+            MogulRanker.from_index(small_ring_graph, built_ranker.index)
+
+    def test_from_index_checks_feature_dim(self, built_ranker, bridged_graph):
+        from repro.graph.build import build_knn_graph
+
+        narrow = build_knn_graph(bridged_graph.features[:, :3], k=4)
+        with pytest.raises(ValueError, match="dimension"):
+            MogulRanker.from_index(narrow, built_ranker.index)

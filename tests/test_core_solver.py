@@ -1,0 +1,156 @@
+"""Tests for the per-cluster packed substitution engine (repro.core.solver).
+
+The :class:`ClusterSolver` is the production tier of Lemmas 4/5; every
+result must agree with the readable per-row reference functions in
+:mod:`repro.linalg.triangular` to machine precision, for both
+factorizations, and the structural preconditions must be enforced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import build_permutation
+from repro.core.solver import ClusterSolver
+from repro.linalg.ldl import complete_ldl, incomplete_ldl
+from repro.linalg.packed import HAVE_SUPERLU_GSTRS
+from repro.linalg.triangular import (
+    back_substitute,
+    forward_substitute,
+    forward_substitute_rows,
+    ldl_solve,
+)
+from repro.ranking.normalize import ranking_matrix
+
+
+def build_parts(graph, alpha=0.95, factorize=incomplete_ldl):
+    permutation = build_permutation(graph.adjacency)
+    w = permutation.permute_matrix(ranking_matrix(graph.adjacency, alpha))
+    factors = factorize(w)
+    return permutation, factors
+
+
+@pytest.fixture(scope="module", params=["incomplete", "complete"])
+def solver_parts(request, bridged_graph):
+    factorize = incomplete_ldl if request.param == "incomplete" else complete_ldl
+    permutation, factors = build_parts(bridged_graph, factorize=factorize)
+    return permutation, factors, ClusterSolver(factors, permutation)
+
+
+class TestFullSolves:
+    def test_solve_matches_ldl_solve(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            q = rng.normal(size=factors.n)
+            np.testing.assert_allclose(
+                solver.solve(q), ldl_solve(factors, q), atol=1e-10
+            )
+
+    def test_forward_full_matches_reference(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        q = np.random.default_rng(1).normal(size=factors.n)
+        np.testing.assert_allclose(
+            solver.forward_full(q), forward_substitute(factors, q), atol=1e-10
+        )
+
+    def test_back_full_matches_reference(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        y = np.random.default_rng(2).normal(size=factors.n)
+        np.testing.assert_allclose(
+            solver.back_full(y), back_substitute(factors, y), atol=1e-10
+        )
+
+
+class TestRestrictedSolves:
+    def test_forward_restricted_matches_rows_reference(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        border = permutation.border_slice
+        for cid in range(permutation.n_clusters - 1):
+            sl = permutation.cluster_slices[cid]
+            q = np.zeros(factors.n)
+            q[sl.start] = 1.0  # seed inside cluster cid
+            rows = list(range(sl.start, sl.stop)) + list(
+                range(border.start, border.stop)
+            )
+            expected = forward_substitute_rows(factors, q, rows)
+            np.testing.assert_allclose(
+                solver.forward(q, [cid]), expected, atol=1e-10
+            )
+
+    def test_restricted_scores_match_full_solve(self, solver_parts):
+        """Lemmas 4+5 chained: any cluster's scores from the restricted
+        path equal the same positions of the full solve."""
+        permutation, factors, solver = solver_parts
+        border = permutation.border_slice
+        q = np.zeros(factors.n)
+        seed_cluster = 0
+        q[permutation.cluster_slices[seed_cluster].start] = 0.01
+        full = solver.solve(q)
+        for cid in range(permutation.n_clusters):
+            restricted = solver.solve_restricted(q, [seed_cluster], [cid])
+            sl = permutation.cluster_slices[cid]
+            np.testing.assert_allclose(
+                restricted[sl], full[sl], atol=1e-10,
+                err_msg=f"cluster {cid} scores diverge",
+            )
+            np.testing.assert_allclose(
+                restricted[border], full[border], atol=1e-10
+            )
+
+    def test_multi_seed_forward(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        q = np.zeros(factors.n)
+        first = permutation.cluster_slices[0]
+        second = permutation.cluster_slices[1]
+        q[first.start] = 0.6
+        q[second.start] = 0.4
+        reference = forward_substitute(factors, q)
+        y = solver.forward(q, [0, 1])
+        border = permutation.border_slice
+        for sl in (first, second, border):
+            np.testing.assert_allclose(y[sl], reference[sl], atol=1e-10)
+
+    def test_border_seed_cluster(self, solver_parts):
+        """A query living in the border cluster is a valid seed set."""
+        permutation, factors, solver = solver_parts
+        border = permutation.border_slice
+        if border.stop == border.start:
+            pytest.skip("graph produced an empty border")
+        q = np.zeros(factors.n)
+        q[border.start] = 1.0
+        y = solver.forward(q, [permutation.border_cluster])
+        expected = forward_substitute(factors, q)
+        np.testing.assert_allclose(y[border], expected[border], atol=1e-10)
+
+
+class TestValidation:
+    def test_size_mismatch_raises(self, bridged_graph, small_ring_graph):
+        perm_small = build_permutation(small_ring_graph.adjacency)
+        _, factors_big = build_parts(bridged_graph)
+        with pytest.raises(ValueError, match="permutation"):
+            ClusterSolver(factors_big, perm_small)
+
+    def test_structure_mismatch_raises(self, bridged_graph):
+        """Factors computed under a different permutation violate the
+        bordered-block-diagonal precondition and must be rejected."""
+        permutation = build_permutation(bridged_graph.adjacency)
+        w_unpermuted = ranking_matrix(bridged_graph.adjacency, 0.95)
+        factors_wrong = incomplete_ldl(w_unpermuted)  # no permutation applied
+        if permutation.n_clusters < 3:
+            pytest.skip("graph too small to expose a structure mismatch")
+        with pytest.raises(ValueError, match="do not match this permutation"):
+            ClusterSolver(factors_wrong, permutation)
+
+    @pytest.mark.skipif(not HAVE_SUPERLU_GSTRS, reason="no SuperLU kernel")
+    def test_fallback_tier_agrees(self, bridged_graph):
+        permutation, factors = build_parts(bridged_graph)
+        fast = ClusterSolver(factors, permutation, use_superlu=True)
+        slow = ClusterSolver(factors, permutation, use_superlu=False)
+        q = np.zeros(factors.n)
+        q[0] = 1.0
+        np.testing.assert_allclose(fast.solve(q), slow.solve(q), atol=1e-12)
+        y_fast = fast.forward(q, [int(permutation.cluster_of_position[0])])
+        y_slow = slow.forward(q, [int(permutation.cluster_of_position[0])])
+        np.testing.assert_allclose(y_fast, y_slow, atol=1e-12)

@@ -1,0 +1,266 @@
+"""Tests for the synthetic dataset substitutes and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    Dataset,
+    circle_manifolds,
+    gaussian_clusters,
+    load_dataset,
+    make_coil,
+    make_inria,
+    make_nuswide,
+    make_pubfig,
+    zipf_cluster_sizes,
+)
+
+
+class TestSyntheticPrimitives:
+    def test_circle_manifolds_shapes(self):
+        features, labels = circle_manifolds(4, 10, dim=8, seed=0)
+        assert features.shape == (40, 8)
+        assert labels.shape == (40,)
+        np.testing.assert_array_equal(np.unique(labels), np.arange(4))
+
+    def test_circle_points_lie_near_circle(self):
+        features, labels = circle_manifolds(1, 50, dim=16, noise=0.0, seed=1)
+        center = features.mean(axis=0)
+        radii = np.linalg.norm(features - center, axis=1)
+        np.testing.assert_allclose(radii, 1.0, atol=1e-6)
+
+    def test_circle_adjacent_poses_are_close(self):
+        features, _ = circle_manifolds(1, 72, dim=8, noise=0.0, seed=2)
+        adjacent = np.linalg.norm(np.diff(features, axis=0), axis=1)
+        step = 2 * np.sin(np.pi / 72)  # chord of one pose step
+        np.testing.assert_allclose(adjacent, step, atol=1e-9)
+
+    def test_circle_dim_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            circle_manifolds(2, 5, dim=1)
+
+    def test_gaussian_clusters_sizes(self):
+        sizes = np.array([5, 10, 3])
+        features, labels = gaussian_clusters(sizes, dim=6, seed=0)
+        assert features.shape == (18, 6)
+        np.testing.assert_array_equal(np.bincount(labels), sizes)
+
+    def test_gaussian_cluster_separation_scales(self):
+        """Typical inter-centre distance is dimension-independent."""
+        rng_dists = []
+        for dim in (10, 200):
+            features, labels = gaussian_clusters(
+                np.full(20, 30), dim=dim, center_scale=8.0, spread=0.1, seed=3
+            )
+            centers = np.stack(
+                [features[labels == c].mean(axis=0) for c in range(20)]
+            )
+            d = np.linalg.norm(centers[0] - centers[1:], axis=1)
+            rng_dists.append(np.median(d))
+        assert rng_dists[0] == pytest.approx(rng_dists[1], rel=0.5)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError, match="sizes"):
+            gaussian_clusters(np.array([0, 3]), dim=2)
+        with pytest.raises(ValueError, match="sizes"):
+            gaussian_clusters(np.array([]), dim=2)
+
+    def test_zipf_sizes_sum_and_skew(self):
+        sizes = zipf_cluster_sizes(1000, 20, exponent=1.3)
+        assert sizes.sum() == 1000
+        assert sizes[0] == sizes.max()
+        assert np.all(sizes >= 3)
+        assert sizes[0] / sizes[-1] > 5  # genuinely skewed
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            zipf_cluster_sizes(10, 20, min_size=3)
+        with pytest.raises(ValueError, match="exponent"):
+            zipf_cluster_sizes(100, 5, exponent=0.0)
+
+
+class TestMultimodalClusters:
+    def test_shapes_and_labels(self):
+        from repro.datasets.synthetic import multimodal_clusters
+
+        sizes = np.asarray([300, 50, 10])
+        features, labels = multimodal_clusters(sizes, dim=20, seed=0)
+        assert features.shape == (360, 20)
+        np.testing.assert_array_equal(np.bincount(labels), sizes)
+
+    def test_large_cluster_has_multiple_modes(self):
+        """A big cluster must not be one Gaussian blob: its points spread
+        over several well-separated modes."""
+        from repro.datasets.synthetic import multimodal_clusters
+
+        features, labels = multimodal_clusters(
+            np.asarray([600]), dim=30, target_mode_size=100,
+            mode_scale=3.0, spread=0.3, bridge_fraction=0.0, seed=1,
+        )
+        # Distances from one point should be bimodal: tight within-mode
+        # distances and mode-separation distances.
+        diffs = features - features[0]
+        dist = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))[1:]
+        assert np.percentile(dist, 90) > 3 * np.percentile(dist, 10)
+
+    def test_bridges_connect_modes(self):
+        """With bridges the k-NN graph of one concept has fewer connected
+        components than without."""
+        import scipy.sparse.csgraph as csgraph
+
+        from repro.datasets.synthetic import multimodal_clusters
+        from repro.graph.build import build_knn_graph
+
+        def components(bridge_fraction):
+            features, _ = multimodal_clusters(
+                np.asarray([500]), dim=30, target_mode_size=80,
+                mode_scale=3.0, spread=0.3,
+                bridge_fraction=bridge_fraction, seed=2,
+            )
+            graph = build_knn_graph(features, k=5)
+            count, _ = csgraph.connected_components(graph.adjacency)
+            return count
+
+        assert components(0.06) < components(0.0)
+
+    def test_small_cluster_single_mode(self):
+        from repro.datasets.synthetic import multimodal_clusters
+
+        features, _ = multimodal_clusters(
+            np.asarray([30]), dim=10, target_mode_size=100, seed=3
+        )
+        assert features.shape == (30, 10)
+
+    def test_validation(self):
+        from repro.datasets.synthetic import multimodal_clusters
+
+        with pytest.raises(ValueError, match="sizes"):
+            multimodal_clusters(np.asarray([]), dim=5)
+        with pytest.raises(ValueError, match="sizes"):
+            multimodal_clusters(np.asarray([0]), dim=5)
+        with pytest.raises(ValueError, match="bridge_fraction"):
+            multimodal_clusters(np.asarray([10]), dim=5, bridge_fraction=1.5)
+
+    def test_deterministic(self):
+        from repro.datasets.synthetic import multimodal_clusters
+
+        a, _ = multimodal_clusters(np.asarray([100, 20]), dim=8, seed=9)
+        b, _ = multimodal_clusters(np.asarray([100, 20]), dim=8, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory,kwargs,expected_dim",
+        [
+            (make_coil, {"n_objects": 6, "n_poses": 12}, 64),
+            (make_pubfig, {"n_identities": 8, "images_per_identity": 10}, 73),
+            (make_nuswide, {"n_points": 300, "n_concepts": 6}, 150),
+            (make_inria, {"n_points": 300, "n_components": 10}, 128),
+        ],
+    )
+    def test_shapes_and_determinism(self, factory, kwargs, expected_dim):
+        a = factory(seed=5, **kwargs)
+        b = factory(seed=5, **kwargs)
+        assert a.n_dims == expected_dim
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        c = factory(seed=6, **kwargs)
+        assert not np.allclose(a.features, c.features)
+
+    def test_coil_pose_structure(self):
+        ds = make_coil(n_objects=5, n_poses=20, seed=0)
+        assert ds.n_points == 100
+        assert ds.n_classes == 5
+        # consecutive poses of one object are closer than random pairs
+        obj0 = ds.features[ds.labels == 0]
+        adjacent = np.linalg.norm(obj0[1] - obj0[0])
+        cross = np.linalg.norm(ds.features[ds.labels == 1][0] - obj0[0])
+        assert adjacent < cross
+
+    def test_coil_confusable_pairs_recorded(self):
+        ds = make_coil(n_objects=10, n_poses=12, confusable_fraction=0.4, seed=0)
+        assert ds.metadata["confusable_pairs"] == 2
+
+    def test_nuswide_unbalanced(self):
+        ds = make_nuswide(n_points=500, n_concepts=10, seed=0)
+        counts = np.bincount(ds.labels)
+        assert counts.max() / counts.min() > 3
+
+    def test_inria_sift_postprocessing(self):
+        ds = make_inria(n_points=100, n_components=5, seed=0)
+        norms = np.linalg.norm(ds.features, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+        assert np.all(ds.features >= 0)
+        # clipping happened before the final renormalisation, so no single
+        # component can dominate (real SIFT shows the same <= ~0.4 ceiling
+        # because renormalisation scales the 0.2 clip up by 1/||clipped||)
+        assert ds.features.max() < 0.5
+
+    def test_pubfig_identity_clusters_coherent(self):
+        ds = make_pubfig(n_identities=10, images_per_identity=15, seed=0)
+        # within-identity spread smaller than global spread
+        global_std = ds.features.std()
+        within = np.mean(
+            [ds.features[ds.labels == c].std() for c in range(10)]
+        )
+        assert within < global_std
+
+
+class TestDatasetContainer:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(name="x", features=np.zeros((4, 2)), labels=np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(name="x", features=np.zeros(4), labels=np.zeros(4, dtype=int))
+
+    def test_build_graph(self):
+        ds = make_coil(n_objects=4, n_poses=10, seed=0)
+        graph = ds.build_graph(k=3)
+        assert graph.n_nodes == ds.n_points
+        assert graph.k == 3
+
+    def test_holdout_split(self):
+        ds = make_pubfig(n_identities=5, images_per_identity=10, seed=0)
+        reduced, held_features, held_labels = ds.holdout_split(5, seed=1)
+        assert reduced.n_points == 45
+        assert held_features.shape == (5, ds.n_dims)
+        assert held_labels.shape == (5,)
+        # held-out rows are not in the reduced set
+        for row in held_features:
+            assert not np.any(np.all(reduced.features == row, axis=1))
+
+    def test_holdout_validation(self):
+        ds = make_coil(n_objects=2, n_poses=5, seed=0)
+        with pytest.raises(ValueError):
+            ds.holdout_split(0)
+        with pytest.raises(ValueError):
+            ds.holdout_split(10)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            ds = load_dataset(name, scale=0.1, seed=0)
+            assert ds.name == name
+            assert ds.n_points > 0
+
+    def test_scale_monotone(self):
+        small = load_dataset("nuswide", scale=0.1)
+        large = load_dataset("nuswide", scale=0.3)
+        assert large.n_points > small.n_points
+
+    def test_size_ordering_preserved(self):
+        sizes = [load_dataset(n, scale=0.2).n_points for n in DATASET_NAMES]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("coil", scale=0.0)

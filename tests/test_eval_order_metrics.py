@@ -1,0 +1,79 @@
+"""Tests for the order-aware retrieval metrics (NDCG@k, reciprocal rank)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import ndcg_at_k, reciprocal_rank
+
+LABELS = np.asarray([0, 0, 0, 1, 1, 2, 2, 2, 2, 3])
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        retrieved = np.asarray([0, 1, 2])  # all label 0, all relevant
+        assert ndcg_at_k(retrieved, LABELS, query_label=0) == pytest.approx(1.0)
+
+    def test_no_relevant_is_zero(self):
+        retrieved = np.asarray([3, 4, 5])
+        assert ndcg_at_k(retrieved, LABELS, query_label=0) == 0.0
+
+    def test_relevant_first_beats_relevant_last(self):
+        first = ndcg_at_k(np.asarray([0, 3, 4]), LABELS, query_label=0)
+        last = ndcg_at_k(np.asarray([3, 4, 0]), LABELS, query_label=0)
+        assert first > last > 0.0
+
+    def test_k_truncation(self):
+        retrieved = np.asarray([3, 4, 0])
+        assert ndcg_at_k(retrieved, LABELS, query_label=0, k=2) == 0.0
+        assert ndcg_at_k(retrieved, LABELS, query_label=0, k=3) > 0.0
+
+    def test_ideal_shorter_than_list(self):
+        """Only one relevant item exists (label 3): retrieving it first
+        among k=3 is a perfect ranking."""
+        retrieved = np.asarray([9, 0, 1])
+        assert ndcg_at_k(retrieved, LABELS, query_label=3) == pytest.approx(1.0)
+
+    def test_empty_retrieved(self):
+        assert ndcg_at_k(np.asarray([], dtype=int), LABELS, 0) == 0.0
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        permutation_seed=st.integers(min_value=0, max_value=10_000),
+        label=st.integers(min_value=0, max_value=3),
+    )
+    def test_bounded_in_unit_interval(self, permutation_seed, label):
+        rng = np.random.default_rng(permutation_seed)
+        retrieved = rng.permutation(LABELS.shape[0])[:5]
+        value = ndcg_at_k(retrieved, LABELS, query_label=label)
+        assert 0.0 <= value <= 1.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(np.asarray([0, 3, 4]), LABELS, 0) == 1.0
+
+    def test_second_position(self):
+        assert reciprocal_rank(np.asarray([3, 0, 4]), LABELS, 0) == 0.5
+
+    def test_no_relevant(self):
+        assert reciprocal_rank(np.asarray([3, 4]), LABELS, 0) == 0.0
+
+    def test_empty(self):
+        assert reciprocal_rank(np.asarray([], dtype=int), LABELS, 0) == 0.0
+
+    @settings(deadline=None, max_examples=50)
+    @given(permutation_seed=st.integers(min_value=0, max_value=10_000))
+    def test_matches_manual_scan(self, permutation_seed):
+        rng = np.random.default_rng(permutation_seed)
+        retrieved = rng.permutation(LABELS.shape[0])[:6]
+        value = reciprocal_rank(retrieved, LABELS, query_label=2)
+        manual = 0.0
+        for position, node in enumerate(retrieved, start=1):
+            if LABELS[node] == 2:
+                manual = 1.0 / position
+                break
+        assert value == pytest.approx(manual)

@@ -1,0 +1,155 @@
+"""Tests for heat-kernel weighting, graph construction and KnnGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import KnnGraph, build_knn_graph, estimate_sigma, heat_kernel_weights
+from tests.conftest import three_cluster_features
+
+
+class TestHeatKernel:
+    def test_weights_in_unit_interval(self):
+        d = np.array([0.0, 0.5, 1.0, 10.0])
+        w, sigma = heat_kernel_weights(d, sigma=1.0)
+        assert np.all(w > 0) and np.all(w <= 1.0)
+        assert w[0] == 1.0
+        assert np.all(np.diff(w) < 0)
+
+    def test_auto_sigma_is_mean(self):
+        d = np.array([1.0, 2.0, 3.0])
+        _, sigma = heat_kernel_weights(d, sigma="auto")
+        assert sigma == pytest.approx(2.0)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            heat_kernel_weights(np.array([1.0]), sigma=0.0)
+
+    def test_estimate_sigma_zero_distances(self):
+        assert estimate_sigma(np.zeros(5)) == 1.0
+
+    def test_estimate_sigma_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_sigma(np.array([]))
+
+    def test_homogeneous_distances_keep_weights_alive(self):
+        """The failure mode that motivated the mean-based bandwidth: when
+        every edge distance is ~d, weights must stay O(1), not underflow."""
+        d = np.full(20, 7.0) + np.random.default_rng(0).normal(scale=0.01, size=20)
+        w, _ = heat_kernel_weights(d, sigma="auto")
+        assert np.all(w > 0.3)
+
+
+class TestBuildKnnGraph:
+    def test_basic_structure(self):
+        features, _ = three_cluster_features(per_cluster=20)
+        graph = build_knn_graph(features, k=4)
+        assert graph.n_nodes == 60
+        adj = graph.adjacency
+        assert (adj != adj.T).nnz == 0
+        assert np.all(adj.diagonal() == 0)
+        assert adj.nnz >= 60 * 4  # union symmetrisation only adds edges
+
+    def test_every_node_has_at_least_k_neighbors_union(self):
+        features, _ = three_cluster_features(per_cluster=15)
+        graph = build_knn_graph(features, k=3, mode="union")
+        degrees = np.diff(graph.adjacency.indptr)
+        assert np.all(degrees >= 3)
+
+    def test_mutual_mode_is_subset_of_union(self):
+        features, _ = three_cluster_features(per_cluster=15)
+        union = build_knn_graph(features, k=3, mode="union")
+        mutual = build_knn_graph(features, k=3, mode="mutual")
+        assert mutual.adjacency.nnz <= union.adjacency.nnz
+        union_edges = set(zip(*union.adjacency.nonzero()))
+        mutual_edges = set(zip(*mutual.adjacency.nonzero()))
+        assert mutual_edges <= union_edges
+
+    def test_binary_weights(self):
+        features, _ = three_cluster_features(per_cluster=10)
+        graph = build_knn_graph(features, k=3, weight="binary")
+        assert set(np.unique(graph.adjacency.data)) == {1.0}
+        assert graph.sigma == 0.0
+
+    def test_heat_weights_bounded(self):
+        features, _ = three_cluster_features(per_cluster=10)
+        graph = build_knn_graph(features, k=3, weight="heat")
+        assert np.all(graph.adjacency.data > 0)
+        assert np.all(graph.adjacency.data <= 1.0)
+        assert graph.sigma > 0
+
+    def test_explicit_sigma_respected(self):
+        features, _ = three_cluster_features(per_cluster=10)
+        graph = build_knn_graph(features, k=3, sigma=2.5)
+        assert graph.sigma == 2.5
+
+    def test_validation_errors(self):
+        features = np.zeros((10, 2))
+        with pytest.raises(ValueError, match="smaller"):
+            build_knn_graph(features, k=10)
+        with pytest.raises(ValueError, match="weight"):
+            build_knn_graph(np.random.default_rng(0).normal(size=(10, 2)), k=2, weight="x")
+        with pytest.raises(ValueError, match="mode"):
+            build_knn_graph(np.random.default_rng(0).normal(size=(10, 2)), k=2, mode="x")
+        with pytest.raises(ValueError, match="2-D"):
+            build_knn_graph(np.zeros(5), k=2)
+
+    def test_deterministic(self):
+        features, _ = three_cluster_features(per_cluster=12)
+        g1 = build_knn_graph(features, k=3)
+        g2 = build_knn_graph(features, k=3)
+        assert (g1.adjacency != g2.adjacency).nnz == 0
+
+    def test_separated_clusters_disconnect(self):
+        """Widely separated clusters produce no cross-cluster edges."""
+        features, labels = three_cluster_features(per_cluster=20, separation=50.0)
+        graph = build_knn_graph(features, k=3)
+        coo = graph.adjacency.tocoo()
+        assert np.all(labels[coo.row] == labels[coo.col])
+
+
+class TestKnnGraphContainer:
+    def test_degree_vector(self, clustered_graph):
+        expected = np.asarray(clustered_graph.adjacency.sum(axis=1)).ravel()
+        np.testing.assert_allclose(clustered_graph.degrees, expected)
+
+    def test_neighbors_and_edge_weight(self, clustered_graph):
+        node = 0
+        nbrs = clustered_graph.neighbors(node)
+        assert len(nbrs) > 0
+        for j in nbrs:
+            assert clustered_graph.edge_weight(node, int(j)) > 0
+        # a non-edge
+        non_neighbors = set(range(clustered_graph.n_nodes)) - set(nbrs.tolist()) - {node}
+        some = next(iter(non_neighbors))
+        assert clustered_graph.edge_weight(node, some) == 0.0
+
+    def test_subgraph_adjacency(self, clustered_graph):
+        nodes = np.arange(10)
+        sub = clustered_graph.subgraph_adjacency(nodes)
+        assert sub.shape == (10, 10)
+        np.testing.assert_allclose(
+            sub.toarray(), clustered_graph.adjacency[:10, :10].toarray()
+        )
+
+    def test_rejects_self_loops(self):
+        adj = sp.identity(4, format="csr")
+        with pytest.raises(ValueError, match="self loops"):
+            KnnGraph(features=np.zeros((4, 2)), adjacency=adj, k=1, sigma=1.0)
+
+    def test_rejects_asymmetric(self):
+        adj = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            KnnGraph(features=np.zeros((2, 2)), adjacency=adj, k=1, sigma=1.0)
+
+    def test_rejects_negative_weights(self):
+        adj = sp.csr_matrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ValueError, match="non-negative"):
+            KnnGraph(features=np.zeros((2, 2)), adjacency=adj, k=1, sigma=1.0)
+
+    def test_rejects_shape_mismatch(self):
+        adj = sp.csr_matrix((3, 3))
+        with pytest.raises(ValueError, match="features"):
+            KnnGraph(features=np.zeros((2, 2)), adjacency=adj, k=1, sigma=1.0)

@@ -1,0 +1,144 @@
+"""Tests for exact k-NN search: brute force, KD-tree, and their agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import KDTree, knn_search
+from repro.graph.knn import pairwise_sq_distances
+
+
+def brute_reference(points, queries, k, exclude_self):
+    """O(n^2) reference implementation with explicit sorting."""
+    out_idx = np.empty((queries.shape[0], k), dtype=np.int64)
+    out_dist = np.empty((queries.shape[0], k))
+    for i, q in enumerate(queries):
+        d = np.linalg.norm(points - q, axis=1)
+        if exclude_self:
+            d[i] = np.inf
+        order = np.argsort(d, kind="stable")[:k]
+        out_idx[i] = order
+        out_dist[i] = d[order]
+    return out_idx, out_dist
+
+
+class TestPairwiseDistances:
+    def test_matches_norm(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(7, 3))
+        d2 = pairwise_sq_distances(a, b)
+        expected = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(d2, expected, atol=1e-10)
+
+    def test_non_negative_under_roundoff(self):
+        point = np.array([[1e8, 1e8]])
+        d2 = pairwise_sq_distances(point, point)
+        assert d2[0, 0] >= 0.0
+
+
+class TestKnnSearch:
+    def test_self_query_excludes_self(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(30, 4))
+        idx, dist = knn_search(points, 3)
+        for i in range(30):
+            assert i not in idx[i]
+        assert np.all(np.diff(dist, axis=1) >= 0)
+
+    def test_matches_reference_self(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(40, 5))
+        idx, dist = knn_search(points, 4, method="brute")
+        ref_idx, ref_dist = brute_reference(points, points, 4, True)
+        np.testing.assert_allclose(dist, ref_dist, atol=1e-9)
+        # indices may differ only under exact distance ties
+        np.testing.assert_array_equal(idx, ref_idx)
+
+    def test_external_queries(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(25, 3))
+        queries = rng.normal(size=(6, 3))
+        idx, dist = knn_search(points, 5, queries=queries)
+        ref_idx, ref_dist = brute_reference(points, queries, 5, False)
+        np.testing.assert_allclose(dist, ref_dist, atol=1e-9)
+
+    def test_k_too_large_raises(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="exceeds"):
+            knn_search(points, 3)  # self-excluded leaves only 2
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="queries"):
+            knn_search(np.zeros((5, 3)), 2, queries=np.zeros((2, 4)))
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            knn_search(np.zeros((5, 3)), 2, method="annoy")
+
+    def test_kdtree_method_agrees_with_brute(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(60, 3))
+        bi, bd = knn_search(points, 4, method="brute")
+        ki, kd = knn_search(points, 4, method="kdtree")
+        np.testing.assert_allclose(bd, kd, atol=1e-9)
+        np.testing.assert_array_equal(bi, ki)
+
+    def test_chunked_path(self, monkeypatch):
+        """Force multiple brute-force chunks and check consistency."""
+        import repro.graph.knn as knn_mod
+
+        monkeypatch.setattr(knn_mod, "_CHUNK", 7)
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(30, 4))
+        idx, dist = knn_search(points, 3, method="brute")
+        ref_idx, ref_dist = brute_reference(points, points, 3, True)
+        np.testing.assert_allclose(dist, ref_dist, atol=1e-9)
+
+
+class TestKDTree:
+    def test_duplicate_points(self):
+        points = np.zeros((10, 3))
+        tree = KDTree(points)
+        idx, dist = tree.query(points[:2], 4, exclude_self=False)
+        np.testing.assert_allclose(dist, 0.0)
+
+    def test_leaf_size_one(self):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(20, 2))
+        tree = KDTree(points, leaf_size=1)
+        idx, dist = tree.query(points, 3, exclude_self=True)
+        ref_idx, ref_dist = brute_reference(points, points, 3, True)
+        np.testing.assert_allclose(dist, ref_dist, atol=1e-9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((0, 2)))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((3, 2)), leaf_size=0)
+
+    def test_query_dim_mismatch(self):
+        tree = KDTree(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros((1, 2)), 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=50),
+        dim=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_agrees_with_brute(self, n, dim, k, seed):
+        if k >= n:
+            k = n - 1
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, dim))
+        tree = KDTree(points)
+        ti, td = tree.query(points, k, exclude_self=True)
+        bi, bd = brute_reference(points, points, k, True)
+        np.testing.assert_allclose(td, bd, atol=1e-9)

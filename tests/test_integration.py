@@ -1,0 +1,186 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the full pipeline — dataset -> graph -> every ranker ->
+metrics — and assert the cross-method relationships the paper's evaluation
+depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    EMRRanker,
+    ExactRanker,
+    FMRRanker,
+    IterativeRanker,
+    MogulRanker,
+    build_knn_graph,
+)
+from repro.datasets import make_coil, make_nuswide
+from repro.eval import p_at_k, rank_correlation, retrieval_precision
+
+
+@pytest.fixture(scope="module")
+def coil_setup():
+    dataset = make_coil(n_objects=12, n_poses=24, seed=0)
+    graph = dataset.build_graph(k=5)
+    return dataset, graph
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_rank_same_graph(self, coil_setup):
+        _, graph = coil_setup
+        rankers = [
+            ExactRanker(graph),
+            IterativeRanker(graph),
+            MogulRanker(graph),
+            MogulRanker(graph, exact=True),
+            EMRRanker(graph, n_anchors=30, seed=0),
+            FMRRanker(graph, n_partitions=6, seed=0),
+        ]
+        query = 10
+        for ranker in rankers:
+            result = ranker.top_k(query, 5)
+            assert len(result) == 5
+            assert query not in result.indices
+            assert np.all(np.diff(result.scores) <= 1e-12)
+
+    def test_exact_family_agrees(self, coil_setup):
+        """Inverse, tight Iterative and MogulE are all the same ranking."""
+        _, graph = coil_setup
+        exact = ExactRanker(graph)
+        iterative = IterativeRanker(graph, tolerance=1e-12)
+        mogul_e = MogulRanker(graph, exact=True)
+        q = 3
+        ref = exact.scores(q)
+        np.testing.assert_allclose(iterative.scores(q), ref, atol=1e-8)
+        np.testing.assert_allclose(mogul_e.scores(q), ref, atol=1e-9)
+
+    def test_mogul_p_at_k_beats_low_anchor_emr(self, coil_setup):
+        """The paper's headline accuracy claim (Figure 2): Mogul's answers
+        match the exact ones better than EMR with few anchors."""
+        _, graph = coil_setup
+        exact = ExactRanker(graph)
+        mogul = MogulRanker(graph)
+        emr = EMRRanker(graph, n_anchors=10, seed=0)
+        rng = np.random.default_rng(1)
+        queries = rng.choice(graph.n_nodes, 12, replace=False)
+        mogul_p, emr_p = [], []
+        for q in queries:
+            ref = exact.top_k(int(q), 5).indices
+            mogul_p.append(p_at_k(mogul.top_k(int(q), 5).indices, ref))
+            emr_p.append(p_at_k(emr.top_k(int(q), 5).indices, ref))
+        assert np.mean(mogul_p) > np.mean(emr_p)
+        assert np.mean(mogul_p) >= 0.7
+
+    def test_mogul_retrieval_precision_high(self, coil_setup):
+        """>90% semantic precision on the COIL substitute (Figure 3)."""
+        dataset, graph = coil_setup
+        mogul = MogulRanker(graph)
+        rng = np.random.default_rng(2)
+        queries = rng.choice(graph.n_nodes, 15, replace=False)
+        precisions = [
+            retrieval_precision(
+                mogul.top_k(int(q), 5).indices,
+                dataset.labels,
+                int(dataset.labels[int(q)]),
+            )
+            for q in queries
+        ]
+        assert np.mean(precisions) >= 0.9
+
+    def test_mogul_scores_correlate_with_exact(self, coil_setup):
+        _, graph = coil_setup
+        exact = ExactRanker(graph)
+        mogul = MogulRanker(graph)
+        # global Spearman over ALL nodes includes the mass of ~zero-score
+        # nodes whose relative ranks are approximation noise; moderate
+        # positive correlation plus the P@k test above is the meaningful
+        # joint check.
+        corr = rank_correlation(mogul.scores(5), exact.scores(5))
+        assert corr > 0.5
+
+
+class TestScalingBehaviour:
+    def test_mogul_work_grows_sublinearly_with_pruning(self):
+        """On clusterable data the number of *scored* nodes stays near the
+        query's cluster size even as n grows — the practical sub-O(n)
+        behaviour the paper highlights after Theorem 2."""
+        scored_fractions = []
+        for n_concepts, n_points in ((10, 600), (20, 1200), (40, 2400)):
+            ds = make_nuswide(
+                n_points=n_points, n_concepts=n_concepts, center_scale=12.0, seed=0
+            )
+            graph = ds.build_graph(k=5)
+            ranker = MogulRanker(graph)
+            ranker.top_k(0, 5)
+            scored_fractions.append(ranker.last_stats.nodes_scored / n_points)
+        # fraction of scored nodes must not grow with n
+        assert scored_fractions[-1] <= scored_fractions[0] + 0.1
+
+    def test_factor_nnz_linear_in_n(self):
+        """O(n) memory (Theorem 3): factor nnz grows linearly, not
+        quadratically."""
+        nnz = []
+        sizes = (400, 800, 1600)
+        for n in sizes:
+            ds = make_nuswide(n_points=n, n_concepts=10, seed=1)
+            graph = ds.build_graph(k=5)
+            ranker = MogulRanker(graph)
+            nnz.append(ranker.index.factors.nnz)
+        ratio_small = nnz[1] / nnz[0]
+        ratio_large = nnz[2] / nnz[1]
+        assert ratio_large < 3.0  # quadratic would give ~4x per doubling
+        assert ratio_small < 3.0
+
+
+class TestOutOfSampleIntegration:
+    def test_oos_precision_on_coil(self, coil_setup):
+        dataset, _ = coil_setup
+        reduced, held_features, held_labels = dataset.holdout_split(10, seed=3)
+        graph = build_knn_graph(reduced.features, k=5)
+        mogul = MogulRanker(graph)
+        emr = EMRRanker(graph, n_anchors=30, seed=0)
+        mogul_prec, emr_prec = [], []
+        for feature, label in zip(held_features, held_labels):
+            m = mogul.top_k_out_of_sample(feature, 5)
+            e = emr.top_k_out_of_sample(feature, 5)
+            mogul_prec.append(
+                retrieval_precision(m.indices, reduced.labels, int(label))
+            )
+            emr_prec.append(
+                retrieval_precision(e.indices, reduced.labels, int(label))
+            )
+        # The paper's out-of-sample claim is about *speed* (Figure 7:
+        # Mogul up to 35x faster); both methods retrieve semantically
+        # well here, so assert quality floors for each rather than a
+        # margin between them.
+        assert np.mean(mogul_prec) >= 0.8
+        assert np.mean(emr_prec) >= 0.8
+
+
+class TestPublicAPI:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+    def test_quickstart_flow(self):
+        """The README quickstart, verbatim in spirit."""
+        rng = np.random.default_rng(0)
+        features = np.vstack(
+            [rng.normal(loc=c * 3, scale=0.5, size=(40, 16)) for c in range(3)]
+        )
+        graph = build_knn_graph(features, k=5)
+        ranker = MogulRanker(graph)
+        result = ranker.top_k(0, 10)
+        assert len(result) == 10
+        assert result.scores[0] >= result.scores[-1]

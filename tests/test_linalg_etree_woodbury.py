@@ -1,0 +1,128 @@
+"""Tests for the elimination tree, ereach and the Woodbury helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    complete_ldl,
+    elimination_tree,
+    ereach,
+    low_rank_regularized_apply,
+    woodbury_solve,
+)
+from repro.ranking.normalize import ranking_matrix
+from tests.conftest import random_symmetric_adjacency
+
+
+class TestEliminationTree:
+    def test_parent_indices_increase(self):
+        w = ranking_matrix(random_symmetric_adjacency(30, seed=0), 0.9)
+        parent = elimination_tree(w)
+        for j, p in enumerate(parent):
+            assert p == -1 or p > j
+
+    def test_chain_structure(self):
+        """A path graph 0-1-2-3 yields parent[i] = i+1."""
+        adj = sp.diags([np.ones(3)], offsets=[1], shape=(4, 4))
+        adj = (adj + adj.T).tocsr()
+        parent = elimination_tree(ranking_matrix(adj, 0.5))
+        np.testing.assert_array_equal(parent, [1, 2, 3, -1])
+
+    def test_star_structure(self):
+        """A star centred at the last node: every leaf's parent is the hub."""
+        n = 6
+        rows = np.arange(n - 1)
+        cols = np.full(n - 1, n - 1)
+        adj = sp.csr_matrix((np.ones(n - 1), (rows, cols)), shape=(n, n))
+        adj = (adj + adj.T).tocsr()
+        parent = elimination_tree(ranking_matrix(adj, 0.5))
+        np.testing.assert_array_equal(parent[:-1], np.full(n - 1, n - 1))
+        assert parent[-1] == -1
+
+    def test_ereach_predicts_factor_pattern(self):
+        """The union of ereach(k) over k equals the strict-lower pattern of
+        the complete factor (no over- or under-prediction up to exact
+        numerical cancellation, which SPD W does not produce)."""
+        w = ranking_matrix(random_symmetric_adjacency(25, seed=3), 0.9)
+        parent = elimination_tree(w)
+        marks = np.full(25, -1, dtype=np.int64)
+        predicted = set()
+        for k in range(25):
+            for j in ereach(w, k, parent, marks):
+                predicted.add((k, j))
+        factors = complete_ldl(w)
+        actual = set(zip(*factors.lower.nonzero()))
+        assert actual == predicted
+
+    def test_ereach_sorted(self):
+        w = ranking_matrix(random_symmetric_adjacency(20, seed=4), 0.9)
+        parent = elimination_tree(w)
+        marks = np.full(20, -1, dtype=np.int64)
+        for k in range(20):
+            reach = ereach(w, k, parent, marks)
+            assert reach == sorted(reach)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            elimination_tree(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestWoodbury:
+    def test_matches_dense_inverse(self):
+        rng = np.random.default_rng(0)
+        n, r = 12, 3
+        a_diag = rng.random(n) + 1.0
+        u = rng.normal(size=(n, r))
+        c = np.diag(rng.random(r) + 0.5)
+        v = rng.normal(size=(r, n))
+        b = rng.random(n)
+        full = np.diag(a_diag) + u @ c @ v
+        expected = np.linalg.solve(full, b)
+        got = woodbury_solve(lambda x: (x.T / a_diag).T, u, c, v, b)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            woodbury_solve(
+                lambda x: x,
+                np.ones((4, 2)),
+                np.eye(2),
+                np.ones((3, 4)),
+                np.ones(4),
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=15),
+        d=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+        alpha=st.floats(min_value=0.1, max_value=0.95),
+    )
+    def test_low_rank_regularized_apply(self, n, d, seed, alpha):
+        """(I - alpha H^T H)^{-1} q via Woodbury equals the dense solve,
+        whenever the system is well posed (||H||^2 alpha < 1 suffices)."""
+        rng = np.random.default_rng(seed)
+        h = rng.normal(size=(d, n))
+        h /= np.linalg.norm(h, 2) + 1e-9  # spectral norm <= 1
+        q = rng.random(n)
+        dense = np.eye(n) - alpha * h.T @ h
+        expected = np.linalg.solve(dense, q)
+        got = low_rank_regularized_apply(h, q, alpha)
+        np.testing.assert_allclose(got, expected, atol=1e-8)
+
+    def test_low_rank_apply_sparse_h(self):
+        rng = np.random.default_rng(1)
+        h = sp.random(3, 20, density=0.4, random_state=2, format="csr")
+        h = h / (sp.linalg.norm(h) + 1e-9)
+        q = rng.random(20)
+        dense = np.eye(20) - 0.9 * (h.T @ h).toarray()
+        np.testing.assert_allclose(
+            low_rank_regularized_apply(h, q, 0.9),
+            np.linalg.solve(dense, q),
+            atol=1e-8,
+        )

@@ -1,0 +1,174 @@
+"""Tests for level-of-fill Incomplete Cholesky (incomplete_ldl(fill_level=p)).
+
+The knob must interpolate between the paper's ICF (p = 0) and Modified
+Cholesky (p large): non-zeros grow monotonically with p, the approximation
+error falls, a large enough p reproduces the complete factorization
+exactly, and the bordered block-diagonal structure of Lemma 3 survives
+every level (the ClusterSolver constructor enforces it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import MogulRanker
+from repro.core.permutation import build_permutation
+from repro.core.solver import ClusterSolver
+from repro.linalg.ldl import complete_ldl, incomplete_ldl
+from repro.linalg.triangular import ldl_solve
+from repro.ranking.normalize import ranking_matrix
+
+
+@pytest.fixture(scope="module")
+def permuted_w(bridged_graph):
+    perm = build_permutation(bridged_graph.adjacency)
+    w = perm.permute_matrix(ranking_matrix(bridged_graph.adjacency, 0.95))
+    return perm, w
+
+
+class TestInterpolation:
+    def test_level_zero_is_paper_icf(self, permuted_w):
+        _, w = permuted_w
+        base = incomplete_ldl(w)
+        leveled = incomplete_ldl(w, fill_level=0)
+        assert base.nnz == leveled.nnz
+        np.testing.assert_allclose(
+            base.lower.toarray(), leveled.lower.toarray(), atol=0
+        )
+
+    def test_nnz_monotone_in_level(self, permuted_w):
+        _, w = permuted_w
+        sizes = [incomplete_ldl(w, fill_level=p).nnz for p in range(5)]
+        assert sizes == sorted(sizes)
+
+    def test_error_decreases_with_level(self, permuted_w):
+        _, w = permuted_w
+        exact = complete_ldl(w)
+        q = np.zeros(w.shape[0])
+        q[5] = 0.05
+        reference = ldl_solve(exact, q)
+
+        def relative_error(level: int) -> float:
+            approx = ldl_solve(incomplete_ldl(w, fill_level=level), q)
+            return float(
+                np.linalg.norm(approx - reference) / np.linalg.norm(reference)
+            )
+
+        errors = [relative_error(p) for p in (0, 2, 6)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_large_level_matches_complete(self, permuted_w):
+        _, w = permuted_w
+        exact = complete_ldl(w)
+        leveled = incomplete_ldl(w, fill_level=w.shape[0])
+        assert leveled.nnz == exact.nnz
+        np.testing.assert_allclose(
+            leveled.lower.toarray(), exact.lower.toarray(), atol=1e-10
+        )
+        np.testing.assert_allclose(leveled.diag, exact.diag, atol=1e-10)
+
+    def test_pattern_contains_original(self, permuted_w):
+        """Fill may only ADD entries; W's own pattern is always kept."""
+        _, w = permuted_w
+        base = incomplete_ldl(w).lower.toarray() != 0
+        leveled = incomplete_ldl(w, fill_level=2).lower.toarray() != 0
+        assert np.all(leveled[base])
+
+    def test_negative_level_rejected(self, permuted_w):
+        _, w = permuted_w
+        with pytest.raises(ValueError, match="fill_level"):
+            incomplete_ldl(w, fill_level=-1)
+
+
+class TestPropertyBased:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(min_value=4, max_value=25),
+        seed=st.integers(min_value=0, max_value=500),
+        level=st.integers(min_value=0, max_value=3),
+    )
+    def test_pattern_nested_across_levels(self, n, seed, level):
+        """The level-p pattern is always contained in the level-(p+1)
+        pattern, on arbitrary SPD matrices from random graphs."""
+        from tests.conftest import random_symmetric_adjacency
+        from repro.ranking.normalize import ranking_matrix
+
+        adjacency = random_symmetric_adjacency(n, seed=seed)
+        w = ranking_matrix(adjacency, 0.9)
+        smaller = incomplete_ldl(w, fill_level=level).lower.toarray() != 0
+        larger = incomplete_ldl(w, fill_level=level + 1).lower.toarray() != 0
+        assert np.all(larger[smaller])
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_full_level_equals_complete(self, n, seed):
+        from tests.conftest import random_symmetric_adjacency
+        from repro.ranking.normalize import ranking_matrix
+
+        adjacency = random_symmetric_adjacency(n, seed=seed)
+        w = ranking_matrix(adjacency, 0.9)
+        leveled = incomplete_ldl(w, fill_level=n)
+        exact = complete_ldl(w)
+        np.testing.assert_allclose(
+            leveled.lower.toarray(), exact.lower.toarray(), atol=1e-9
+        )
+        np.testing.assert_allclose(leveled.diag, exact.diag, atol=1e-9)
+
+
+class TestStructurePreserved:
+    @pytest.mark.parametrize("level", [1, 3])
+    def test_bordered_structure_survives_fill(self, bridged_graph, level):
+        """Lemma 3 at any fill level: the ClusterSolver's structural
+        validation must accept the filled factor."""
+        perm = build_permutation(bridged_graph.adjacency)
+        w = perm.permute_matrix(ranking_matrix(bridged_graph.adjacency, 0.95))
+        factors = incomplete_ldl(w, fill_level=level)
+        ClusterSolver(factors, perm)  # raises on violation
+
+
+class TestRankerIntegration:
+    def test_fill_level_improves_p_at_k(self, bridged_graph):
+        from repro.eval.metrics import p_at_k
+        from repro.ranking.exact import ExactRanker
+
+        exact = ExactRanker(bridged_graph, alpha=0.95)
+        plain = MogulRanker(bridged_graph, alpha=0.95)
+        filled = MogulRanker(bridged_graph, alpha=0.95, fill_level=4)
+        assert filled.index.factors.nnz >= plain.index.factors.nnz
+        scores = {"plain": [], "filled": []}
+        for query in (0, 20, 60, 81):
+            reference = exact.top_k(query, 8)
+            scores["plain"].append(
+                p_at_k(plain.top_k(query, 8).indices, reference.indices)
+            )
+            scores["filled"].append(
+                p_at_k(filled.top_k(query, 8).indices, reference.indices)
+            )
+        assert np.mean(scores["filled"]) >= np.mean(scores["plain"])
+
+    def test_answers_still_exact_wrt_own_scores(self, bridged_graph):
+        """Pruning safety is independent of the fill level."""
+        from repro.ranking.base import rank_scores
+
+        ranker = MogulRanker(bridged_graph, alpha=0.95, fill_level=2)
+        for query in (3, 47):
+            full = ranker.scores(query)
+            reference = rank_scores(full, 6, exclude=query)
+            result = ranker.top_k(query, 6)
+            np.testing.assert_allclose(
+                result.scores, reference.scores, atol=1e-12
+            )
+
+    def test_fill_level_rejected_for_exact(self, bridged_graph):
+        from repro.core.index import MogulIndex
+
+        with pytest.raises(ValueError, match="fill_level"):
+            MogulIndex.build(
+                bridged_graph, factorization="complete", fill_level=1
+            )

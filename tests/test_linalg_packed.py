@@ -1,0 +1,151 @@
+"""Tests for the packed triangular solver (repro.linalg.packed).
+
+The contract: :class:`PackedUnitLower` answers repeated unit-triangular
+solves and must agree, to machine precision, with dense numpy reference
+solves and with the public-API fallback — whichever kernel it picked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.packed import HAVE_SUPERLU_GSTRS, PackedUnitLower
+
+
+def random_strict_lower(n: int, density: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n, n)) * (rng.random((n, n)) < density)
+    return sp.csr_matrix(np.tril(dense, k=-1))
+
+
+def dense_unit_lower(strict: sp.csr_matrix) -> np.ndarray:
+    return strict.toarray() + np.eye(strict.shape[0])
+
+
+class TestAgainstDenseReference:
+    @pytest.mark.parametrize("n", [2, 3, 10, 57])
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.6])
+    def test_solve_lower(self, n, density):
+        strict = random_strict_lower(n, density, seed=n)
+        packed = PackedUnitLower(strict)
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=n)
+        expected = np.linalg.solve(dense_unit_lower(strict), b)
+        np.testing.assert_allclose(packed.solve_lower(b), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [2, 3, 10, 57])
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.6])
+    def test_solve_upper(self, n, density):
+        strict = random_strict_lower(n, density, seed=n + 100)
+        packed = PackedUnitLower(strict)
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=n)
+        expected = np.linalg.solve(dense_unit_lower(strict).T, b)
+        np.testing.assert_allclose(packed.solve_upper(b), expected, atol=1e-10)
+
+    def test_repeated_solves_are_stable(self):
+        """The packed arrays must not be corrupted by solving."""
+        strict = random_strict_lower(20, 0.3, seed=5)
+        packed = PackedUnitLower(strict)
+        b = np.arange(20, dtype=np.float64)
+        first = packed.solve_lower(b)
+        for _ in range(5):
+            np.testing.assert_array_equal(packed.solve_lower(b), first)
+
+    def test_input_vector_not_mutated(self):
+        strict = random_strict_lower(15, 0.4, seed=9)
+        packed = PackedUnitLower(strict)
+        b = np.ones(15)
+        before = b.copy()
+        packed.solve_lower(b)
+        packed.solve_upper(b)
+        np.testing.assert_array_equal(b, before)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.skipif(not HAVE_SUPERLU_GSTRS, reason="no SuperLU kernel")
+    @pytest.mark.parametrize("n", [2, 16, 40])
+    def test_superlu_matches_fallback(self, n):
+        strict = random_strict_lower(n, 0.25, seed=n)
+        fast = PackedUnitLower(strict, use_superlu=True)
+        slow = PackedUnitLower(strict, use_superlu=False)
+        assert fast.uses_superlu and not slow.uses_superlu
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            b = rng.normal(size=n)
+            np.testing.assert_allclose(
+                fast.solve_lower(b), slow.solve_lower(b), atol=1e-12
+            )
+            np.testing.assert_allclose(
+                fast.solve_upper(b), slow.solve_upper(b), atol=1e-12
+            )
+
+
+class TestEdgeCases:
+    def test_empty_block(self):
+        packed = PackedUnitLower(sp.csr_matrix((0, 0)))
+        assert packed.n == 0
+        assert packed.nnz == 0
+        result = packed.solve_lower(np.empty(0))
+        assert result.shape == (0,)
+
+    def test_single_row_block_is_identity(self):
+        packed = PackedUnitLower(sp.csr_matrix((1, 1)))
+        np.testing.assert_array_equal(packed.solve_lower(np.asarray([3.5])), [3.5])
+        np.testing.assert_array_equal(packed.solve_upper(np.asarray([-2.0])), [-2.0])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            PackedUnitLower(sp.csr_matrix(np.zeros((2, 3))))
+
+    def test_rejects_diagonal_entries(self):
+        bad = sp.csr_matrix(np.diag([1.0, 2.0]))
+        with pytest.raises(ValueError, match="on or above"):
+            PackedUnitLower(bad)
+
+    def test_rejects_upper_entries(self):
+        bad = sp.csr_matrix(np.asarray([[0.0, 1.0], [0.5, 0.0]]))
+        with pytest.raises(ValueError, match="on or above"):
+            PackedUnitLower(bad)
+
+    def test_tolerates_explicit_zeros_above_diagonal(self):
+        # Construct with an explicitly *stored* zero above the diagonal.
+        matrix = sp.csr_matrix(
+            (np.asarray([0.0, 0.5]), (np.asarray([0, 1]), np.asarray([1, 0]))),
+            shape=(2, 2),
+        )
+        packed = PackedUnitLower(matrix)
+        np.testing.assert_allclose(
+            packed.solve_lower(np.asarray([1.0, 1.0])), [1.0, 0.5]
+        )
+
+    def test_rejects_wrong_rhs_shape(self):
+        packed = PackedUnitLower(random_strict_lower(4, 0.5, seed=0))
+        with pytest.raises(ValueError, match="shape"):
+            packed.solve_lower(np.zeros(5))
+
+    def test_nnz_counts_unit_diagonal(self):
+        strict = random_strict_lower(10, 0.3, seed=3)
+        packed = PackedUnitLower(strict)
+        assert packed.nnz == strict.nnz + 10
+
+
+class TestPropertyBased:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_solve_then_multiply_roundtrip(self, n, seed):
+        """(I+L) @ solve_lower(b) == b and (I+L)^T @ solve_upper(b) == b."""
+        strict = random_strict_lower(n, 0.3, seed=seed)
+        packed = PackedUnitLower(strict)
+        rng = np.random.default_rng(seed)
+        b = rng.normal(size=n)
+        unit = dense_unit_lower(strict)
+        np.testing.assert_allclose(unit @ packed.solve_lower(b), b, atol=1e-8)
+        np.testing.assert_allclose(unit.T @ packed.solve_upper(b), b, atol=1e-8)

@@ -1,0 +1,103 @@
+"""Tests for forward/back substitution, full and row-restricted."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    back_substitute,
+    back_substitute_rows,
+    complete_ldl,
+    forward_substitute,
+    forward_substitute_rows,
+    incomplete_ldl,
+    ldl_solve,
+)
+from repro.ranking.normalize import ranking_matrix
+from tests.conftest import random_symmetric_adjacency
+
+
+@pytest.fixture(scope="module")
+def factors():
+    w = ranking_matrix(random_symmetric_adjacency(40, seed=1), 0.9)
+    return complete_ldl(w), w
+
+
+class TestForwardSubstitute:
+    def test_solves_ld_system(self, factors):
+        ldl, _ = factors
+        b = np.random.default_rng(0).random(40)
+        y = forward_substitute(ldl, b)
+        l_full = (ldl.lower + sp.identity(40)).toarray()
+        np.testing.assert_allclose(l_full @ np.diag(ldl.diag) @ y, b, atol=1e-9)
+
+    def test_restricted_rows_match_full_on_prefix(self, factors):
+        """Restricting to a prefix 0..m-1 gives the same values there,
+        because forward substitution is causal in the row order."""
+        ldl, _ = factors
+        b = np.random.default_rng(1).random(40)
+        full = forward_substitute(ldl, b)
+        restricted = forward_substitute_rows(ldl, b, range(15))
+        np.testing.assert_allclose(restricted[:15], full[:15], atol=1e-12)
+        np.testing.assert_array_equal(restricted[15:], 0.0)
+
+    def test_rejects_wrong_length(self, factors):
+        ldl, _ = factors
+        with pytest.raises(ValueError):
+            forward_substitute(ldl, np.zeros(5))
+
+    def test_duplicate_rows_are_deduplicated(self, factors):
+        ldl, _ = factors
+        b = np.random.default_rng(2).random(40)
+        once = forward_substitute_rows(ldl, b, [0, 1, 2])
+        twice = forward_substitute_rows(ldl, b, [0, 1, 2, 2, 1, 0])
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestBackSubstitute:
+    def test_solves_u_system(self, factors):
+        ldl, _ = factors
+        y = np.random.default_rng(3).random(40)
+        x = back_substitute(ldl, y)
+        u_full = (ldl.upper + sp.identity(40)).toarray()
+        np.testing.assert_allclose(u_full @ x, y, atol=1e-9)
+
+    def test_restricted_suffix_matches_full(self, factors):
+        """Back substitution is causal from the end: a suffix restriction
+        reproduces the full values on that suffix."""
+        ldl, _ = factors
+        y = np.random.default_rng(4).random(40)
+        full = back_substitute(ldl, y)
+        out = np.zeros(40)
+        back_substitute_rows(ldl, y, range(25, 40), out=out)
+        np.testing.assert_allclose(out[25:], full[25:], atol=1e-12)
+
+    def test_incremental_extension(self, factors):
+        """Computing the suffix first, then an earlier chunk into the same
+        buffer, equals one full pass — the mechanism behind Lemma 5."""
+        ldl, _ = factors
+        y = np.random.default_rng(5).random(40)
+        full = back_substitute(ldl, y)
+        out = np.zeros(40)
+        back_substitute_rows(ldl, y, range(25, 40), out=out)
+        back_substitute_rows(ldl, y, range(10, 25), out=out)
+        back_substitute_rows(ldl, y, range(0, 10), out=out)
+        np.testing.assert_allclose(out, full, atol=1e-12)
+
+
+class TestLdlSolve:
+    def test_matches_dense_solve(self, factors):
+        ldl, w = factors
+        b = np.random.default_rng(6).random(40)
+        np.testing.assert_allclose(
+            ldl_solve(ldl, b), np.linalg.solve(w.toarray(), b), atol=1e-8
+        )
+
+    def test_incomplete_solve_is_approximate_but_finite(self):
+        w = ranking_matrix(random_symmetric_adjacency(40, seed=9), 0.9)
+        ldl = incomplete_ldl(w)
+        b = np.random.default_rng(7).random(40)
+        x = ldl_solve(ldl, b)
+        assert np.all(np.isfinite(x))

@@ -1,0 +1,147 @@
+"""Tests for multi-seed queries (relevance feedback, He et al. [7]).
+
+Key invariants:
+
+* Mogul's native multi-seed search returns exactly the top-k of the
+  multi-seed approximate score vector (pruning safety carries over).
+* All rankers agree that the multi-seed score vector is the weighted
+  combination of single-seed vectors (linearity of Eq. 2).
+* Weight validation and seed exclusion behave as documented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.emr import EMRRanker
+from repro.core.index import MogulRanker
+from repro.ranking.base import normalize_seed_weights, rank_scores
+from repro.ranking.exact import ExactRanker
+from repro.ranking.iterative import IterativeRanker
+
+
+class TestMogulMultiSeed:
+    def test_matches_bruteforce_of_vector_scores(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph, alpha=0.95)
+        seeds = np.asarray([3, 47, 81])
+        q = np.zeros(ranker.n_nodes)
+        q[seeds] = 1.0 / seeds.size
+        full = ranker.scores_for_vector(q)
+        expected = rank_scores(full, 7, exclude_many=seeds)
+        result = ranker.top_k_multi(seeds, 7)
+        np.testing.assert_allclose(result.scores, expected.scores, atol=1e-12)
+        for pos, (i, j) in enumerate(zip(result.indices, expected.indices)):
+            if i != j:  # tie-tolerant
+                assert result.scores[pos] == pytest.approx(expected.scores[pos])
+
+    def test_weighted_seeds(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph, alpha=0.95)
+        seeds = np.asarray([0, 50])
+        weights = np.asarray([3.0, 1.0])
+        q = np.zeros(ranker.n_nodes)
+        q[seeds] = weights / weights.sum()
+        expected = rank_scores(ranker.scores_for_vector(q), 5, exclude_many=seeds)
+        result = ranker.top_k_multi(seeds, 5, weights=weights)
+        np.testing.assert_allclose(result.scores, expected.scores, atol=1e-12)
+
+    def test_single_seed_equals_top_k(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph, alpha=0.95)
+        single = ranker.top_k(11, 5)
+        multi = ranker.top_k_multi([11], 5)
+        np.testing.assert_array_equal(single.indices, multi.indices)
+        np.testing.assert_allclose(single.scores, multi.scores, atol=1e-12)
+
+    def test_include_seeds(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph, alpha=0.95)
+        seeds = [5, 6]
+        result = ranker.top_k_multi(seeds, 10, exclude_queries=False)
+        assert set(seeds) <= set(result.indices.tolist())
+
+    def test_exclude_seeds(self, bridged_graph):
+        ranker = MogulRanker(bridged_graph, alpha=0.95)
+        seeds = [5, 6]
+        result = ranker.top_k_multi(seeds, 10)
+        assert not set(seeds) & set(result.indices.tolist())
+
+    def test_pruning_stats_populated(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph, alpha=0.95)
+        ranker.top_k_multi([0, 1], 5)
+        assert ranker.last_stats is not None
+        assert ranker.last_stats.nodes_scored > 0
+
+
+class TestLinearity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda g: ExactRanker(g, alpha=0.9),
+            lambda g: IterativeRanker(g, alpha=0.9, tolerance=1e-12),
+            lambda g: EMRRanker(g, alpha=0.9, n_anchors=12),
+            lambda g: MogulRanker(g, alpha=0.9),
+        ],
+        ids=["exact", "iterative", "emr", "mogul"],
+    )
+    def test_vector_scores_are_linear(self, clustered_graph, factory):
+        ranker = factory(clustered_graph)
+        q = np.zeros(ranker.n_nodes)
+        q[4] = 0.25
+        q[77] = 0.75
+        combined = ranker.scores_for_vector(q)
+        separate = 0.25 * ranker.scores(4) + 0.75 * ranker.scores(77)
+        np.testing.assert_allclose(combined, separate, atol=1e-6)
+
+    def test_base_class_multi_matches_mogul_multi(self, clustered_graph):
+        """The generic (base-class) path and Mogul's native path rank the
+        same approximate score vector, so answers agree."""
+        mogul = MogulRanker(clustered_graph, alpha=0.9)
+        seeds = np.asarray([2, 60])
+        native = mogul.top_k_multi(seeds, 6)
+        # Force the generic implementation with the same scores:
+        from repro.ranking.base import Ranker
+
+        generic = Ranker.top_k_multi(mogul, seeds, 6)
+        np.testing.assert_allclose(native.scores, generic.scores, atol=1e-10)
+
+
+class TestValidation:
+    def test_empty_seed_set_rejected(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        with pytest.raises(ValueError, match="non-empty"):
+            ranker.top_k_multi([], 5)
+
+    def test_duplicate_seeds_rejected(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        with pytest.raises(ValueError, match="duplicate"):
+            ranker.top_k_multi([1, 1], 5)
+
+    def test_out_of_range_seed_rejected(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        with pytest.raises(ValueError, match="out of range"):
+            ranker.top_k_multi([0, ranker.n_nodes], 5)
+
+    def test_bad_weights_rejected(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph)
+        with pytest.raises(ValueError, match="positive"):
+            ranker.top_k_multi([0, 1], 5, weights=np.asarray([1.0, -1.0]))
+        with pytest.raises(ValueError, match="shape"):
+            ranker.top_k_multi([0, 1], 5, weights=np.asarray([1.0]))
+
+    def test_normalize_seed_weights_uniform_default(self):
+        weights = normalize_seed_weights(None, 4)
+        np.testing.assert_allclose(weights, np.full(4, 0.25))
+
+    def test_normalize_seed_weights_sums_to_one(self):
+        weights = normalize_seed_weights(np.asarray([2.0, 6.0]), 2)
+        np.testing.assert_allclose(weights, [0.25, 0.75])
+
+
+class TestBatch:
+    def test_batch_matches_individual(self, clustered_graph):
+        ranker = MogulRanker(clustered_graph, alpha=0.9)
+        queries = [0, 5, 110]
+        batch = ranker.top_k_batch(queries, 4)
+        assert len(batch) == len(queries)
+        for query, result in zip(queries, batch):
+            single = ranker.top_k(query, 4)
+            np.testing.assert_array_equal(result.indices, single.indices)

@@ -1,0 +1,220 @@
+"""Tests for the ranking problem definition and reference solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking import (
+    ExactRanker,
+    IterativeRanker,
+    TopKResult,
+    cost_function,
+    query_vector,
+    ranking_matrix,
+    symmetric_normalize,
+)
+from repro.ranking.base import rank_scores
+from tests.conftest import graph_from_adjacency, random_symmetric_adjacency
+
+
+class TestNormalize:
+    def test_spectral_radius_at_most_one(self):
+        for seed in range(5):
+            s = symmetric_normalize(random_symmetric_adjacency(20, seed=seed))
+            eigvals = np.linalg.eigvalsh(s.toarray())
+            assert np.max(np.abs(eigvals)) <= 1.0 + 1e-9
+
+    def test_w_is_spd(self):
+        for alpha in (0.5, 0.9, 0.99):
+            w = ranking_matrix(random_symmetric_adjacency(25, seed=1), alpha)
+            eigvals = np.linalg.eigvalsh(w.toarray())
+            assert np.min(eigvals) > 0
+            assert np.min(eigvals) >= (1 - alpha) - 1e-9
+            assert np.max(eigvals) <= (1 + alpha) + 1e-9
+
+    def test_isolated_nodes_zero_rows(self):
+        adj = sp.lil_matrix((4, 4))
+        adj[0, 1] = adj[1, 0] = 1.0
+        s = symmetric_normalize(adj.tocsr())
+        np.testing.assert_array_equal(s.toarray()[2], 0.0)
+        np.testing.assert_array_equal(s.toarray()[3], 0.0)
+
+    def test_symmetry_preserved(self):
+        s = symmetric_normalize(random_symmetric_adjacency(15, seed=2))
+        np.testing.assert_allclose(s.toarray(), s.toarray().T, atol=1e-12)
+
+    def test_query_vector(self):
+        q = query_vector(5, 2)
+        assert q[2] == 1.0 and q.sum() == 1.0
+        with pytest.raises(ValueError):
+            query_vector(5, 5)
+        with pytest.raises(ValueError):
+            query_vector(5, -1)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ranking_matrix(random_symmetric_adjacency(5, seed=0), 1.0)
+
+
+class TestExactRanker:
+    def test_closed_form(self):
+        adj = random_symmetric_adjacency(20, seed=3)
+        graph = graph_from_adjacency(adj)
+        ranker = ExactRanker(graph, alpha=0.9)
+        w = ranking_matrix(adj, 0.9).toarray()
+        for q in (0, 7, 19):
+            expected = 0.1 * np.linalg.solve(w, query_vector(20, q))
+            np.testing.assert_allclose(ranker.scores(q), expected, atol=1e-10)
+
+    def test_all_methods_agree(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(15, seed=4))
+        a = ExactRanker(graph, method="inverse")
+        b = ExactRanker(graph, method="factorized")
+        c = ExactRanker(graph, method="per_query_inverse")
+        np.testing.assert_allclose(a.scores(3), b.scores(3), atol=1e-10)
+        np.testing.assert_allclose(a.scores(3), c.scores(3), atol=1e-10)
+        q = np.zeros(15)
+        q[3] = 1.0
+        np.testing.assert_allclose(
+            c.scores_for_vector(q), a.scores_for_vector(q), atol=1e-10
+        )
+
+    def test_scores_nonnegative(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(20, seed=5))
+        scores = ExactRanker(graph, alpha=0.99).scores(0)
+        assert np.all(scores >= -1e-12)
+
+    def test_query_has_top_score_at_moderate_alpha(self):
+        """For small alpha the fitting constraint dominates and the query
+        itself must score highest ((I - aS)^-1 ~ I + aS).  At alpha ~ 1
+        hub nodes can legitimately overtake the query, so this is only
+        asserted away from that regime."""
+        graph = graph_from_adjacency(random_symmetric_adjacency(20, seed=6))
+        scores = ExactRanker(graph, alpha=0.3).scores(4)
+        assert np.argmax(scores) == 4
+
+    def test_minimizes_cost_function(self):
+        """The closed form is the unique minimiser of Eq. (1): random
+        perturbations strictly increase the cost."""
+        adj = random_symmetric_adjacency(15, seed=7)
+        graph = graph_from_adjacency(adj)
+        alpha = 0.8
+        q = query_vector(15, 2)
+        x_star = ExactRanker(graph, alpha=alpha).scores(2)
+        base = cost_function(x_star, adj, alpha, q)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            perturbed = x_star + rng.normal(scale=0.01, size=15)
+            assert cost_function(perturbed, adj, alpha, q) > base
+
+    def test_memory_cap(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(30, seed=8))
+        with pytest.raises(MemoryError):
+            ExactRanker(graph, max_dense_nodes=10)
+
+    def test_method_validation(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(10, seed=9))
+        with pytest.raises(ValueError, match="method"):
+            ExactRanker(graph, method="lu")
+
+    def test_scores_for_vector_multi_seed(self):
+        adj = random_symmetric_adjacency(12, seed=10)
+        graph = graph_from_adjacency(adj)
+        ranker = ExactRanker(graph, alpha=0.9)
+        q = np.zeros(12)
+        q[2] = 0.5
+        q[5] = 0.5
+        combined = ranker.scores_for_vector(q)
+        # linearity of the solve
+        expected = 0.5 * ranker.scores(2) + 0.5 * ranker.scores(5)
+        np.testing.assert_allclose(combined, expected, atol=1e-10)
+
+    def test_top_k_excludes_query_by_default(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(15, seed=11))
+        ranker = ExactRanker(graph)
+        result = ranker.top_k(3, 5)
+        assert 3 not in result.indices
+        # without exclusion the result is exactly the ranking of all scores
+        result_incl = ranker.top_k(3, 5, exclude_query=False)
+        expected = rank_scores(ranker.scores(3), 5)
+        np.testing.assert_array_equal(result_incl.indices, expected.indices)
+
+
+class TestIterativeRanker:
+    def test_converges_to_exact(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(25, seed=12))
+        exact = ExactRanker(graph, alpha=0.9)
+        iterative = IterativeRanker(graph, alpha=0.9, tolerance=1e-12)
+        np.testing.assert_allclose(iterative.scores(5), exact.scores(5), atol=1e-8)
+
+    def test_looser_tolerance_fewer_iterations(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(25, seed=13))
+        loose = IterativeRanker(graph, alpha=0.95, tolerance=1e-2)
+        tight = IterativeRanker(graph, alpha=0.95, tolerance=1e-10)
+        loose.scores(0)
+        tight.scores(0)
+        assert loose.last_iterations < tight.last_iterations
+
+    def test_max_iterations_respected(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(25, seed=14))
+        ranker = IterativeRanker(graph, alpha=0.99, tolerance=1e-30, max_iterations=3)
+        ranker.scores(0)
+        assert ranker.last_iterations == 3
+
+    def test_validation(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(10, seed=15))
+        with pytest.raises(ValueError):
+            IterativeRanker(graph, tolerance=0.0)
+        with pytest.raises(ValueError):
+            IterativeRanker(graph, max_iterations=0)
+
+    def test_query_bounds_checked(self):
+        graph = graph_from_adjacency(random_symmetric_adjacency(10, seed=16))
+        ranker = IterativeRanker(graph)
+        with pytest.raises(ValueError):
+            ranker.scores(10)
+
+
+class TestRankScores:
+    def test_orders_descending(self):
+        scores = np.array([0.1, 0.5, 0.3, 0.9])
+        result = rank_scores(scores, 3)
+        np.testing.assert_array_equal(result.indices, [3, 1, 2])
+        np.testing.assert_allclose(result.scores, [0.9, 0.5, 0.3])
+
+    def test_ties_broken_by_id(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.1])
+        result = rank_scores(scores, 2)
+        np.testing.assert_array_equal(result.indices, [0, 1])
+
+    def test_exclude(self):
+        scores = np.array([0.9, 0.5, 0.3])
+        result = rank_scores(scores, 2, exclude=0)
+        np.testing.assert_array_equal(result.indices, [1, 2])
+
+    def test_k_larger_than_n(self):
+        scores = np.array([0.2, 0.1])
+        result = rank_scores(scores, 10)
+        assert len(result) == 2
+
+    def test_topk_result_validation(self):
+        with pytest.raises(ValueError):
+            TopKResult(indices=np.array([1, 2]), scores=np.array([0.1]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_topk_are_maximal(self, n, k, seed):
+        scores = np.random.default_rng(seed).random(n)
+        result = rank_scores(scores, k)
+        k_eff = min(k, n)
+        assert len(result) == k_eff
+        cutoff = np.sort(scores)[::-1][k_eff - 1]
+        assert np.all(result.scores >= cutoff - 1e-12)

@@ -1,0 +1,148 @@
+"""Tests for repro.utils: rng plumbing, validation, timing."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils import (
+    Timer,
+    as_rng,
+    check_alpha,
+    check_positive_int,
+    check_probability,
+    check_square,
+    check_symmetric,
+    check_vector,
+    spawn_rngs,
+    time_call,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_rng(1).random(8), as_rng(2).random(8))
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_streams_are_independent(self):
+        rngs = spawn_rngs(0, 2)
+        assert not np.allclose(rngs[0].random(8), rngs[1].random(8))
+
+    def test_deterministic_under_seed(self):
+        a = [g.random(3) for g in spawn_rngs(5, 3)]
+        b = [g.random(3) for g in spawn_rngs(5, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_positive_int_accepts_numpy(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_int_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_positive_int_rejects_wrong_type(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.2, "p")
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 2.0])
+    def test_alpha_open_interval(self, bad):
+        with pytest.raises(ValueError, match="alpha"):
+            check_alpha(bad)
+
+    def test_alpha_accepts_interior(self):
+        assert check_alpha(0.99) == 0.99
+
+    def test_vector_shape(self):
+        v = check_vector([1, 2, 3], "v", size=3)
+        assert v.dtype == np.float64
+        with pytest.raises(ValueError, match="length"):
+            check_vector([1, 2], "v", size=3)
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.zeros((2, 2)), "v")
+
+    def test_square(self):
+        check_square(np.zeros((3, 3)), "m")
+        with pytest.raises(ValueError, match="square"):
+            check_square(np.zeros((2, 3)), "m")
+
+    def test_symmetric_dense_and_sparse(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])
+        check_symmetric(m, "m")
+        check_symmetric(sp.csr_matrix(m), "m")
+        m[0, 1] = 2.0
+        with pytest.raises(ValueError, match="symmetric"):
+            check_symmetric(m, "m")
+
+    def test_symmetric_tolerance(self):
+        m = np.array([[0.0, 1.0], [1.0 + 1e-12, 0.0]])
+        check_symmetric(m, "m", tol=1e-10)  # within tol
+        with pytest.raises(ValueError):
+            check_symmetric(m, "m", tol=1e-14)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.02
+        assert len(t.laps) == 2
+        assert t.mean == pytest.approx(t.elapsed / 2)
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and not t.laps and t.mean == 0.0
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda a, b: a + b, 2, b=3, repeats=2)
+        assert result == 5
+        assert seconds >= 0.0
+
+    def test_time_call_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
