@@ -1,0 +1,174 @@
+"""Batched query throughput — queries/sec across batch sizes.
+
+The batched execution engine (:mod:`repro.core.batch`) shares forward
+and border substitutions, bound estimations and cluster back-solves
+across the queries of a batch; this benchmark measures what that buys in
+end-to-end throughput on the synthetic 10k-node graph (the INRIA
+substitute at scale 1.25).
+
+Two entry points:
+
+* ``python benchmarks/bench_batch_throughput.py`` — the full 10k-node
+  run: sweeps batch sizes {1, 8, 32, 128} through
+  :meth:`MogulRanker.top_k_batch`, prints a table, asserts the headline
+  speedup (>= 3x queries/sec at batch=32 vs batch=1) and emits the
+  ``BENCH_batch.json`` trajectory file.
+* ``pytest benchmarks/bench_batch_throughput.py`` — pytest-benchmark
+  timings on the shared conftest datasets (respects
+  ``REPRO_BENCH_SCALE``), grouped per dataset like the figure benches.
+
+Expected shape: batch=1 is the *slowest* configuration (it pays the
+engine's vectorised scan for a single column); throughput rises steeply
+to batch=32 and flattens once the shared solves dominate.  The
+sequential ``top_k`` reference is reported alongside so the batch=1
+engine overhead stays visible.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.index import MogulRanker
+from repro.datasets.registry import load_dataset
+from repro.eval.harness import sample_queries, time_queries, time_query_batches
+
+BATCH_SIZES = (1, 8, 32, 128)
+#: INRIA substitute at this scale = the synthetic 10k-node graph.
+FULL_RUN_SCALE = 1.25
+FULL_RUN_QUERIES = 256
+FULL_RUN_K = 10
+#: Acceptance floor: queries/sec at batch=32 over batch=1.
+TARGET_SPEEDUP_AT_32 = 3.0
+
+
+def run_benchmark(
+    scale: float = FULL_RUN_SCALE,
+    n_queries: int = FULL_RUN_QUERIES,
+    k: int = FULL_RUN_K,
+    seed: int = 0,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+) -> dict:
+    """Measure batched throughput and return the trajectory record."""
+    dataset = load_dataset("inria", scale=scale, seed=seed)
+    graph = dataset.build_graph(k=5)
+    ranker = MogulRanker(graph)
+    queries = sample_queries(graph.n_nodes, n_queries, seed=seed)
+
+    trajectory = []
+    for batch_size in batch_sizes:
+        seconds_per_query = time_query_batches(
+            lambda chunk: ranker.top_k_batch(np.asarray(chunk), k),
+            queries,
+            batch_size,
+        )
+        # One explicit batch for the pruning stats (identical answers at
+        # every batch size, so any batch is representative).
+        ranker.top_k_batch(np.asarray(queries[:batch_size]), k)
+        totals = ranker.last_batch_stats.totals
+        trajectory.append(
+            {
+                "batch_size": batch_size,
+                "queries_per_second": 1.0 / seconds_per_query,
+                "seconds_per_query": seconds_per_query,
+                "prune_fraction": ranker.last_batch_stats.prune_fraction,
+                "nodes_scored_total": totals.nodes_scored,
+            }
+        )
+    base_qps = trajectory[0]["queries_per_second"]
+    for entry in trajectory:
+        entry["speedup_vs_batch_1"] = entry["queries_per_second"] / base_qps
+
+    sequential = time_queries(
+        lambda q: ranker.top_k(int(q), k), queries[: min(64, len(queries))]
+    )
+    return {
+        "benchmark": "batch_throughput",
+        "dataset": {
+            "name": "inria",
+            "scale": scale,
+            "n_nodes": graph.n_nodes,
+            "n_edges": graph.n_edges,
+            "n_clusters": ranker.index.n_clusters,
+        },
+        "k": k,
+        "n_queries": n_queries,
+        "batch_sizes": list(batch_sizes),
+        "trajectory": trajectory,
+        "sequential_top_k_queries_per_second": 1.0 / sequential,
+    }
+
+
+def main(out_path: str = "BENCH_batch.json") -> int:
+    record = run_benchmark()
+    print(
+        f"batch throughput on {record['dataset']['n_nodes']} nodes "
+        f"({record['dataset']['n_clusters']} clusters), "
+        f"k={record['k']}, {record['n_queries']} queries"
+    )
+    print(f"{'batch':>6s}  {'q/s':>9s}  {'ms/query':>9s}  {'speedup':>8s}")
+    for entry in record["trajectory"]:
+        print(
+            f"{entry['batch_size']:6d}  {entry['queries_per_second']:9.1f}  "
+            f"{1e3 * entry['seconds_per_query']:9.3f}  "
+            f"{entry['speedup_vs_batch_1']:7.2f}x"
+        )
+    print(
+        "sequential top_k reference: "
+        f"{record['sequential_top_k_queries_per_second']:.1f} q/s"
+    )
+    Path(out_path).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"trajectory written to {out_path}")
+
+    at_32 = next(
+        entry for entry in record["trajectory"] if entry["batch_size"] == 32
+    )
+    if at_32["speedup_vs_batch_1"] < TARGET_SPEEDUP_AT_32:
+        print(
+            f"FAIL: speedup at batch=32 is {at_32['speedup_vs_batch_1']:.2f}x "
+            f"< {TARGET_SPEEDUP_AT_32}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: batch=32 speedup {at_32['speedup_vs_batch_1']:.2f}x "
+        f">= {TARGET_SPEEDUP_AT_32}x"
+    )
+    return 0
+
+
+# -- pytest-benchmark entry points (shared conftest datasets) -------------
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_throughput(benchmark, batch_size):
+    from benchmarks.conftest import bench_queries, get_ranker
+
+    ranker = get_ranker("inria", "mogul")
+    queries = np.asarray(bench_queries("inria", count=max(batch_size, 8)))
+    chunk = queries[:batch_size]
+    benchmark.group = "batch:inria"
+    benchmark.name = f"top_k_batch(b={batch_size})"
+    results = benchmark(lambda: ranker.top_k_batch(chunk, 10))
+    assert len(results) == batch_size
+
+
+def test_batch_matches_sequential_loop():
+    """The engine is an execution strategy, not an approximation."""
+    from benchmarks.conftest import bench_queries, get_ranker
+
+    ranker = get_ranker("inria", "mogul")
+    queries = np.asarray(bench_queries("inria", count=8))
+    batched = ranker.top_k_batch(queries, 10)
+    for query, result in zip(queries, batched):
+        reference = ranker.top_k(int(query), 10)
+        assert np.array_equal(result.indices, reference.indices)
+        assert np.allclose(result.scores, reference.scores, atol=1e-8)
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

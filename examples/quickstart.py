@@ -58,7 +58,24 @@ def main() -> None:
             f"pruned {stats.clusters_pruned}/{stats.clusters_total} clusters"
         )
 
-    # 4. an out-of-sample query: a vector that is not in the database
+    # 4. batched queries: the same answers as a top_k loop, produced by
+    # one shared engine pass (multi-RHS substitutions + one bound SpMM
+    # for the whole batch) — the serving-path API.
+    batch_queries = [0, 123, 321, 200]
+    batch = ranker.top_k_batch(batch_queries, k=10)
+    totals = ranker.last_batch_stats.totals
+    assert all(
+        (batch[i].indices == ranker.top_k(q, k=10).indices).all()
+        for i, q in enumerate(batch_queries)
+    )
+    print(
+        f"batch of {len(batch_queries)} queries: identical answers, "
+        f"pruned {totals.clusters_pruned}/"
+        f"{totals.clusters_pruned + totals.clusters_scored} eligible clusters"
+    )
+
+    # 5. an out-of-sample query: a vector that is not in the database
+    # (top_k_out_of_sample_batch answers many such features at once)
     new_item = features[42] + rng.normal(scale=0.05, size=32)
     oos = ranker.top_k_out_of_sample(new_item, k=5)
     print(f"out-of-sample query -> {oos.indices} (expected to include 42's region)")

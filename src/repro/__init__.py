@@ -28,10 +28,12 @@ Main entry points
 
 from repro.baselines import EMRRanker, FMRRanker
 from repro.core import (
+    BatchStats,
     DynamicMogulRanker,
     MogulIndex,
     MogulRanker,
     build_permutation,
+    top_k_batch_search,
     top_k_search,
 )
 from repro.graph import KnnGraph, build_knn_graph
@@ -46,6 +48,7 @@ from repro.ranking import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchStats",
     "DynamicMogulRanker",
     "EMRRanker",
     "ExactRanker",
@@ -59,6 +62,7 @@ __all__ = [
     "build_knn_graph",
     "build_permutation",
     "cost_function",
+    "top_k_batch_search",
     "top_k_search",
     "__version__",
 ]

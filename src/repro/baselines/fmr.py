@@ -27,7 +27,7 @@ import scipy.sparse.linalg as spla
 
 from repro.clustering.spectral import spectral_clustering
 from repro.graph.adjacency import KnnGraph
-from repro.ranking.base import DEFAULT_ALPHA, Ranker
+from repro.ranking.base import DEFAULT_ALPHA, Ranker, TopKResult, rank_scores
 from repro.ranking.normalize import symmetric_normalize
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
@@ -140,3 +140,41 @@ class FMRRanker(Ranker):
         rhs = self._vt @ m_inv_q
         correction = self._m_inv_u @ sla.lu_solve(self._cap_lu, rhs)
         return (1.0 - self.alpha) * (m_inv_q - correction)
+
+    def top_k_batch(
+        self, queries, k: int, exclude_query: bool = True
+    ) -> list[TopKResult]:
+        """Batched queries through multi-RHS block and capacitance solves.
+
+        Queries are grouped by partition — each partition's Cholesky
+        factor is applied once to all its one-hot columns — and the
+        rank-r Woodbury correction runs as one multi-RHS capacitance
+        solve for the whole batch.
+        """
+        k = check_positive_int(k, "k")
+        nodes = self._check_batch_queries(queries)
+        if nodes.size == 0:
+            return []
+        m_inv_q = np.zeros((self.n_nodes, nodes.size), dtype=np.float64)
+        by_partition: dict[int, list[int]] = {}
+        for j, node in enumerate(nodes):
+            by_partition.setdefault(int(self._node_to_partition[node]), []).append(j)
+        for part, columns in by_partition.items():
+            part_nodes = self._partition_nodes[part]
+            local = np.zeros((part_nodes.size, len(columns)), dtype=np.float64)
+            for offset, j in enumerate(columns):
+                local[np.searchsorted(part_nodes, nodes[j]), offset] = 1.0
+            solved = sla.cho_solve(self._partition_factors[part], local)
+            m_inv_q[np.ix_(part_nodes, np.asarray(columns))] = solved
+        if self._cap_lu is None:
+            scores = (1.0 - self.alpha) * m_inv_q
+        else:
+            rhs = self._vt @ m_inv_q
+            correction = self._m_inv_u @ sla.lu_solve(self._cap_lu, rhs)
+            scores = (1.0 - self.alpha) * (m_inv_q - correction)
+        return [
+            rank_scores(
+                scores[:, j], k, exclude=int(nodes[j]) if exclude_query else None
+            )
+            for j in range(nodes.size)
+        ]

@@ -8,6 +8,8 @@ without writing Python::
     python -m repro info coil.idx.npz
     python -m repro search coil.idx.npz --dataset coil --query 42 -k 10
     python -m repro search coil.idx.npz --features db.npy --query 42 -k 10
+    python -m repro search coil.idx.npz --dataset coil --batch \
+        --query 1 --query 2 --query 3 -k 10
 
 Feature sources: either a named synthetic dataset (``--dataset`` +
 ``--scale``/``--seed``, regenerated deterministically) or a dense ``.npy``
@@ -100,6 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("-k", type=int, default=10, help="answers (default 10)")
     search.add_argument("--knn", type=int, default=5, help="graph k (default 5)")
+    search.add_argument(
+        "--batch",
+        action="store_true",
+        help="treat repeated --query as independent queries answered in one "
+        "batched engine pass (prints per-query answers plus pruning stats)",
+    )
     search.set_defaults(handler=_cmd_search)
 
     return parser
@@ -185,7 +193,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
     features = _load_features(args)
     graph = build_knn_graph(features, k=args.knn)
     ranker = MogulRanker.from_index(graph, index)
-    queries = list(dict.fromkeys(args.query))  # de-dup, keep order
+    if args.batch:
+        # Batch queries are independent; repeats are answered repeatedly.
+        return _search_batch(ranker, list(args.query), args.k)
+    queries = list(dict.fromkeys(args.query))  # de-dup, keep order (multi-seed)
     started = time.perf_counter()
     if len(queries) == 1:
         result = ranker.top_k(queries[0], args.k)
@@ -195,6 +206,37 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"query {queries} -> top-{len(result)} in {1e3 * elapsed:.2f} ms")
     for rank, (node, score) in enumerate(zip(result.indices, result.scores), 1):
         print(f"{rank:4d}  node {int(node):8d}  score {float(score):.6e}")
+    return 0
+
+
+def _search_batch(ranker: MogulRanker, queries: list[int], k: int) -> int:
+    """Answer every ``--query`` independently in one batched engine pass."""
+    started = time.perf_counter()
+    results = ranker.top_k_batch(np.asarray(queries), k)
+    elapsed = time.perf_counter() - started
+    per_query = 1e3 * elapsed / len(queries)
+    print(
+        f"batch of {len(queries)} queries -> top-{k} each in "
+        f"{1e3 * elapsed:.2f} ms ({per_query:.2f} ms/query)"
+    )
+    batch_stats = ranker.last_batch_stats
+    for query, result, stats in zip(queries, results, batch_stats.per_query):
+        print(
+            f"query {query}: pruned {stats.clusters_pruned}/"
+            f"{stats.clusters_total} clusters "
+            f"({100.0 * stats.prune_fraction:.0f}%), "
+            f"{stats.nodes_scored} nodes scored"
+        )
+        for rank, (node, score) in enumerate(zip(result.indices, result.scores), 1):
+            print(f"{rank:4d}  node {int(node):8d}  score {float(score):.6e}")
+    totals = batch_stats.totals
+    print(
+        f"batch totals: pruned {totals.clusters_pruned}/"
+        f"{totals.clusters_pruned + totals.clusters_scored} eligible clusters "
+        f"({100.0 * batch_stats.prune_fraction:.0f}%), "
+        f"{totals.nodes_scored} nodes scored, "
+        f"{totals.bound_evaluations} bound evaluations"
+    )
     return 0
 
 

@@ -19,16 +19,19 @@ Pipeline (all precomputable before any query, §4.2.2):
 MogulE (§4.6.1); :meth:`MogulRanker.top_k_out_of_sample` implements §4.6.2.
 """
 
+from repro.core.batch import BatchQuery, BatchStats, top_k_batch_search
 from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_bounds
 from repro.core.diagnostics import IndexReport, diagnose_index, expected_prune_rate
 from repro.core.dynamic import DynamicMogulRanker
 from repro.core.index import MogulIndex, MogulRanker
 from repro.core.permutation import Permutation, build_permutation
-from repro.core.search import SearchStats, top_k_search
+from repro.core.search import SearchStats, TopKAccumulator, top_k_search
 from repro.core.serialize import load_index, save_index
 from repro.core.solver import ClusterSolver
 
 __all__ = [
+    "BatchQuery",
+    "BatchStats",
     "BoundsTable",
     "ClusterBoundData",
     "ClusterSolver",
@@ -38,11 +41,13 @@ __all__ = [
     "MogulRanker",
     "Permutation",
     "SearchStats",
+    "TopKAccumulator",
     "build_permutation",
     "diagnose_index",
     "expected_prune_rate",
     "load_index",
     "precompute_cluster_bounds",
     "save_index",
+    "top_k_batch_search",
     "top_k_search",
 ]

@@ -175,14 +175,20 @@ class BoundsTable:
     def estimate_all(self, x_border_abs: np.ndarray) -> np.ndarray:
         """Evaluate every interior cluster's bound in one SpMV.
 
+        ``x_border_abs`` may be a single ``(n_border,)`` vector or an
+        ``(n_border, b)`` matrix of border-score magnitudes for ``b``
+        queries; the result has one bound column per query (the batched
+        engine evaluates a whole batch's bounds in one SpMM).
+
         Agrees with :meth:`ClusterBoundData.estimate` up to floating-point
         summation order (the SpMV may accumulate border terms in a
         different order than ``np.dot``); the growth factor and overflow
         saturation are shared exactly.
         """
         base = self.matrix @ x_border_abs
+        growth = self.growth if base.ndim == 1 else self.growth[:, None]
         with np.errstate(invalid="ignore"):
-            bounds = base * self.growth
+            bounds = base * growth
         return np.where(base <= 0.0, 0.0, bounds)
 
 

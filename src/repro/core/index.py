@@ -25,8 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchQuery, BatchStats, top_k_batch_search
 from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_bounds
-from repro.core.out_of_sample import build_query_seeds
+from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
 from repro.core.permutation import ClusterFn, Permutation, build_permutation
 from repro.core.search import SearchStats, top_k_search
 from repro.core.solver import ClusterSolver
@@ -218,6 +219,9 @@ class MogulRanker(Ranker):
         )
         #: :class:`SearchStats` of the most recent :meth:`top_k` call.
         self.last_stats: SearchStats | None = None
+        #: :class:`BatchStats` of the most recent :meth:`top_k_batch` /
+        #: :meth:`top_k_out_of_sample_batch` call (per-query + totals).
+        self.last_batch_stats: BatchStats | None = None
         #: Wall-clock breakdown of the most recent out-of-sample query,
         #: keys ``nearest_neighbor`` / ``top_k`` / ``overall`` (Table 2).
         self.last_breakdown: dict[str, float] | None = None
@@ -256,6 +260,7 @@ class MogulRanker(Ranker):
         ranker.cluster_order = cluster_order
         ranker.index = index
         ranker.last_stats = None
+        ranker.last_batch_stats = None
         ranker.last_breakdown = None
         return ranker
 
@@ -350,6 +355,95 @@ class MogulRanker(Ranker):
         )
         self.last_stats = stats
         return self._to_result(answers)
+
+    def top_k_batch(
+        self,
+        queries,
+        k: int,
+        exclude_query: bool = True,
+    ) -> list[TopKResult]:
+        """Answer many independent single-node queries in one engine pass.
+
+        Overrides the base class's sequential loop with the batched
+        execution engine (:mod:`repro.core.batch`): queries sharing a seed
+        cluster share one forward substitution, the border substitution
+        and the bound estimations run once for the whole batch, and the
+        bound-driven scan back-substitutes each cluster in a single
+        multi-RHS solve for the queries that still need it.  Answers are
+        identical to calling :meth:`top_k` per query — batching is purely
+        an execution strategy.
+
+        Per-query and aggregate :class:`repro.core.batch.BatchStats` land
+        in :attr:`last_batch_stats`.
+        """
+        k = check_positive_int(k, "k")
+        nodes = self._check_batch_queries(queries)
+        perm = self.index.permutation
+        batch = []
+        for node in nodes:
+            position = int(perm.inverse[node])
+            batch.append(
+                BatchQuery(
+                    seed_positions=np.asarray([position]),
+                    seed_weights=np.asarray([1.0 - self.alpha]),
+                    exclude_positions=(position,) if exclude_query else (),
+                )
+            )
+        return self._run_batch(batch, k)
+
+    def top_k_out_of_sample_batch(
+        self, features: np.ndarray, k: int, n_probe: int = 1
+    ) -> list[TopKResult]:
+        """§4.6.2 for a whole batch of out-of-sample query features.
+
+        Routes all queries to their nearest clusters in one distance
+        computation, groups the in-cluster neighbour searches, and answers
+        the seeded queries through the batched engine.  Each answer is
+        identical to the corresponding :meth:`top_k_out_of_sample` call.
+        """
+        k = check_positive_int(k, "k")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.graph.features.shape[1]:
+            raise ValueError(
+                f"features must have shape (b, {self.graph.features.shape[1]}), "
+                f"got {features.shape}"
+            )
+        seeds_list = build_query_seeds_batch(
+            features,
+            self.index.cluster_means,
+            self.index.cluster_members,
+            self.graph.features,
+            n_neighbors=self.graph.k,
+            sigma=self.graph.sigma,
+            n_probe=n_probe,
+        )
+        perm = self.index.permutation
+        batch = [
+            BatchQuery(
+                seed_positions=perm.inverse[seeds.nodes],
+                seed_weights=(1.0 - self.alpha) * seeds.weights,
+            )
+            for seeds in seeds_list
+        ]
+        return self._run_batch(batch, k)
+
+    def _run_batch(self, batch: list[BatchQuery], k: int) -> list[TopKResult]:
+        answers, batch_stats = top_k_batch_search(
+            self.index.factors,
+            self.index.permutation,
+            self.index.bounds,
+            batch,
+            k,
+            use_pruning=self.use_pruning,
+            use_sparsity=self.use_sparsity,
+            cluster_order=self.cluster_order,
+            solver=self.index.solver,
+            bounds_table=self.index.bounds_table,
+        )
+        # last_stats is left untouched: it belongs to the most recent
+        # single-query call, per its documented contract.
+        self.last_batch_stats = batch_stats
+        return [self._to_result(answer) for answer in answers]
 
     def top_k_out_of_sample(
         self, feature: np.ndarray, k: int, n_probe: int = 1

@@ -133,3 +133,79 @@ def build_query_seeds(
     else:
         weights = weights / total
     return QuerySeeds(nodes=chosen, weights=weights, cluster=cluster)
+
+
+def build_query_seeds_batch(
+    features_query: np.ndarray,
+    cluster_means: np.ndarray,
+    cluster_members: tuple[np.ndarray, ...],
+    features: np.ndarray,
+    n_neighbors: int,
+    sigma: float,
+    n_probe: int = 1,
+) -> list[QuerySeeds]:
+    """Seed a whole batch of out-of-sample query features at once.
+
+    The batched form of :func:`build_query_seeds`: cluster routing is one
+    ``(b, N)`` distance computation, and the in-cluster neighbour searches
+    are grouped so all queries routed to the same probed clusters share a
+    single vectorised :func:`repro.graph.knn_search` call.  Each entry of
+    the returned list is identical to the corresponding single-query
+    :func:`build_query_seeds` call.
+
+    Parameters are those of :func:`build_query_seeds` with ``features_query``
+    a ``(b, m)`` matrix of query features.
+    """
+    features_query = np.asarray(features_query, dtype=np.float64)
+    if features_query.ndim != 2:
+        raise ValueError(
+            f"features_query must be a (b, m) matrix, got shape {features_query.shape}"
+        )
+    if n_probe < 1:
+        raise ValueError(f"n_probe must be >= 1, got {n_probe}")
+    sizes = np.asarray([members.size for members in cluster_members])
+    if not np.any(sizes > 0):
+        raise ValueError("all clusters are empty")
+    n_batch = features_query.shape[0]
+    if n_batch == 0:
+        return []
+    # Step 1, batched: (b, N, m) differences reduced exactly like the
+    # single-query einsum, so routing ties break identically.
+    diffs = cluster_means[None, :, :] - features_query[:, None, :]
+    distances = np.einsum("bij,bij->bi", diffs, diffs)
+    distances[:, sizes == 0] = np.inf
+    count_probe = min(n_probe, int(np.sum(sizes > 0)))
+    best = np.argpartition(distances, count_probe - 1, axis=1)[:, :count_probe]
+    best_distances = np.take_along_axis(distances, best, axis=1)
+    order = np.argsort(best_distances, axis=1, kind="stable")
+    probed_all = np.take_along_axis(best, order, axis=1)
+
+    # Step 2, grouped: queries probing the same clusters share one
+    # vectorised neighbour search over the concatenated members.
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for row in range(n_batch):
+        groups.setdefault(tuple(int(c) for c in probed_all[row]), []).append(row)
+    seeds: list[QuerySeeds] = [None] * n_batch  # every row assigned below
+    for probed, rows in groups.items():
+        members = np.concatenate([cluster_members[c] for c in probed])
+        count = min(n_neighbors, members.size)
+        idx, dist = knn_search(
+            features[members], count, queries=features_query[rows]
+        )
+        for row, neighbor_idx, neighbor_dist in zip(rows, idx, dist):
+            chosen = members[neighbor_idx]
+            if sigma > 0:
+                weights = np.exp(
+                    -np.square(neighbor_dist) / (2.0 * sigma * sigma)
+                )
+            else:
+                weights = np.ones_like(neighbor_dist)
+            total = float(weights.sum())
+            if total <= 0:
+                weights = np.full_like(weights, 1.0 / weights.size)
+            else:
+                weights = weights / total
+            seeds[row] = QuerySeeds(
+                nodes=chosen, weights=weights, cluster=probed[0]
+            )
+    return seeds

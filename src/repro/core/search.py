@@ -61,6 +61,91 @@ class SearchStats:
         eligible = self.clusters_pruned + self.clusters_scored
         return self.clusters_pruned / eligible if eligible else 0.0
 
+    @classmethod
+    def aggregate(cls, runs: "Iterable[SearchStats]") -> "SearchStats":
+        """Sum the counters of several runs (batch-mode totals).
+
+        ``prune_fraction`` of the aggregate is then the batch-wide rate
+        (pruned clusters over eligible clusters across every query), the
+        number batch benchmarks and the CLI report.
+        """
+        total = cls()
+        for stats in runs:
+            total.clusters_total += stats.clusters_total
+            total.clusters_pruned += stats.clusters_pruned
+            total.clusters_scored += stats.clusters_scored
+            total.nodes_scored += stats.nodes_scored
+            total.bound_evaluations += stats.bound_evaluations
+            total.pruned_nodes += stats.pruned_nodes
+        return total
+
+
+class TopKAccumulator:
+    """The top-k heap frontier of Algorithm 2 (paper lines 1-3, 8-16).
+
+    Encapsulates the threshold heap that both the single-query search and
+    the batched engine (:mod:`repro.core.batch`, one accumulator per
+    query) drive, so batching cannot drift from the sequential answer
+    semantics.  The heap starts with ``k`` dummy entries of score 0, so
+    negative-score nodes can never displace real answers — matching the
+    paper's initialisation.  Entries are ``(score, -position)``; the dummy
+    sentinel compares *below* every real position so that at equal score a
+    dummy is evicted before a real answer, and among real ties the largest
+    position goes first (keeping the deterministic "score desc, position
+    asc" answer order).
+    """
+
+    __slots__ = ("k", "n", "excluded", "heap", "threshold")
+
+    def __init__(self, k: int, n: int, exclude_positions: Iterable[int] = ()):
+        self.k = k
+        self.n = n
+        self.excluded = set(int(p) for p in exclude_positions)
+        self.heap: list[tuple[float, int]] = [(0.0, -(n + 2))] * k
+        heapq.heapify(self.heap)
+        self.threshold = 0.0
+
+    def offer_block(self, x: np.ndarray, start: int, stop: int) -> None:
+        """Admit the block members of ``x[start:stop]`` that can still enter.
+
+        At most ``k`` block members can displace heap entries (plus exact
+        score ties at the k-th boundary, kept so tie resolution stays
+        deterministic), so candidates are cut down to that set with one
+        vectorised partition before any of them touches the heap.  Pushes
+        run in descending score order to raise the threshold as early as
+        possible.
+        """
+        block_scores = x[start:stop]
+        candidates = np.flatnonzero(block_scores >= self.threshold)
+        if self.excluded:
+            for position in self.excluded:
+                if start <= position < stop:
+                    candidates = candidates[candidates != position - start]
+        if candidates.size == 0:
+            return
+        if candidates.size > self.k:
+            kth = np.partition(block_scores[candidates], candidates.size - self.k)[
+                candidates.size - self.k
+            ]
+            candidates = candidates[block_scores[candidates] >= kth]
+        # Deterministic (score desc, position asc) push order.
+        candidates = candidates[np.lexsort((candidates, -block_scores[candidates]))]
+        for offset in candidates:
+            score = float(block_scores[offset])
+            if score >= self.threshold:
+                heapq.heappushpop(self.heap, (score, -(start + int(offset))))
+                self.threshold = self.heap[0][0]
+
+    def collect(self) -> list[tuple[int, float]]:
+        """Drop dummies and order answers by (score desc, position asc)."""
+        real = [
+            (-neg_pos, score)
+            for score, neg_pos in self.heap
+            if 0 <= -neg_pos < self.n
+        ]
+        real.sort(key=lambda item: (-item[1], item[0]))
+        return real
+
 
 def top_k_search(
     factors: LDLFactors,
@@ -121,7 +206,6 @@ def top_k_search(
         solver = ClusterSolver(factors, permutation)
     n = factors.n
     stats = SearchStats(clusters_total=permutation.n_clusters)
-    excluded = set(int(p) for p in exclude_positions)
 
     q_vec = np.zeros(n, dtype=np.float64)
     q_vec[np.asarray(seed_positions, dtype=np.int64)] = np.asarray(
@@ -134,46 +218,7 @@ def top_k_search(
     border_id = permutation.border_cluster
     border = permutation.border_slice
 
-    # Lines 1-3: threshold 0 and k dummy answers.  Entries are
-    # (score, -position); the dummy sentinel compares *below* every real
-    # position so that at equal score a dummy is evicted before a real
-    # answer, and among real ties the largest position goes first (keeping
-    # the deterministic "score desc, position asc" answer order).
-    dummy = (0.0, -(n + 2))
-    heap: list[tuple[float, int]] = [dummy] * k
-    heapq.heapify(heap)
-    threshold = 0.0
-
-    def offer_block(start: int, stop: int) -> None:
-        """Admit the block members that can still enter the top-k heap.
-
-        At most ``k`` block members can displace heap entries (plus exact
-        score ties at the k-th boundary, kept so tie resolution stays
-        deterministic), so candidates are cut down to that set with one
-        vectorised partition before any of them touches the heap.  Pushes
-        run in descending score order to raise the threshold as early as
-        possible.
-        """
-        nonlocal threshold
-        block_scores = x[start:stop]
-        candidates = np.flatnonzero(block_scores >= threshold)
-        if excluded:
-            for position in excluded:
-                if start <= position < stop:
-                    candidates = candidates[candidates != position - start]
-        if candidates.size > k:
-            kth = np.partition(block_scores[candidates], candidates.size - k)[
-                candidates.size - k
-            ]
-            candidates = candidates[block_scores[candidates] >= kth]
-        # Deterministic (score desc, position asc) push order.
-        candidates = candidates[np.lexsort((candidates, -block_scores[candidates]))]
-        for offset in candidates:
-            score = float(block_scores[offset])
-            if score >= threshold:
-                heapq.heappushpop(heap, (score, -(start + int(offset))))
-                threshold = heap[0][0]
-
+    acc = TopKAccumulator(k, n, exclude_positions)
     x = np.zeros(n, dtype=np.float64)
 
     if not use_sparsity:
@@ -183,8 +228,8 @@ def top_k_search(
         x = solver.back_full(y)
         stats.clusters_scored = permutation.n_clusters
         stats.nodes_scored = n
-        offer_block(0, n)
-        return _collect(heap, n), stats
+        acc.offer_block(x, 0, n)
+        return acc.collect(), stats
 
     # Stage 1 — forward substitution over seed clusters + border (Lemma 4).
     y = solver.forward(q_vec, seed_clusters)
@@ -198,7 +243,7 @@ def top_k_search(
     for cid in sorted(scored_clusters):
         sl = permutation.cluster_slices[cid]
         stats.nodes_scored += sl.stop - sl.start
-        offer_block(sl.start, sl.stop)
+        acc.offer_block(x, sl.start, sl.stop)
     stats.clusters_scored = len(scored_clusters)
 
     remaining = [
@@ -213,18 +258,13 @@ def top_k_search(
         # remaining clusters are contiguous except at the seed clusters,
         # so they are offered as merged runs, not one call per cluster.
         solver.back_all_interior(y, x)
-        runs: list[list[int]] = []
         for cid in remaining:
             sl = permutation.cluster_slices[cid]
             stats.clusters_scored += 1
             stats.nodes_scored += sl.stop - sl.start
-            if runs and runs[-1][1] == sl.start:
-                runs[-1][1] = sl.stop
-            else:
-                runs.append([sl.start, sl.stop])
-        for start, stop in runs:
-            offer_block(start, stop)
-        return _collect(heap, n), stats
+        for start, stop in merge_cluster_runs(remaining, permutation):
+            acc.offer_block(x, start, stop)
+        return acc.collect(), stats
 
     # Stage 3 — bound-driven scan of the remaining clusters (lines 17-30).
     # All interior bounds are evaluated in one SpMV (Lemma 8's O(n) worst
@@ -238,24 +278,32 @@ def top_k_search(
     for cid in remaining:
         bound = float(estimates[cid])
         sl = permutation.cluster_slices[cid]
-        if bound < threshold:
+        if bound < acc.threshold:
             stats.clusters_pruned += 1
             stats.pruned_nodes += sl.stop - sl.start
             continue
         solver.back_cluster(cid, y, x)
         stats.clusters_scored += 1
         stats.nodes_scored += sl.stop - sl.start
-        offer_block(sl.start, sl.stop)
+        acc.offer_block(x, sl.start, sl.stop)
 
-    return _collect(heap, n), stats
+    return acc.collect(), stats
 
 
-def _collect(heap: list[tuple[float, int]], n: int) -> list[tuple[int, float]]:
-    """Drop dummies and order answers by (score desc, position asc)."""
-    real = [
-        (-neg_pos, score)
-        for score, neg_pos in heap
-        if 0 <= -neg_pos < n
-    ]
-    real.sort(key=lambda item: (-item[1], item[0]))
-    return real
+def merge_cluster_runs(
+    cluster_ids: Sequence[int], permutation: Permutation
+) -> list[tuple[int, int]]:
+    """Merge ascending cluster ids into contiguous ``(start, stop)`` runs.
+
+    Algorithm 1 lays clusters out contiguously, so consecutive cluster ids
+    cover adjacent position ranges; offering merged runs to the heap costs
+    one vectorised pass per run instead of one per cluster.
+    """
+    runs: list[list[int]] = []
+    for cid in cluster_ids:
+        sl = permutation.cluster_slices[cid]
+        if runs and runs[-1][1] == sl.start:
+            runs[-1][1] = sl.stop
+        else:
+            runs.append([sl.start, sl.stop])
+    return [(start, stop) for start, stop in runs]

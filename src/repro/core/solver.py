@@ -23,6 +23,12 @@ and interior cluster rows of ``U`` only their own cluster plus the border.
 Both Incomplete Cholesky (pattern = W's pattern, Lemma 3) and Modified
 Cholesky (fill-in stays inside a cluster's block and the border, §4.6.1)
 satisfy this for factors produced from the matching permutation.
+
+Every substitution method accepts either a single ``(n,)`` vector or an
+``(n, b)`` matrix whose columns are independent right-hand sides — the
+multi-RHS form the batched query engine (:mod:`repro.core.batch`) runs
+on.  Each column of a multi-RHS solve is bitwise identical to the
+corresponding single-RHS call, so batching never changes answers.
 """
 
 from __future__ import annotations
@@ -35,6 +41,52 @@ import scipy.sparse as sp
 from repro.core.permutation import Permutation
 from repro.linalg.ldl import LDLFactors
 from repro.linalg.packed import PackedUnitLower
+
+try:  # pragma: no cover - exercised implicitly by every query
+    from scipy.sparse import _sparsetools
+
+    HAVE_SPARSETOOLS = True
+except ImportError:  # pragma: no cover - depends on scipy build
+    HAVE_SPARSETOOLS = False
+
+
+def _spmm(matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    """``matrix @ dense`` through the raw CSR kernel.
+
+    Query-time coupling products are many small SpMVs; scipy's ``@``
+    spends more time in dispatch than in the kernel at that size.  This
+    calls the *same* compiled kernel scipy dispatches to (``csr_matvec``
+    / ``csr_matvecs``), so results are bitwise identical, minus the
+    per-call overhead.  Falls back to ``@`` when the private module is
+    unavailable.
+    """
+    if not HAVE_SPARSETOOLS:  # pragma: no cover - depends on scipy build
+        return matrix @ dense
+    n_rows, n_cols = matrix.shape
+    if dense.ndim == 1:
+        out = np.zeros(n_rows, dtype=np.float64)
+        _sparsetools.csr_matvec(
+            n_rows,
+            n_cols,
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            np.ascontiguousarray(dense),
+            out,
+        )
+        return out
+    out = np.zeros((n_rows, dense.shape[1]), dtype=np.float64)
+    _sparsetools.csr_matvecs(
+        n_rows,
+        n_cols,
+        dense.shape[1],
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        np.ascontiguousarray(dense).ravel(),
+        out.ravel(),
+    )
+    return out
 
 
 class ClusterSolver:
@@ -116,6 +168,11 @@ class ClusterSolver:
         """Dimension of the factored system."""
         return self.factors.n
 
+    def _scale(self, z: np.ndarray, sl: slice) -> np.ndarray:
+        """``z / D[sl]`` with the diagonal broadcast over RHS columns."""
+        d = self._diag[sl]
+        return z / (d if z.ndim == 1 else d[:, None])
+
     # -- forward substitution (paper Eq. 4, Lemma 4) ---------------------
 
     def forward(self, q_vec: np.ndarray, seed_clusters: Iterable[int]) -> np.ndarray:
@@ -123,27 +180,60 @@ class ClusterSolver:
 
         ``q_vec`` must be zero outside the seed clusters (Lemma 4's
         premise); every row of ``y`` outside the seeds and the border is
-        provably zero and is never touched.
+        provably zero and is never touched.  ``q_vec`` may be ``(n,)`` or
+        ``(n, b)``; a multi-RHS call requires all columns to share the
+        same seed clusters (the batched engine groups queries to
+        guarantee this, see :meth:`forward_seed_block` /
+        :meth:`forward_border` for the split form it uses).
         """
-        slices = self.permutation.cluster_slices
-        border = slices[self._border_id]
-        z = np.zeros(self.n, dtype=np.float64)
-        y = np.zeros(self.n, dtype=np.float64)
+        q_vec = np.asarray(q_vec, dtype=np.float64)
+        z = np.zeros(q_vec.shape, dtype=np.float64)
+        y = np.zeros(q_vec.shape, dtype=np.float64)
         for cid in seed_clusters:
-            if cid == self._border_id:
-                continue
-            sl = slices[cid]
-            z[sl] = self._blocks[cid].solve_lower(q_vec[sl])
-            y[sl] = z[sl] / self._diag[sl]
-        rhs = q_vec[border.start :] - self._border_left @ z[: border.start]
-        z_border = self._blocks[self._border_id].solve_lower(rhs)
-        y[border.start :] = z_border / self._diag[border.start :]
+            if cid != self._border_id:
+                self.forward_seed_block(cid, q_vec, z, y)
+        self.forward_border(q_vec, z, y)
         return y
+
+    def forward_seed_block(
+        self,
+        cid: int,
+        q_vec: np.ndarray,
+        z: np.ndarray,
+        y: np.ndarray,
+        cols: np.ndarray | None = None,
+    ) -> None:
+        """Forward-substitute one interior seed cluster into ``z`` and ``y``.
+
+        ``cols`` restricts a multi-RHS call to a subset of columns (the
+        batched engine solves each seed cluster only for the queries
+        seeded there; the untouched columns keep their exact zeros).
+        """
+        sl = self.permutation.cluster_slices[cid]
+        if cols is None:
+            z[sl] = self._blocks[cid].solve_lower(q_vec[sl])
+            y[sl] = self._scale(z[sl], sl)
+        else:
+            z_cols = self._blocks[cid].solve_lower(q_vec[sl.start : sl.stop, cols])
+            z[sl.start : sl.stop, cols] = z_cols
+            y[sl.start : sl.stop, cols] = z_cols / self._diag[sl][:, None]
+
+    def forward_border(self, q_vec: np.ndarray, z: np.ndarray, y: np.ndarray) -> None:
+        """Forward-substitute the border cluster into ``y`` (runs last).
+
+        ``z`` must hold the seed clusters' scaled solutions
+        (:meth:`forward_seed_block`); the border coupling consumes them in
+        one SpMV shared by every RHS column.
+        """
+        border = self.permutation.cluster_slices[self._border_id]
+        rhs = q_vec[border.start :] - _spmm(self._border_left, z[: border.start])
+        z_border = self._blocks[self._border_id].solve_lower(rhs)
+        y[border.start :] = self._scale(z_border, slice(border.start, self.n))
 
     def forward_full(self, q_vec: np.ndarray) -> np.ndarray:
         """Unrestricted forward substitution over all n rows."""
         z = self._full.solve_lower(np.asarray(q_vec, dtype=np.float64))
-        return z / self._diag
+        return self._scale(z, slice(0, self.n))
 
     # -- back substitution (paper Eq. 5, Lemma 5) ------------------------
 
@@ -152,19 +242,34 @@ class ClusterSolver:
         start = self._border_start
         x[start:] = self._blocks[self._border_id].solve_upper(y[start:])
 
-    def back_cluster(self, cid: int, y: np.ndarray, x: np.ndarray) -> None:
+    def back_cluster(
+        self,
+        cid: int,
+        y: np.ndarray,
+        x: np.ndarray,
+        cols: np.ndarray | None = None,
+    ) -> None:
         """Compute one interior cluster's scores into ``x``.
 
         ``x`` must already hold valid border scores
         (:meth:`back_border`); interior clusters couple to nothing else
-        (Lemma 5), so any subset may be computed in any order.
+        (Lemma 5), so any subset may be computed in any order.  ``cols``
+        restricts a multi-RHS call to a subset of columns — the batched
+        engine's bound scan solves a cluster only for the queries whose
+        bound survived pruning.
         """
         if cid == self._border_id:
             self.back_border(y, x)
             return
         sl = self.permutation.cluster_slices[cid]
-        rhs = y[sl] - self._couplings[cid] @ x[self._border_start :]
-        x[sl] = self._blocks[cid].solve_upper(rhs)
+        if cols is None:
+            rhs = y[sl] - _spmm(self._couplings[cid], x[self._border_start :])
+            x[sl] = self._blocks[cid].solve_upper(rhs)
+        else:
+            rhs = y[sl.start : sl.stop, cols] - _spmm(
+                self._couplings[cid], x[self._border_start :, cols]
+            )
+            x[sl.start : sl.stop, cols] = self._blocks[cid].solve_upper(rhs)
 
     def back_all_interior(self, y: np.ndarray, x: np.ndarray) -> None:
         """Compute every interior cluster's scores into ``x`` at once.
@@ -176,7 +281,7 @@ class ClusterSolver:
         scores.
         """
         start = self._border_start
-        rhs = y[:start] - self._interior_coupling @ x[start:]
+        rhs = y[:start] - _spmm(self._interior_coupling, x[start:])
         x[:start] = self._interior.solve_upper(rhs)
 
     def back_full(self, y: np.ndarray) -> np.ndarray:

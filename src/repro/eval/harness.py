@@ -47,6 +47,43 @@ def time_queries(
     return timer.mean
 
 
+def iter_batches(queries: Sequence[int], batch_size: int):
+    """Yield ``queries`` as consecutive lists of at most ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    queries = list(queries)
+    for start in range(0, len(queries), batch_size):
+        yield queries[start : start + batch_size]
+
+
+def time_query_batches(
+    run_batch: Callable[[list[int]], object],
+    queries: Sequence[int],
+    batch_size: int,
+    warmup: int = 1,
+) -> float:
+    """Mean wall-clock seconds *per query* when answering in batches.
+
+    The batched counterpart of :func:`time_queries`: ``run_batch``
+    receives consecutive query slices of at most ``batch_size`` and the
+    measured region covers every batch call; the mean divides by the
+    query count so numbers stay comparable across batch sizes
+    (``1 / result`` is the queries-per-second throughput).  ``warmup``
+    initial *batches* are executed but not timed.
+    """
+    queries = list(queries)
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    batches = list(iter_batches(queries, batch_size))
+    for batch in batches[: max(0, warmup)]:
+        run_batch(batch)
+    timer = Timer()
+    for batch in batches:
+        with timer:
+            run_batch(batch)
+    return timer.elapsed / len(queries)
+
+
 @dataclass
 class ExperimentTable:
     """A printable experiment result table.

@@ -18,6 +18,13 @@ the transposed operator:
 * :meth:`PackedUnitLower.solve_upper` — back substitution
   :math:`(I + L_{strict})^T\\,z = b`.
 
+Both accept a single ``(n,)`` right-hand side or an ``(n, b)`` matrix of
+``b`` right-hand sides.  The multi-RHS form is what the batched query
+engine (:mod:`repro.core.batch`) is built on: ``gstrs`` sweeps the factor
+once per column inside compiled code, so a batch of queries pays the
+per-call overhead once instead of ``b`` times, and each column is bitwise
+identical to the corresponding single-RHS solve.
+
 ``gstrs`` is a private SciPy API, so a pure public-API fallback
 (``spsolve_triangular``) is kept behind the same interface; construction
 chooses automatically and tests force the fallback to assert both tiers
@@ -107,18 +114,29 @@ class PackedUnitLower:
         return self._unit_csc.nnz
 
     def solve_lower(self, b: np.ndarray) -> np.ndarray:
-        """Solve :math:`(I + L_{strict})\\,z = b` (forward substitution)."""
+        """Solve :math:`(I + L_{strict})\\,z = b` (forward substitution).
+
+        ``b`` may be a single ``(n,)`` right-hand side or an ``(n, b)``
+        matrix; the result matches the input shape and each column equals
+        the corresponding single-RHS solve bitwise.
+        """
         return self._solve(b, trans="N")
 
     def solve_upper(self, b: np.ndarray) -> np.ndarray:
-        """Solve :math:`(I + L_{strict})^T z = b` (back substitution)."""
+        """Solve :math:`(I + L_{strict})^T z = b` (back substitution).
+
+        Accepts ``(n,)`` or ``(n, b)`` right-hand sides like
+        :meth:`solve_lower`.
+        """
         return self._solve(b, trans="T")
 
     def _solve(self, b: np.ndarray, trans: str) -> np.ndarray:
         b = np.asarray(b, dtype=np.float64)
-        if b.shape != (self.n,):
-            raise ValueError(f"b must have shape ({self.n},), got {b.shape}")
-        if self.n <= 1:
+        if b.ndim not in (1, 2) or b.shape[0] != self.n:
+            raise ValueError(
+                f"b must have shape ({self.n},) or ({self.n}, nrhs), got {b.shape}"
+            )
+        if self.n <= 1 or (b.ndim == 2 and b.shape[1] == 0):
             return b.copy()
         if self.uses_superlu:
             x, info = _superlu.gstrs(

@@ -23,6 +23,11 @@ Two implementation tiers coexist deliberately:
   sweep to scipy's compiled triangular solver, which removes the
   per-row Python overhead that would otherwise dominate query time.
   The test suite asserts both tiers agree to machine precision.
+
+The production-tier functions additionally accept an ``(n, b)`` matrix of
+right-hand sides and solve all ``b`` systems in one compiled sweep — the
+multi-RHS form the batched query engine (:mod:`repro.core.batch`) relies
+on; each column equals the corresponding single-RHS solve.
 """
 
 from __future__ import annotations
@@ -142,12 +147,14 @@ def forward_solve_ranges(
     factors:
         The LDL^T factorization.
     b:
-        Full-length right-hand side.
+        Right-hand side: an ``(n,)`` vector or an ``(n, nrhs)`` matrix of
+        independent right-hand sides solved in one sweep.
     ranges:
         Disjoint ``(start, stop)`` position ranges in ascending order.
     """
     n = factors.n
-    y = np.zeros(n, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    y = np.zeros(b.shape, dtype=np.float64)
     pieces = [np.arange(s, t) for s, t in ranges if t > s]
     if not pieces:
         return y
@@ -161,7 +168,7 @@ def forward_solve_ranges(
         d = factors.diag[idx]
         rhs = b[idx]
     if idx.shape[0] == 1:
-        y[idx] = rhs / d
+        y[idx] = rhs / (d if b.ndim == 1 else d[:, None])
         return y
     system = (sub @ sp.diags(d)) + sp.diags(d)
     y_sub = spla.spsolve_triangular(system.tocsr(), rhs, lower=True)
@@ -184,6 +191,9 @@ def back_solve_block(
     remaining within-block system goes to scipy's compiled solver:
 
     ``x[s:t] = (I + U[s:t, s:t])^{-1} (y[s:t] - U[s:t, t:] @ x[t:])``.
+
+    ``y`` and ``out`` may be ``(n,)`` vectors or matching ``(n, nrhs)``
+    matrices; all right-hand sides are solved in one sweep.
 
     Returns ``out`` for chaining.
     """

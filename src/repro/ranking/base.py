@@ -159,6 +159,19 @@ class Ranker(ABC):
         if not 0 <= query < self.n_nodes:
             raise ValueError(f"query index {query} out of range for n={self.n_nodes}")
 
+    def _check_batch_queries(self, queries) -> np.ndarray:
+        """Validate a :meth:`top_k_batch` query list into an id array.
+
+        Duplicates are allowed — batch queries are independent — and an
+        empty batch is valid (the caller returns an empty answer list).
+        """
+        nodes = np.asarray(queries, dtype=np.int64)
+        if nodes.ndim != 1:
+            raise ValueError("queries must be a 1-D sequence of node ids")
+        for node in nodes:
+            self._check_query(int(node))
+        return nodes
+
 
 def rank_scores(
     scores: np.ndarray,

@@ -157,3 +157,41 @@ class TestFMRRanker:
         assert default_rank(10_000) == 250
         assert default_rank(100) == 12
         assert default_rank(8) == 2
+
+
+class TestBatchedBaselines:
+    """Batched top_k must equal the sequential loop for EMR and FMR."""
+
+    @pytest.fixture(scope="class")
+    def emr(self, clustered_graph):
+        return EMRRanker(clustered_graph, n_anchors=12, seed=3)
+
+    @pytest.fixture(scope="class")
+    def fmr(self, clustered_graph):
+        return FMRRanker(clustered_graph, n_partitions=4, seed=3)
+
+    @pytest.mark.parametrize("name", ["emr", "fmr"])
+    def test_batch_matches_sequential(self, name, request):
+        ranker = request.getfixturevalue(name)
+        queries = np.asarray([0, 17, 45, 83, 110])
+        batched = ranker.top_k_batch(queries, 6)
+        for query, result in zip(queries, batched):
+            reference = ranker.top_k(int(query), 6)
+            np.testing.assert_array_equal(result.indices, reference.indices)
+            np.testing.assert_allclose(result.scores, reference.scores, atol=1e-10)
+
+    @pytest.mark.parametrize("name", ["emr", "fmr"])
+    def test_batch_include_query(self, name, request):
+        ranker = request.getfixturevalue(name)
+        queries = np.asarray([5, 9])
+        batched = ranker.top_k_batch(queries, 4, exclude_query=False)
+        for query, result in zip(queries, batched):
+            reference = ranker.top_k(int(query), 4, exclude_query=False)
+            np.testing.assert_array_equal(result.indices, reference.indices)
+
+    @pytest.mark.parametrize("name", ["emr", "fmr"])
+    def test_batch_validation(self, name, request):
+        ranker = request.getfixturevalue(name)
+        assert ranker.top_k_batch(np.asarray([], dtype=np.int64), 3) == []
+        with pytest.raises(ValueError, match="out of range"):
+            ranker.top_k_batch(np.asarray([ranker.n_nodes]), 3)

@@ -140,3 +140,60 @@ class TestErrors:
         assert code == 0
         _, out, _ = run_cli(capsys, "info", str(index))
         assert "complete" in out
+
+
+class TestBatchSearch:
+    @pytest.fixture(scope="class")
+    def index_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-batch") / "coil.idx.npz"
+        assert main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_batch_prints_answers_and_stats(self, index_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--batch", "--query", "3", "--query", "9", "--query", "21", "-k", "4",
+        )
+        assert code == 0
+        assert "batch of 3 queries" in out
+        # Per-query pruning lines plus the aggregate totals line.
+        assert out.count("pruned") == 4
+        assert "batch totals:" in out
+        assert out.count("node") >= 12
+
+    def test_batch_answers_match_single_queries(self, index_path, capsys):
+        code, batch_out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--batch", "--query", "7", "-k", "3",
+        )
+        assert code == 0
+        code, single_out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "7", "-k", "3",
+        )
+        assert code == 0
+        batch_nodes = [
+            line.split()[2] for line in batch_out.splitlines() if " score " in line
+        ]
+        single_nodes = [
+            line.split()[2] for line in single_out.splitlines() if " score " in line
+        ]
+        assert batch_nodes and batch_nodes == single_nodes
+
+    def test_batch_keeps_duplicate_queries(self, index_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--batch", "--query", "7", "--query", "7", "-k", "2",
+        )
+        assert code == 0
+        assert "batch of 2 queries" in out

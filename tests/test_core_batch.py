@@ -1,0 +1,273 @@
+"""Tests for the batched multi-query execution engine (repro.core.batch).
+
+The engine's contract is strict: batching is an *execution strategy*, so
+every answer must be identical to the sequential single-query path —
+indices exactly, scores to 1e-8 — across dataset seeds, both
+factorizations (Mogul / MogulE) and both Figure-5 ablation switches.
+Under the default ``"index"`` cluster order even the per-query
+``SearchStats`` must match the sequential run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchQuery, BatchStats, top_k_batch_search
+from repro.core.index import MogulIndex, MogulRanker
+from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
+from repro.core.search import SearchStats, top_k_search
+from repro.graph.build import build_knn_graph
+
+SEEDS = (0, 1, 2)
+
+
+def _clustered_features(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(size=(40, 8)) + 6.0 * cls for cls in range(4)]
+    )
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def graph(request):
+    return build_knn_graph(_clustered_features(request.param), k=5)
+
+
+_INDEX_CACHE: dict = {}
+
+
+def _ranker(graph, exact=False, use_pruning=True, use_sparsity=True, **kwargs):
+    """Rankers sharing one index build per (graph, factorization)."""
+    key = (id(graph), exact)
+    if key not in _INDEX_CACHE:
+        _INDEX_CACHE[key] = MogulIndex.build(
+            graph, factorization="complete" if exact else "incomplete"
+        )
+    return MogulRanker.from_index(
+        graph,
+        _INDEX_CACHE[key],
+        use_pruning=use_pruning,
+        use_sparsity=use_sparsity,
+        **kwargs,
+    )
+
+
+class TestBatchMatchesSequential:
+    @pytest.mark.parametrize("exact", [False, True])
+    @pytest.mark.parametrize("use_pruning", [True, False])
+    @pytest.mark.parametrize("use_sparsity", [True, False])
+    def test_answers_and_stats_identical(
+        self, graph, exact, use_pruning, use_sparsity
+    ):
+        """The property the engine is built around (all ablations)."""
+        ranker = _ranker(graph, exact, use_pruning, use_sparsity)
+        rng = np.random.default_rng(7)
+        queries = rng.choice(graph.n_nodes, size=16, replace=False)
+        batched = ranker.top_k_batch(queries, 8)
+        batch_stats = ranker.last_batch_stats
+        assert len(batched) == queries.size
+        assert len(batch_stats.per_query) == queries.size
+        for j, query in enumerate(queries):
+            reference = ranker.top_k(int(query), 8)
+            sequential = ranker.last_stats
+            np.testing.assert_array_equal(batched[j].indices, reference.indices)
+            np.testing.assert_allclose(
+                batched[j].scores, reference.scores, atol=1e-8
+            )
+            per_query = batch_stats.per_query[j]
+            assert per_query.clusters_total == sequential.clusters_total
+            assert per_query.clusters_pruned == sequential.clusters_pruned
+            assert per_query.clusters_scored == sequential.clusters_scored
+            assert per_query.nodes_scored == sequential.nodes_scored
+            assert per_query.bound_evaluations == sequential.bound_evaluations
+            assert per_query.pruned_nodes == sequential.pruned_nodes
+
+    def test_bound_desc_order_answers_identical(self, graph):
+        """bound_desc shares one scan order batch-wide; answers still match
+        (pruning is conservative under any visit order), though stats may
+        legitimately differ from the per-query sort."""
+        ranker = _ranker(graph, cluster_order="bound_desc")
+        rng = np.random.default_rng(11)
+        queries = rng.choice(graph.n_nodes, size=12, replace=False)
+        batched = ranker.top_k_batch(queries, 6)
+        for j, query in enumerate(queries):
+            reference = ranker.top_k(int(query), 6)
+            np.testing.assert_array_equal(batched[j].indices, reference.indices)
+            np.testing.assert_allclose(
+                batched[j].scores, reference.scores, atol=1e-8
+            )
+
+    def test_include_query_variant(self, graph):
+        ranker = _ranker(graph)
+        queries = np.asarray([3, 50, 90])
+        batched = ranker.top_k_batch(queries, 5, exclude_query=False)
+        for j, query in enumerate(queries):
+            reference = ranker.top_k(int(query), 5, exclude_query=False)
+            np.testing.assert_array_equal(batched[j].indices, reference.indices)
+            # The query node itself must rank first.
+            assert batched[j].indices[0] == query
+
+    def test_duplicate_queries_allowed(self, graph):
+        """A batch of *independent* queries may repeat a node."""
+        ranker = _ranker(graph)
+        batched = ranker.top_k_batch(np.asarray([5, 5, 17]), 4)
+        np.testing.assert_array_equal(batched[0].indices, batched[1].indices)
+        np.testing.assert_allclose(batched[0].scores, batched[1].scores)
+
+    def test_multi_seed_batch_queries(self, graph):
+        """Grouping handles queries whose seeds span several clusters."""
+        index = _ranker(graph).index
+        perm = index.permutation
+        rng = np.random.default_rng(23)
+        batch = []
+        for _ in range(6):
+            nodes = rng.choice(graph.n_nodes, size=3, replace=False)
+            positions = perm.inverse[nodes]
+            weights = np.full(3, (1.0 - 0.99) / 3.0)
+            batch.append(
+                BatchQuery(
+                    seed_positions=positions,
+                    seed_weights=weights,
+                    exclude_positions=tuple(int(p) for p in positions),
+                )
+            )
+        answers, stats = top_k_batch_search(
+            index.factors,
+            perm,
+            index.bounds,
+            batch,
+            5,
+            solver=index.solver,
+            bounds_table=index.bounds_table,
+        )
+        for query, batched in zip(batch, answers):
+            reference, _ = top_k_search(
+                index.factors,
+                perm,
+                index.bounds,
+                seed_positions=query.seed_positions,
+                seed_weights=query.seed_weights,
+                k=5,
+                exclude_positions=query.exclude_positions,
+                solver=index.solver,
+                bounds_table=index.bounds_table,
+            )
+            assert [p for p, _ in batched] == [p for p, _ in reference]
+            for (_, a), (_, b) in zip(batched, reference):
+                assert a == pytest.approx(b, abs=1e-8)
+
+
+class TestOutOfSampleBatch:
+    @pytest.mark.parametrize("n_probe", [1, 2])
+    def test_matches_sequential(self, graph, n_probe):
+        ranker = _ranker(graph)
+        rng = np.random.default_rng(13)
+        picks = rng.choice(graph.n_nodes, size=6, replace=False)
+        features = graph.features[picks] + rng.normal(
+            scale=0.05, size=(picks.size, graph.features.shape[1])
+        )
+        batched = ranker.top_k_out_of_sample_batch(features, 5, n_probe=n_probe)
+        for feature, result in zip(features, batched):
+            reference = ranker.top_k_out_of_sample(feature, 5, n_probe=n_probe)
+            np.testing.assert_array_equal(result.indices, reference.indices)
+            np.testing.assert_allclose(result.scores, reference.scores, atol=1e-8)
+
+    def test_seed_builder_matches_single(self, graph):
+        index = _ranker(graph).index
+        rng = np.random.default_rng(17)
+        features = rng.normal(size=(5, graph.features.shape[1])) + 6.0
+        batched = build_query_seeds_batch(
+            features,
+            index.cluster_means,
+            index.cluster_members,
+            graph.features,
+            n_neighbors=graph.k,
+            sigma=graph.sigma,
+        )
+        assert len(batched) == 5
+        for feature, seeds in zip(features, batched):
+            single = build_query_seeds(
+                feature,
+                index.cluster_means,
+                index.cluster_members,
+                graph.features,
+                n_neighbors=graph.k,
+                sigma=graph.sigma,
+            )
+            np.testing.assert_array_equal(seeds.nodes, single.nodes)
+            np.testing.assert_allclose(seeds.weights, single.weights)
+            assert seeds.cluster == single.cluster
+
+    def test_feature_matrix_validated(self, graph):
+        ranker = _ranker(graph)
+        with pytest.raises(ValueError, match="shape"):
+            ranker.top_k_out_of_sample_batch(
+                np.zeros((2, graph.features.shape[1] + 1)), 3
+            )
+
+
+class TestBatchStats:
+    def test_aggregate_sums_counters(self):
+        first = SearchStats(
+            clusters_total=5,
+            clusters_pruned=2,
+            clusters_scored=3,
+            nodes_scored=30,
+            bound_evaluations=4,
+            pruned_nodes=20,
+        )
+        second = SearchStats(
+            clusters_total=5,
+            clusters_pruned=4,
+            clusters_scored=1,
+            nodes_scored=10,
+            bound_evaluations=4,
+            pruned_nodes=40,
+        )
+        totals = SearchStats.aggregate([first, second])
+        assert totals.clusters_total == 10
+        assert totals.clusters_pruned == 6
+        assert totals.clusters_scored == 4
+        assert totals.nodes_scored == 40
+        assert totals.bound_evaluations == 8
+        assert totals.pruned_nodes == 60
+        batch = BatchStats(per_query=(first, second))
+        assert len(batch) == 2
+        assert batch.prune_fraction == pytest.approx(6 / 10)
+
+    def test_ranker_records_batch_stats(self, graph):
+        ranker = _ranker(graph)
+        assert ranker.last_batch_stats is None
+        ranker.top_k_batch(np.asarray([1, 2, 3]), 4)
+        assert len(ranker.last_batch_stats) == 3
+        totals = ranker.last_batch_stats.totals
+        assert totals.clusters_total == 3 * ranker.index.n_clusters
+
+
+class TestValidation:
+    def test_empty_batch(self, graph):
+        ranker = _ranker(graph)
+        assert ranker.top_k_batch(np.asarray([], dtype=np.int64), 5) == []
+
+    def test_bad_node_rejected(self, graph):
+        ranker = _ranker(graph)
+        with pytest.raises(ValueError, match="out of range"):
+            ranker.top_k_batch(np.asarray([0, graph.n_nodes]), 5)
+
+    def test_bad_k_rejected(self, graph):
+        ranker = _ranker(graph)
+        with pytest.raises(ValueError, match="positive"):
+            ranker.top_k_batch(np.asarray([0]), 0)
+
+    def test_engine_rejects_bad_cluster_order(self, graph):
+        index = _ranker(graph).index
+        with pytest.raises(ValueError, match="cluster_order"):
+            top_k_batch_search(
+                index.factors,
+                index.permutation,
+                index.bounds,
+                [],
+                5,
+                cluster_order="sideways",
+            )

@@ -154,3 +154,79 @@ class TestValidation:
         y_fast = fast.forward(q, [int(permutation.cluster_of_position[0])])
         y_slow = slow.forward(q, [int(permutation.cluster_of_position[0])])
         np.testing.assert_allclose(y_fast, y_slow, atol=1e-12)
+
+
+class TestMultiRHS:
+    """Every ClusterSolver method on (n, b) right-hand sides must equal
+    the per-column single-RHS calls bitwise — the property the batched
+    engine's exactness rests on."""
+
+    def test_full_solves_match_columns(self, solver_parts):
+        _, factors, solver = solver_parts
+        b = np.random.default_rng(7).normal(size=(factors.n, 5))
+        forward = solver.forward_full(b)
+        back = solver.back_full(b)
+        full = solver.solve(b)
+        for j in range(5):
+            np.testing.assert_array_equal(forward[:, j], solver.forward_full(b[:, j]))
+            np.testing.assert_array_equal(back[:, j], solver.back_full(b[:, j]))
+            np.testing.assert_array_equal(full[:, j], solver.solve(b[:, j]))
+
+    def test_restricted_passes_match_columns(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        rng = np.random.default_rng(8)
+        seed_cluster = 0
+        sl = permutation.cluster_slices[seed_cluster]
+        q = np.zeros((factors.n, 3))
+        q[sl.start : sl.stop] = rng.normal(size=(sl.stop - sl.start, 3))
+        y = solver.forward(q, [seed_cluster])
+        x = np.zeros((factors.n, 3))
+        solver.back_border(y, x)
+        solver.back_cluster(seed_cluster, y, x)
+        other = 1 if permutation.n_clusters > 2 else seed_cluster
+        solver.back_cluster(other, y, x)
+        for j in range(3):
+            y_ref = solver.forward(q[:, j], [seed_cluster])
+            np.testing.assert_array_equal(y[:, j], y_ref)
+            x_ref = np.zeros(factors.n)
+            solver.back_border(y_ref, x_ref)
+            solver.back_cluster(seed_cluster, y_ref, x_ref)
+            solver.back_cluster(other, y_ref, x_ref)
+            np.testing.assert_array_equal(x[:, j], x_ref)
+
+    def test_column_subset_touches_only_those_columns(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        rng = np.random.default_rng(9)
+        sl = permutation.cluster_slices[0]
+        q = np.zeros((factors.n, 4))
+        q[sl.start : sl.stop] = rng.normal(size=(sl.stop - sl.start, 4))
+        z = np.zeros((factors.n, 4))
+        y = np.zeros((factors.n, 4))
+        cols = np.asarray([1, 3])
+        solver.forward_seed_block(0, q, z, y, cols=cols)
+        assert np.all(y[:, [0, 2]] == 0.0)
+        solver.forward_border(q, z, y)
+        x = np.zeros((factors.n, 4))
+        solver.back_border(y, x)
+        solver.back_cluster(0, y, x, cols=cols)
+        for j in cols:
+            y_ref = solver.forward(q[:, j], [0])
+            np.testing.assert_array_equal(y[:, j], y_ref)
+            x_ref = np.zeros(factors.n)
+            solver.back_border(y_ref, x_ref)
+            solver.back_cluster(0, y_ref, x_ref)
+            np.testing.assert_array_equal(x[:, j], x_ref)
+        assert np.all(x[: permutation.border_slice.start, [0, 2]] == 0.0)
+
+    def test_back_all_interior_matrix_rhs(self, solver_parts):
+        permutation, factors, solver = solver_parts
+        rng = np.random.default_rng(10)
+        y = rng.normal(size=(factors.n, 3))
+        x = np.zeros((factors.n, 3))
+        solver.back_border(y, x)
+        solver.back_all_interior(y, x)
+        for j in range(3):
+            x_ref = np.zeros(factors.n)
+            solver.back_border(y[:, j], x_ref)
+            solver.back_all_interior(y[:, j], x_ref)
+            np.testing.assert_array_equal(x[:, j], x_ref)

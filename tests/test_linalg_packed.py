@@ -149,3 +149,49 @@ class TestPropertyBased:
         unit = dense_unit_lower(strict)
         np.testing.assert_allclose(unit @ packed.solve_lower(b), b, atol=1e-8)
         np.testing.assert_allclose(unit.T @ packed.solve_upper(b), b, atol=1e-8)
+
+
+class TestMultiRHS:
+    """Multi-RHS solves must equal the per-column single-RHS solves."""
+
+    @pytest.mark.parametrize("n", [2, 10, 57])
+    @pytest.mark.parametrize("n_rhs", [1, 3, 8])
+    def test_columns_match_single_solves(self, n, n_rhs):
+        strict = random_strict_lower(n, 0.4, seed=n + n_rhs)
+        packed = PackedUnitLower(strict)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=(n, n_rhs))
+        lower = packed.solve_lower(b)
+        upper = packed.solve_upper(b)
+        assert lower.shape == (n, n_rhs)
+        for j in range(n_rhs):
+            np.testing.assert_array_equal(lower[:, j], packed.solve_lower(b[:, j]))
+            np.testing.assert_array_equal(upper[:, j], packed.solve_upper(b[:, j]))
+
+    @pytest.mark.skipif(not HAVE_SUPERLU_GSTRS, reason="needs SuperLU gstrs")
+    def test_kernels_agree_on_matrix_rhs(self):
+        strict = random_strict_lower(23, 0.3, seed=9)
+        fast = PackedUnitLower(strict, use_superlu=True)
+        fallback = PackedUnitLower(strict, use_superlu=False)
+        b = np.random.default_rng(2).normal(size=(23, 5))
+        np.testing.assert_allclose(
+            fast.solve_lower(b), fallback.solve_lower(b), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fast.solve_upper(b), fallback.solve_upper(b), atol=1e-12
+        )
+
+    def test_zero_column_rhs(self):
+        packed = PackedUnitLower(random_strict_lower(6, 0.5, seed=1))
+        out = packed.solve_lower(np.zeros((6, 0)))
+        assert out.shape == (6, 0)
+
+    def test_tiny_block_matrix_rhs(self):
+        packed = PackedUnitLower(sp.csr_matrix((1, 1)))
+        b = np.asarray([[2.0, 3.0]])
+        np.testing.assert_array_equal(packed.solve_upper(b), b)
+
+    def test_rejects_3d_rhs(self):
+        packed = PackedUnitLower(random_strict_lower(4, 0.5, seed=0))
+        with pytest.raises(ValueError, match="shape"):
+            packed.solve_lower(np.zeros((4, 2, 2)))

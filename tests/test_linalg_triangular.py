@@ -101,3 +101,46 @@ class TestLdlSolve:
         b = np.random.default_rng(7).random(40)
         x = ldl_solve(ldl, b)
         assert np.all(np.isfinite(x))
+
+
+class TestMultiRHSTiers:
+    """Production-tier functions on (n, b) right-hand sides."""
+
+    def test_forward_solve_ranges_matrix_rhs(self, factors):
+        from repro.linalg.triangular import forward_solve_ranges
+
+        ldl, _ = factors
+        b = np.random.default_rng(3).normal(size=(40, 4))
+        ranges = [(0, 12), (25, 40)]
+        batched = forward_solve_ranges(ldl, b, ranges)
+        assert batched.shape == (40, 4)
+        for j in range(4):
+            np.testing.assert_array_equal(
+                batched[:, j], forward_solve_ranges(ldl, b[:, j], ranges)
+            )
+
+    def test_forward_solve_ranges_single_row_matrix_rhs(self, factors):
+        from repro.linalg.triangular import forward_solve_ranges
+
+        ldl, _ = factors
+        b = np.random.default_rng(4).normal(size=(40, 3))
+        batched = forward_solve_ranges(ldl, b, [(7, 8)])
+        for j in range(3):
+            np.testing.assert_array_equal(
+                batched[:, j], forward_solve_ranges(ldl, b[:, j], [(7, 8)])
+            )
+
+    def test_back_solve_block_matrix_rhs(self, factors):
+        from repro.linalg.triangular import back_solve_block
+
+        ldl, _ = factors
+        rng = np.random.default_rng(5)
+        y = rng.normal(size=(40, 4))
+        out = np.zeros((40, 4))
+        back_solve_block(ldl, y, (25, 40), out)
+        back_solve_block(ldl, y, (0, 25), out)
+        for j in range(4):
+            reference = np.zeros(40)
+            back_solve_block(ldl, y[:, j], (25, 40), reference)
+            back_solve_block(ldl, y[:, j], (0, 25), reference)
+            np.testing.assert_array_equal(out[:, j], reference)
