@@ -10,16 +10,21 @@ without writing Python::
     python -m repro search coil.idx.npz --features db.npy --query 42 -k 10
     python -m repro search coil.idx.npz --dataset coil --batch \
         --query 1 --query 2 --query 3 -k 10
+    python -m repro serve coil.idx.npz --dataset coil --port 8080
+    python -m repro loadtest --port 8080 --concurrency 32 --requests 512
 
 Feature sources: either a named synthetic dataset (``--dataset`` +
 ``--scale``/``--seed``, regenerated deterministically) or a dense ``.npy``
-feature matrix (``--features``).  Experiment regeneration lives in its own
-entry point, ``python -m repro.experiments <figure>``.
+feature matrix (``--features``).  ``search --json`` emits the same
+machine-readable documents the HTTP server serves.  Experiment
+regeneration lives in its own entry point,
+``python -m repro.experiments <figure>``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -108,7 +113,73 @@ def _build_parser() -> argparse.ArgumentParser:
         help="treat repeated --query as independent queries answered in one "
         "batched engine pass (prints per-query answers plus pruning stats)",
     )
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document (the same encoding "
+        "the HTTP server's /search responses use)",
+    )
     search.set_defaults(handler=_cmd_search)
+
+    serve = sub.add_parser(
+        "serve", help="serve a saved index over HTTP with micro-batching"
+    )
+    serve.add_argument("index", help="index .npz path")
+    _add_feature_source(serve)
+    serve.add_argument("--knn", type=int, default=5, help="graph k (default 5)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="most queries coalesced into one engine dispatch (default 32)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long the first request of a batch waits for company "
+        "(default 2.0; 0 = dispatch immediately, still coalescing "
+        "whatever is already queued)",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="LRU result-cache entries (default 1024; 0 disables)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive a running server with concurrent queries"
+    )
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=8080)
+    loadtest.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop workers (default 8)"
+    )
+    bound = loadtest.add_mutually_exclusive_group()
+    bound.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="total requests across all workers (default 256)",
+    )
+    bound.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="run for this many seconds instead of a request count",
+    )
+    loadtest.add_argument("-k", type=int, default=10, help="answers per query")
+    loadtest.add_argument("--seed", type=int, default=0, help="query sampling seed")
+    loadtest.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the text summary",
+    )
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     return parser
 
@@ -195,7 +266,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     ranker = MogulRanker.from_index(graph, index)
     if args.batch:
         # Batch queries are independent; repeats are answered repeatedly.
-        return _search_batch(ranker, list(args.query), args.k)
+        return _search_batch(ranker, list(args.query), args.k, as_json=args.json)
     queries = list(dict.fromkeys(args.query))  # de-dup, keep order (multi-seed)
     started = time.perf_counter()
     if len(queries) == 1:
@@ -203,17 +274,52 @@ def _cmd_search(args: argparse.Namespace) -> int:
     else:
         result = ranker.top_k_multi(np.asarray(queries), args.k)
     elapsed = time.perf_counter() - started
+    if args.json:
+        from repro.service.encoding import search_result_payload
+
+        print(
+            json.dumps(
+                search_result_payload(
+                    result,
+                    args.k,
+                    ranker.last_stats,
+                    query=queries[0] if len(queries) == 1 else queries,
+                    latency_ms=1e3 * elapsed,
+                ),
+                indent=2,
+            )
+        )
+        return 0
     print(f"query {queries} -> top-{len(result)} in {1e3 * elapsed:.2f} ms")
     for rank, (node, score) in enumerate(zip(result.indices, result.scores), 1):
         print(f"{rank:4d}  node {int(node):8d}  score {float(score):.6e}")
     return 0
 
 
-def _search_batch(ranker: MogulRanker, queries: list[int], k: int) -> int:
+def _search_batch(
+    ranker: MogulRanker, queries: list[int], k: int, as_json: bool = False
+) -> int:
     """Answer every ``--query`` independently in one batched engine pass."""
     started = time.perf_counter()
     results = ranker.top_k_batch(np.asarray(queries), k)
     elapsed = time.perf_counter() - started
+    if as_json:
+        from repro.service.encoding import search_result_payload, stats_to_dict
+
+        batch_stats = ranker.last_batch_stats
+        document = {
+            "k": k,
+            "elapsed_ms": 1e3 * elapsed,
+            "results": [
+                search_result_payload(result, k, stats, query=int(query))
+                for query, result, stats in zip(
+                    queries, results, batch_stats.per_query
+                )
+            ],
+            "totals": stats_to_dict(batch_stats.totals),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     per_query = 1e3 * elapsed / len(queries)
     print(
         f"batch of {len(queries)} queries -> top-{k} each in "
@@ -237,6 +343,53 @@ def _search_batch(ranker: MogulRanker, queries: list[int], k: int) -> int:
         f"{totals.nodes_scored} nodes scored, "
         f"{totals.bound_evaluations} bound evaluations"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    index = MogulIndex.load(args.index)
+    features = _load_features(args)
+    graph = build_knn_graph(features, k=args.knn)
+    ranker = MogulRanker.from_index(graph, index)
+    run_server(
+        ranker,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+    )
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.service.client import run_load_test
+
+    total = args.requests
+    if total is None and args.duration is None:
+        total = 256
+    report = run_load_test(
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        total_requests=total,
+        duration_seconds=args.duration,
+        k=args.k,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.to_text())
+    if not report.ok:
+        print(
+            f"loadtest FAILED: {report.n_errors} errors, "
+            f"{report.n_empty} empty responses out of {report.n_requests}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

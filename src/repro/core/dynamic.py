@@ -33,6 +33,8 @@ buffered points' scores to favour fully indexed data.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.core.index import MogulIndex, MogulRanker
@@ -99,6 +101,9 @@ class DynamicMogulRanker:
         self.pending_penalty = pending_penalty
 
         self._dim = features.shape[1]
+        #: Callbacks fired after every mutation (insert/delete/rebuild) —
+        #: the hook result caches use to drop stale answers.
+        self._invalidation_listeners: list[Callable[[], None]] = []
         #: Global id -> feature, append-only.
         self._features: list[np.ndarray] = [row for row in features]
         self._tombstones: set[int] = set()
@@ -137,6 +142,21 @@ class DynamicMogulRanker:
 
     # -- mutation ---------------------------------------------------------
 
+    def add_invalidation_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener()`` after every mutation that changes answers.
+
+        Inserts, deletes and rebuilds all change what a correct top-k
+        response is; anything caching served results (e.g.
+        :class:`repro.service.ResultCache`) registers here to be told.
+        Listeners must be idempotent — a single ``add`` that triggers an
+        automatic rebuild notifies twice.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def _notify_invalidation(self) -> None:
+        for listener in self._invalidation_listeners:
+            listener()
+
     def add(self, feature: np.ndarray) -> int:
         """Insert a new point; returns its permanent id.
 
@@ -152,6 +172,7 @@ class DynamicMogulRanker:
         new_id = len(self._features)
         self._features.append(feature)
         self._pending_ids.append(new_id)
+        self._notify_invalidation()
         if (
             self.auto_rebuild_fraction is not None
             and self.n_pending > self.auto_rebuild_fraction * max(1, self.n_indexed)
@@ -170,6 +191,7 @@ class DynamicMogulRanker:
         if node in self._tombstones:
             raise ValueError(f"node {node} is already removed")
         self._tombstones.add(node)
+        self._notify_invalidation()
 
     def rebuild(self) -> None:
         """Fold pending points and tombstones into a fresh index (O(n))."""
@@ -184,6 +206,7 @@ class DynamicMogulRanker:
         self._pending_ids = []
         self._build_base()
         self._rebuilds += 1
+        self._notify_invalidation()
 
     # -- queries ----------------------------------------------------------
 

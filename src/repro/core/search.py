@@ -136,6 +136,28 @@ class TopKAccumulator:
                 heapq.heappushpop(self.heap, (score, -(start + int(offset))))
                 self.threshold = self.heap[0][0]
 
+    def offer_candidates(self, scores: np.ndarray, positions: np.ndarray) -> None:
+        """Admit explicit (score, position) candidates, already cut down.
+
+        The batched engine's vectorised frontier build pre-selects each
+        query's k-th-boundary survivors across the whole batch with one
+        partition; this pushes them with exactly :meth:`offer_block`'s
+        ordering and guards (score desc, position asc, threshold and
+        exclusion checks), so the resulting heap is identical to having
+        offered the full block.
+        """
+        order = np.lexsort((positions, -scores))
+        excluded = self.excluded
+        for idx in order:
+            score = float(scores[idx])
+            if score < self.threshold:
+                continue
+            position = int(positions[idx])
+            if excluded and position in excluded:
+                continue
+            heapq.heappushpop(self.heap, (score, -position))
+            self.threshold = self.heap[0][0]
+
     def collect(self) -> list[tuple[int, float]]:
         """Drop dummies and order answers by (score desc, position asc)."""
         real = [

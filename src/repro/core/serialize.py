@@ -24,6 +24,7 @@ feature store it keeps (see :meth:`repro.core.MogulRanker.from_index`).
 from __future__ import annotations
 
 import os
+import zipfile
 
 import numpy as np
 import scipy.sparse as sp
@@ -76,6 +77,12 @@ def save_index(index, path: "str | os.PathLike") -> None:
 def load_index(path: "str | os.PathLike"):
     """Read a :class:`repro.core.MogulIndex` previously saved by
     :func:`save_index`, rebuilding all derived structures.
+
+    The payload is validated *before* reconstruction starts: unknown
+    format versions, missing keys, and structurally corrupt arrays (a
+    broken permutation, inconsistent CSR triplets, mismatched diagonal
+    or mean shapes) all raise a clear :class:`ValueError` naming the
+    problem rather than failing deep inside the solver rebuild.
     """
     # Imported here: serialize <-> index would otherwise be a cycle.
     from repro.core.bounds import BoundsTable, precompute_cluster_bounds
@@ -84,11 +91,30 @@ def load_index(path: "str | os.PathLike"):
     from repro.core.solver import ClusterSolver
     from repro.linalg.ldl import LDLFactors
 
-    with np.load(path, allow_pickle=False) as archive:
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError) as error:
+        raise ValueError(
+            f"not a Mogul index file ({os.fspath(path)!r} is not a "
+            f"readable .npz archive: {error})"
+        ) from None
+    if not isinstance(archive, np.lib.npyio.NpzFile):
+        # np.load returns a bare ndarray for .npy input (e.g. a feature
+        # matrix passed where the index path belongs).
+        raise ValueError(
+            f"not a Mogul index file ({os.fspath(path)!r} is a plain "
+            f"array, expected an .npz archive)"
+        )
+    with archive:
         missing = [key for key in _REQUIRED_KEYS if key not in archive]
         if missing:
             raise ValueError(f"not a Mogul index file (missing keys {missing})")
-        version = int(archive["format_version"])
+        version_array = archive["format_version"]
+        if version_array.size != 1 or not np.issubdtype(
+            version_array.dtype, np.integer
+        ):
+            raise ValueError("corrupt index file: format_version is not an integer")
+        version = int(version_array)
         if version != FORMAT_VERSION:
             raise ValueError(
                 f"index file has format version {version}, "
@@ -97,8 +123,43 @@ def load_index(path: "str | os.PathLike"):
         order = archive["order"].astype(np.int64)
         starts = archive["cluster_starts"].astype(np.int64)
         n = order.shape[0]
-        if starts[0] != 0 or starts[-1] != n or np.any(np.diff(starts) < 0):
+        if order.ndim != 1 or n == 0:
+            raise ValueError("corrupt index file: node order must be 1-D, non-empty")
+        if not np.array_equal(np.sort(order), np.arange(n, dtype=np.int64)):
+            raise ValueError(
+                "corrupt index file: node order is not a permutation of "
+                f"0..{n - 1}"
+            )
+        if (
+            starts.ndim != 1
+            or starts.size < 2
+            or starts[0] != 0
+            or starts[-1] != n
+            or np.any(np.diff(starts) < 0)
+        ):
             raise ValueError("corrupt index file: bad cluster boundaries")
+        _check_csr_arrays(archive, n)
+        diag = archive["diag"]
+        if diag.shape != (n,):
+            raise ValueError(
+                f"corrupt index file: diagonal has shape {diag.shape}, "
+                f"expected ({n},)"
+            )
+        n_clusters = starts.size - 1
+        means = archive["cluster_means"]
+        if means.ndim != 2 or means.shape[0] != n_clusters:
+            raise ValueError(
+                f"corrupt index file: cluster_means has shape {means.shape}, "
+                f"expected ({n_clusters}, n_dims)"
+            )
+        factorization = str(archive["factorization"])
+        if factorization not in ("incomplete", "complete"):
+            raise ValueError(
+                f"corrupt index file: unknown factorization {factorization!r}"
+            )
+        alpha = float(archive["alpha"])
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"corrupt index file: alpha {alpha} outside (0, 1)")
 
         slices = tuple(
             slice(int(a), int(b)) for a, b in zip(starts[:-1], starts[1:])
@@ -126,12 +187,10 @@ def load_index(path: "str | os.PathLike"):
         factors = LDLFactors(
             lower=lower,
             upper=lower.T.tocsr(),
-            diag=archive["diag"].astype(np.float64),
+            diag=diag.astype(np.float64),
             pivot_perturbations=int(archive["pivot_perturbations"]),
         )
-        cluster_means = archive["cluster_means"].astype(np.float64)
-        alpha = float(archive["alpha"])
-        factorization = str(archive["factorization"])
+        cluster_means = means.astype(np.float64)
 
     bounds = precompute_cluster_bounds(factors, permutation)
     solver = ClusterSolver(factors, permutation)
@@ -150,3 +209,34 @@ def load_index(path: "str | os.PathLike"):
         solver=solver,
         bounds_table=bounds_table,
     )
+
+
+def _check_csr_arrays(archive, n: int) -> None:
+    """Reject inconsistent CSR triplets before scipy reconstructs them.
+
+    scipy's own failure modes here range from cryptic exceptions to
+    silently out-of-bounds reads, so the structural invariants are
+    asserted up front.
+    """
+    data = archive["lower_data"]
+    indices = archive["lower_indices"]
+    indptr = archive["lower_indptr"]
+    if data.ndim != 1 or indices.ndim != 1 or indptr.ndim != 1:
+        raise ValueError("corrupt index file: factor CSR arrays must be 1-D")
+    if indptr.shape[0] != n + 1:
+        raise ValueError(
+            f"corrupt index file: factor indptr has {indptr.shape[0]} entries, "
+            f"expected {n + 1}"
+        )
+    if int(indptr[0]) != 0 or np.any(np.diff(indptr.astype(np.int64)) < 0):
+        raise ValueError("corrupt index file: factor indptr is not monotonic from 0")
+    nnz = int(indptr[-1])
+    if data.shape[0] != nnz or indices.shape[0] != nnz:
+        raise ValueError(
+            f"corrupt index file: factor has {data.shape[0]} values / "
+            f"{indices.shape[0]} column indices but indptr declares {nnz}"
+        )
+    if nnz and (int(indices.min()) < 0 or int(indices.max()) >= n):
+        raise ValueError(
+            f"corrupt index file: factor column indices outside [0, {n})"
+        )

@@ -1,0 +1,52 @@
+"""Online retrieval service: serve Mogul top-k queries over HTTP.
+
+The engine's batched execution path (:mod:`repro.core.batch`) only pays
+off when concurrent requests actually share a solve.  This package adds
+the request-lifecycle layer that makes that happen in a live system:
+
+* :mod:`repro.service.scheduler` — a micro-batching scheduler that
+  coalesces concurrent requests into ``top_k_batch`` calls under a
+  max-batch-size + max-wait-deadline policy,
+* :mod:`repro.service.server` — a stdlib-only asyncio HTTP front end
+  (``POST /search``, ``POST /search_oos``, ``GET /healthz`` /
+  ``/metrics`` / ``/stats``),
+* :mod:`repro.service.cache` — an LRU result cache with hit/miss
+  accounting, invalidated on dynamic database updates,
+* :mod:`repro.service.metrics` — latency histograms, throughput and
+  aggregated engine counters,
+* :mod:`repro.service.client` — an HTTP client plus a concurrent
+  load generator,
+* :mod:`repro.service.encoding` — the JSON response encoding, shared
+  with the CLI's ``search --json`` mode.
+
+Surface from the shell: ``python -m repro serve`` and
+``python -m repro loadtest``.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import LoadReport, RetrievalClient, run_load_test
+from repro.service.encoding import (
+    search_result_payload,
+    stats_to_dict,
+    topk_to_dict,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.scheduler import MicroBatchScheduler, ScheduledResult
+from repro.service.server import BackgroundServer, RetrievalServer, run_server
+
+__all__ = [
+    "BackgroundServer",
+    "LatencyHistogram",
+    "LoadReport",
+    "MicroBatchScheduler",
+    "ResultCache",
+    "RetrievalClient",
+    "RetrievalServer",
+    "ScheduledResult",
+    "ServiceMetrics",
+    "run_load_test",
+    "run_server",
+    "search_result_payload",
+    "stats_to_dict",
+    "topk_to_dict",
+]

@@ -1,0 +1,274 @@
+"""HTTP client for the retrieval service, plus a concurrent load generator.
+
+:class:`RetrievalClient` wraps one keep-alive ``http.client`` connection
+(stdlib only, like the server).  :func:`run_load_test` drives N clients
+from N threads in a closed loop — each worker issues its next request
+the moment the previous answer lands, the standard way to load a
+micro-batching server because concurrency in flight is exactly what the
+scheduler coalesces — and reports throughput, latency percentiles and
+correctness counters.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.metrics import LatencyHistogram
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class RetrievalClient:
+    """A keep-alive JSON client for one server.
+
+    Not thread-safe (one underlying connection); give each thread its
+    own instance, as :func:`run_load_test` does.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._connection = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # -- raw requests ----------------------------------------------------
+
+    def _request(self, method: str, path: str, document: dict | None = None) -> dict:
+        body = None if document is None else json.dumps(document)
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        except (http.client.HTTPException, ConnectionError):
+            # A dropped keep-alive connection is retried once on a fresh
+            # socket; persistent failures propagate.
+            self._connection.close()
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        if response.status >= 400:
+            raise RuntimeError(
+                f"{method} {path} -> {response.status}: "
+                f"{payload.get('error', payload)}"
+            )
+        return payload
+
+    # -- endpoints -------------------------------------------------------
+
+    def search(self, query: int, k: int = 10) -> dict:
+        """Top-k for an in-database node id."""
+        return self._request("POST", "/search", {"query": int(query), "k": int(k)})
+
+    def search_out_of_sample(self, feature, k: int = 10) -> dict:
+        """Top-k for a feature vector outside the database."""
+        vector = [float(value) for value in np.asarray(feature).ravel()]
+        return self._request("POST", "/search_oos", {"feature": vector, "k": int(k)})
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "RetrievalClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def wait_until_healthy(
+    host: str, port: int, timeout_seconds: float = 15.0
+) -> dict:
+    """Poll ``GET /healthz`` until the server answers; returns the document.
+
+    Lets scripts start the server as a background process and call the
+    load generator immediately without racing the bind.
+    """
+    deadline = time.time() + timeout_seconds
+    last_error: Exception | None = None
+    while time.time() < deadline:
+        try:
+            with RetrievalClient(host, port, timeout=2.0) as client:
+                return client.healthz()
+        except (OSError, RuntimeError, json.JSONDecodeError) as error:
+            last_error = error
+            time.sleep(0.2)
+    raise TimeoutError(
+        f"server at {host}:{port} not healthy after {timeout_seconds}s: {last_error}"
+    )
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-test run."""
+
+    n_requests: int
+    n_errors: int
+    n_empty: int
+    elapsed_seconds: float
+    concurrency: int
+    latency: LatencyHistogram = field(repr=False, default_factory=LatencyHistogram)
+    server_metrics: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.n_requests / self.elapsed_seconds
+
+    @property
+    def ok(self) -> bool:
+        """True when every request succeeded with a non-empty answer."""
+        return self.n_requests > 0 and self.n_errors == 0 and self.n_empty == 0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (for BENCH files and the CLI)."""
+        return {
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "n_empty": self.n_empty,
+            "elapsed_seconds": self.elapsed_seconds,
+            "concurrency": self.concurrency,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.summary(),
+            "server": self.server_metrics,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable summary block."""
+        latency = self.latency.summary()
+        lines = [
+            f"requests:    {self.n_requests} "
+            f"({self.n_errors} errors, {self.n_empty} empty)",
+            f"concurrency: {self.concurrency}",
+            f"elapsed:     {self.elapsed_seconds:.2f}s",
+            f"throughput:  {self.throughput_rps:.1f} req/s",
+            f"latency:     p50 {latency['p50_ms']:.2f} ms   "
+            f"p95 {latency['p95_ms']:.2f} ms   p99 {latency['p99_ms']:.2f} ms",
+        ]
+        batching = self.server_metrics.get("mean_batch_size")
+        if batching:
+            lines.append(f"server mean batch size: {batching:.2f}")
+        cache = self.server_metrics.get("cache", {})
+        if cache.get("hits", 0) or cache.get("misses", 0):
+            lines.append(f"server cache hit rate:  {cache.get('hit_rate', 0.0):.2f}")
+        return "\n".join(lines)
+
+
+def run_load_test(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    concurrency: int = 8,
+    total_requests: int | None = None,
+    duration_seconds: float | None = None,
+    k: int = 10,
+    seed: SeedLike = 0,
+    check_against=None,
+) -> LoadReport:
+    """Drive the server with ``concurrency`` closed-loop workers.
+
+    Exactly one of ``total_requests`` (split across workers) or
+    ``duration_seconds`` (each worker loops until the clock runs out)
+    bounds the run.  Query node ids are sampled uniformly (per-worker
+    seeded RNG) from the node count reported by ``GET /healthz``.
+
+    ``check_against`` optionally takes a callable ``(query, k) ->
+    TopKResult`` (e.g. a local ``ranker.top_k``); every response is then
+    verified against it and mismatches count as errors.
+    """
+    if concurrency <= 0:
+        raise ValueError(f"concurrency must be positive, got {concurrency}")
+    if (total_requests is None) == (duration_seconds is None):
+        raise ValueError("specify exactly one of total_requests / duration_seconds")
+    health = wait_until_healthy(host, port)
+    n_nodes = int(health["n_nodes"])
+
+    latency = LatencyHistogram()
+    counters = {"requests": 0, "errors": 0, "empty": 0}
+    counters_lock = threading.Lock()
+    stop_at = (
+        time.perf_counter() + duration_seconds
+        if duration_seconds is not None
+        else None
+    )
+
+    worker_rngs = spawn_rngs(seed, concurrency)
+
+    def worker(worker_id: int, budget: int | None) -> None:
+        rng = worker_rngs[worker_id]
+        done = 0
+        with RetrievalClient(host, port) as client:
+            while budget is None or done < budget:
+                if stop_at is not None and time.perf_counter() >= stop_at:
+                    break
+                query = int(rng.integers(n_nodes))
+                started = time.perf_counter()
+                error = empty = False
+                try:
+                    payload = client.search(query, k)
+                    if not payload.get("indices"):
+                        empty = True
+                    elif check_against is not None:
+                        expected = check_against(query, k)
+                        got = np.asarray(payload["indices"], dtype=np.int64)
+                        if not (
+                            np.array_equal(got, expected.indices)
+                            and np.allclose(
+                                payload["scores"], expected.scores, atol=1e-8
+                            )
+                        ):
+                            error = True
+                except Exception:
+                    error = True
+                else:
+                    latency.observe(time.perf_counter() - started)
+                done += 1
+                with counters_lock:
+                    counters["requests"] += 1
+                    counters["errors"] += int(error)
+                    counters["empty"] += int(empty)
+
+    budgets: list[int | None]
+    if total_requests is not None:
+        base, remainder = divmod(total_requests, concurrency)
+        budgets = [base + (1 if i < remainder else 0) for i in range(concurrency)]
+    else:
+        budgets = [None] * concurrency
+    threads = [
+        threading.Thread(target=worker, args=(i, budgets[i]), daemon=True)
+        for i in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    try:
+        with RetrievalClient(host, port) as client:
+            server_metrics = client.metrics()
+    except Exception:  # metrics are best-effort decoration
+        server_metrics = {}
+    return LoadReport(
+        n_requests=counters["requests"],
+        n_errors=counters["errors"],
+        n_empty=counters["empty"],
+        elapsed_seconds=elapsed,
+        concurrency=concurrency,
+        latency=latency,
+        server_metrics=server_metrics,
+    )

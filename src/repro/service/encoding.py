@@ -1,0 +1,55 @@
+"""JSON encoding of answers and stats, shared by the server and the CLI.
+
+One encoding, two consumers: the HTTP server's response bodies and the
+CLI's ``search --json`` output are produced by the same helpers, so a
+script that parses one parses the other.  Everything returned here is
+plain JSON-serialisable Python (ints, floats, lists, dicts) — no numpy
+scalars leak out.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import SearchStats
+from repro.ranking.base import TopKResult
+
+
+def topk_to_dict(result: TopKResult) -> dict:
+    """A ranked answer list as ``{"indices": [...], "scores": [...]}``."""
+    return {
+        "indices": [int(node) for node in result.indices],
+        "scores": [float(score) for score in result.scores],
+    }
+
+
+def stats_to_dict(stats: SearchStats | None) -> dict | None:
+    """The pruning counters of one engine run (``None`` passes through)."""
+    if stats is None:
+        return None
+    return {
+        "clusters_total": int(stats.clusters_total),
+        "clusters_pruned": int(stats.clusters_pruned),
+        "clusters_scored": int(stats.clusters_scored),
+        "nodes_scored": int(stats.nodes_scored),
+        "bound_evaluations": int(stats.bound_evaluations),
+        "pruned_nodes": int(stats.pruned_nodes),
+        "prune_fraction": float(stats.prune_fraction),
+    }
+
+
+def search_result_payload(
+    result: TopKResult,
+    k: int,
+    stats: SearchStats | None = None,
+    **extra: object,
+) -> dict:
+    """The per-query response document.
+
+    ``extra`` keys (e.g. ``query``, ``cached``, ``batch_size``,
+    ``latency_ms``) are merged in ahead of the answer fields so callers
+    can annotate without re-shaping.
+    """
+    payload: dict = dict(extra)
+    payload["k"] = int(k)
+    payload.update(topk_to_dict(result))
+    payload["stats"] = stats_to_dict(stats)
+    return payload

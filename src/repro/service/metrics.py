@@ -1,0 +1,167 @@
+"""Serving observability: latency histograms and service-wide counters.
+
+The quantities a retrieval service is judged on — tail latency,
+throughput, how well the micro-batcher is coalescing, how often the
+cache saves a solve — are all cheap to track and expensive to retrofit.
+:class:`ServiceMetrics` is the single sink every layer reports into
+(server handlers record latencies, the scheduler records batch sizes and
+engine stats, the cache keeps its own hit/miss counters and is merged at
+snapshot time), and ``GET /metrics`` is just its :meth:`snapshot`.
+
+Everything here is thread-safe: the scheduler's worker thread, the
+asyncio event loop and the load generator's threads all report
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.search import SearchStats
+
+#: Percentiles reported by every latency summary.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class LatencyHistogram:
+    """Latency percentiles over a bounded window of observations.
+
+    A ring buffer of the most recent ``capacity`` latencies: percentiles
+    are exact over the window (``np.percentile`` on demand), memory is
+    bounded, and a long-running server's numbers track current behaviour
+    rather than averaging over its entire lifetime.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buffer = np.zeros(capacity, dtype=np.float64)
+        self._next = 0
+        self._count = 0
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency (in seconds)."""
+        with self._lock:
+            self._buffer[self._next] = seconds
+            self._next = (self._next + 1) % self._buffer.shape[0]
+            self._count = min(self._count + 1, self._buffer.shape[0])
+            self._total += 1
+            self._sum += seconds
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (not just the window)."""
+        with self._lock:
+            return self._total
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (seconds) over the window; 0.0 when empty."""
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            return float(np.percentile(self._buffer[: self._count], q))
+
+    def summary(self) -> dict:
+        """Counts plus mean/percentile/max latencies in milliseconds."""
+        with self._lock:
+            window = self._buffer[: self._count].copy()
+            total, running_sum, peak = self._total, self._sum, self._max
+        out = {
+            "count": int(total),
+            "mean_ms": 1e3 * running_sum / total if total else 0.0,
+            "max_ms": 1e3 * peak,
+        }
+        for q in PERCENTILES:
+            key = f"p{q:g}_ms"
+            out[key] = 1e3 * float(np.percentile(window, q)) if window.size else 0.0
+        return out
+
+
+class ServiceMetrics:
+    """Counters and histograms for one running service instance.
+
+    Attributes are updated through the ``record_*`` methods (each takes
+    the lock once); :meth:`snapshot` renders the whole state as a plain
+    JSON-serialisable dict.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.batches_total = 0
+        self.queries_batched = 0
+        self.max_batch_size = 0
+        self.engine_totals = SearchStats()
+        self.latency = {
+            "search": LatencyHistogram(),
+            "search_oos": LatencyHistogram(),
+        }
+
+    def record_request(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        """Count one finished request and record its wall-clock latency."""
+        with self._lock:
+            self.requests_total += 1
+            if error:
+                self.errors_total += 1
+        histogram = self.latency.get(endpoint)
+        if histogram is not None and not error:
+            histogram.observe(seconds)
+
+    def record_batch(self, batch_size: int, stats: SearchStats | None = None) -> None:
+        """Count one engine dispatch of ``batch_size`` coalesced queries."""
+        with self._lock:
+            self.batches_total += 1
+            self.queries_batched += batch_size
+            self.max_batch_size = max(self.max_batch_size, batch_size)
+            if stats is not None:
+                self.engine_totals = SearchStats.aggregate(
+                    (self.engine_totals, stats)
+                )
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Queries per engine dispatch — the micro-batcher's coalescing rate."""
+        with self._lock:
+            if self.batches_total == 0:
+                return 0.0
+            return self.queries_batched / self.batches_total
+
+    def snapshot(self) -> dict:
+        """The full metrics document served by ``GET /metrics``."""
+        with self._lock:
+            uptime = time.time() - self.started_at
+            requests, errors = self.requests_total, self.errors_total
+            batches, queries = self.batches_total, self.queries_batched
+            largest = self.max_batch_size
+            engine = self.engine_totals
+        return {
+            "uptime_seconds": uptime,
+            "requests_total": requests,
+            "errors_total": errors,
+            "throughput_rps": requests / uptime if uptime > 0 else 0.0,
+            "batches_total": batches,
+            "queries_batched": queries,
+            "mean_batch_size": queries / batches if batches else 0.0,
+            "max_batch_size": largest,
+            "latency": {
+                name: histogram.summary()
+                for name, histogram in self.latency.items()
+            },
+            "engine": {
+                "clusters_pruned": int(engine.clusters_pruned),
+                "clusters_scored": int(engine.clusters_scored),
+                "nodes_scored": int(engine.nodes_scored),
+                "bound_evaluations": int(engine.bound_evaluations),
+                "prune_fraction": float(engine.prune_fraction),
+            },
+        }

@@ -1,0 +1,476 @@
+"""Stdlib-only asyncio HTTP server in front of the micro-batching scheduler.
+
+A deliberately small HTTP/1.1 front end — request line + headers +
+``Content-Length`` body, keep-alive connections, JSON in and out — built
+on ``asyncio.start_server`` so the whole service (transport, scheduling,
+engine worker) runs in one process with zero dependencies beyond the
+library itself.
+
+Endpoints
+---------
+``POST /search``
+    Body ``{"query": <node id>, "k": 10}``.  Answers come from the
+    scheduler (coalesced with whatever else is in flight) or the result
+    cache; the response carries the ranked answers, the engine's pruning
+    stats, the dispatch batch size and the measured latency.
+``POST /search_oos``
+    Body ``{"feature": [<float>, ...], "k": 10}`` — §4.6.2 out-of-sample
+    queries by feature vector, batched the same way.
+``GET /healthz``
+    Liveness: index identity and uptime.
+``GET /metrics``
+    Latency percentiles, throughput, queue depth, batch coalescing and
+    cache hit rates (:mod:`repro.service.metrics`).
+``GET /stats``
+    Index statistics plus scheduler configuration and cumulative engine
+    pruning counters.
+
+Use :func:`run_server` from the CLI (blocks until interrupted) or
+:class:`BackgroundServer` from tests/examples (serves from a daemon
+thread, returns the bound port).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.service.cache import ResultCache
+from repro.service.encoding import search_result_payload
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import MicroBatchScheduler
+
+#: Largest accepted request body (a feature vector is ~16 bytes/dim as
+#: JSON text; 8 MiB covers any sane dimensionality with huge headroom).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """An error with a dedicated HTTP status (message goes to the client)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class RetrievalServer:
+    """One served index: scheduler + cache + metrics behind HTTP.
+
+    Parameters
+    ----------
+    ranker:
+        The :class:`repro.core.MogulRanker` answering queries (typically
+        restored via ``MogulIndex.load`` + ``MogulRanker.from_index``).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    max_batch_size, max_wait_ms:
+        The scheduler's coalescing policy.
+    cache_capacity:
+        LRU entries for the result cache (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        ranker,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_capacity: int = 1024,
+    ):
+        self.ranker = ranker
+        self.host = host
+        self.port = port
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(cache_capacity)
+        self.scheduler = MicroBatchScheduler(
+            ranker,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            cache=self.cache,
+            metrics=self.metrics,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at = time.time()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> int:
+        """Start the scheduler and bind the listening socket; returns the port."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        return self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (call after :meth:`start`)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the socket and shut the scheduler down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:  # client closed between requests
+                    break
+                method, path, headers, body = request
+                status, payload = await self._route(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await _write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except _HttpError as error:
+            # Transport-level bad request (e.g. malformed Content-Length):
+            # answer with the error document, then drop the connection —
+            # the stream position is no longer trustworthy.
+            try:
+                await _write_response(
+                    writer, error.status, {"error": str(error)}, keep_alive=False
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,  # StreamReader wraps an over-long line in ValueError
+        ):
+            pass  # client went away or sent garbage; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down; just close the connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown races
+                pass
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        started = time.perf_counter()
+        endpoint = path.split("?", 1)[0]
+        try:
+            if endpoint == "/healthz":
+                _require(method, "GET")
+                payload = self._healthz()
+                self.metrics.record_request("healthz", time.perf_counter() - started)
+                return 200, payload
+            if endpoint == "/metrics":
+                _require(method, "GET")
+                payload = self._metrics()
+                self.metrics.record_request("metrics", time.perf_counter() - started)
+                return 200, payload
+            if endpoint == "/stats":
+                _require(method, "GET")
+                payload = self._stats()
+                self.metrics.record_request("stats", time.perf_counter() - started)
+                return 200, payload
+            if endpoint == "/search":
+                _require(method, "POST")
+                payload = await self._search(_parse_json(body), started)
+                return 200, payload
+            if endpoint == "/search_oos":
+                _require(method, "POST")
+                payload = await self._search_oos(_parse_json(body), started)
+                return 200, payload
+            raise _HttpError(404, f"unknown path {endpoint}")
+        except _HttpError as error:
+            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            return error.status, {"error": str(error)}
+        except (ValueError, KeyError, TypeError) as error:
+            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            return 400, {"error": str(error)}
+        except Exception as error:  # engine failure — report, keep serving
+            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    # -- endpoints --------------------------------------------------------
+
+    async def _search(self, document: dict, started: float) -> dict:
+        query = document.get("query")
+        if not isinstance(query, int) or isinstance(query, bool):
+            raise _HttpError(400, "body must carry an integer 'query' node id")
+        k = _get_k(document)
+        scheduled = await self.scheduler.search(query, k)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request("search", elapsed)
+        return search_result_payload(
+            scheduled.result,
+            k,
+            scheduled.stats,
+            query=query,
+            cached=scheduled.cached,
+            batch_size=scheduled.batch_size,
+            latency_ms=1e3 * elapsed,
+        )
+
+    async def _search_oos(self, document: dict, started: float) -> dict:
+        feature = document.get("feature")
+        if not isinstance(feature, list) or not feature:
+            raise _HttpError(400, "body must carry a non-empty 'feature' list")
+        vector = np.asarray(feature, dtype=np.float64)
+        if vector.ndim != 1:
+            raise _HttpError(400, "'feature' must be a flat list of numbers")
+        k = _get_k(document)
+        scheduled = await self.scheduler.search_out_of_sample(vector, k)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request("search_oos", elapsed)
+        return search_result_payload(
+            scheduled.result,
+            k,
+            scheduled.stats,
+            cached=scheduled.cached,
+            batch_size=scheduled.batch_size,
+            latency_ms=1e3 * elapsed,
+        )
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "n_nodes": self.ranker.n_nodes,
+            "method": self.ranker.name,
+            "uptime_seconds": time.time() - self._started_at,
+        }
+
+    def _metrics(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["queue_depth"] = self.scheduler.queue_depth
+        snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    def _stats(self) -> dict:
+        index = self.ranker.index
+        return {
+            "index": {
+                "n_nodes": index.n_nodes,
+                "n_clusters": index.n_clusters,
+                "alpha": index.alpha,
+                "factorization": index.factorization,
+                "factor_nnz": int(index.factors.nnz),
+            },
+            "scheduler": self.scheduler.snapshot(),
+            "engine_totals": self.metrics.snapshot()["engine"],
+        }
+
+
+# -- HTTP plumbing ---------------------------------------------------------
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict, bytes] | None:
+    """Parse one HTTP/1.1 request; ``None`` when the peer closed cleanly."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, path, _version = request_line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError):
+        raise asyncio.IncompleteReadError(request_line, None) from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip().lower()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _HttpError(400, "invalid Content-Length header") from None
+    if length < 0:
+        raise _HttpError(400, "invalid Content-Length header")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body of {length} bytes is too large")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise _HttpError(405, f"method {method} not allowed (use {expected})")
+
+
+def _parse_json(body: bytes) -> dict:
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise _HttpError(400, f"request body is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return document
+
+
+def _get_k(document: dict) -> int:
+    k = document.get("k", 10)
+    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+        raise _HttpError(400, f"'k' must be a positive integer, got {k!r}")
+    return k
+
+
+# -- entry points ----------------------------------------------------------
+
+
+def run_server(
+    ranker,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    cache_capacity: int = 1024,
+    announce: Callable[[str], None] = print,
+) -> None:
+    """Serve ``ranker`` until interrupted (the CLI's blocking entry point)."""
+    server = RetrievalServer(
+        ranker,
+        host=host,
+        port=port,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        cache_capacity=cache_capacity,
+    )
+
+    async def _main() -> None:
+        bound = await server.start()
+        announce(
+            f"serving {ranker.name} index of {ranker.n_nodes} nodes on "
+            f"http://{server.host}:{bound} "
+            f"(max_batch_size={max_batch_size}, max_wait_ms={max_wait_ms})"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        announce("shutting down")
+
+
+class BackgroundServer:
+    """A :class:`RetrievalServer` running on a daemon thread.
+
+    For tests, examples and benchmarks: construction returns only after
+    the socket is bound (so :attr:`port` is usable immediately), and
+    :meth:`stop` tears the loop down cleanly.
+
+    Example
+    -------
+    >>> background = BackgroundServer(ranker, port=0)   # doctest: +SKIP
+    >>> client = RetrievalClient(port=background.port)  # doctest: +SKIP
+    >>> background.stop()                               # doctest: +SKIP
+    """
+
+    def __init__(self, ranker, **server_kwargs):
+        self.server = RetrievalServer(ranker, **server_kwargs)
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="retrieval-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            try:
+                await self.server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.server.stop()
+
+        asyncio.run(_main())
+
+    def stop(self) -> None:
+        """Stop serving and join the thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            # Cancelling every task unwinds serve_forever and asyncio.run
+            # finalises the loop.
+            def _cancel_all() -> None:
+                for task in asyncio.all_tasks():
+                    task.cancel()
+
+            loop.call_soon_threadsafe(_cancel_all)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

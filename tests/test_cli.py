@@ -197,3 +197,69 @@ class TestBatchSearch:
         )
         assert code == 0
         assert "batch of 2 queries" in out
+
+
+class TestJsonOutput:
+    @pytest.fixture(scope="class")
+    def index_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-json") / "coil.idx.npz"
+        assert main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_single_query_json(self, index_path, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "3", "-k", "4", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["query"] == 3
+        assert document["k"] == 4
+        assert len(document["indices"]) == 4
+        assert len(document["scores"]) == 4
+        assert document["stats"]["clusters_total"] > 0
+        assert document["latency_ms"] > 0
+
+    def test_json_matches_text_answers(self, index_path, capsys):
+        import json
+
+        code, json_out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "7", "-k", "3", "--json",
+        )
+        assert code == 0
+        code, text_out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "7", "-k", "3",
+        )
+        assert code == 0
+        text_nodes = [
+            int(line.split()[2]) for line in text_out.splitlines() if " score " in line
+        ]
+        assert json.loads(json_out)["indices"] == text_nodes
+
+    def test_batch_json(self, index_path, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(index_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--batch", "--query", "3", "--query", "9", "-k", "4", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert [entry["query"] for entry in document["results"]] == [3, 9]
+        assert all(len(entry["indices"]) == 4 for entry in document["results"])
+        assert document["totals"]["clusters_total"] > 0
+        assert 0.0 <= document["totals"]["prune_fraction"] <= 1.0

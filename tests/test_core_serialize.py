@@ -21,6 +21,12 @@ def built_ranker(request, bridged_graph):
     )
 
 
+def _payload(path) -> dict:
+    """All arrays of a saved index, ready to corrupt and re-save."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
 class TestRoundTrip:
     def test_top_k_identical(self, built_ranker, tmp_path):
         path = tmp_path / "index.npz"
@@ -97,6 +103,97 @@ class TestValidation:
         payload["cluster_starts"] = payload["cluster_starts"][:-1]
         np.savez(path, **payload)
         with pytest.raises(ValueError, match="boundaries"):
+            load_index(path)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(ValueError, match="not a Mogul index file"):
+            load_index(path)
+
+    def test_plain_npy_rejected(self, tmp_path):
+        """A feature matrix passed where the index belongs -> clear error."""
+        path = tmp_path / "features.npy"
+        np.save(path, np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="plain array"):
+            load_index(path)
+
+    def test_non_integer_version_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        payload["format_version"] = np.float64(1.5)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="format_version"):
+            load_index(path)
+
+    def test_broken_permutation_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        order = payload["order"].copy()
+        order[0] = order[1]  # duplicate id -> not a permutation
+        payload["order"] = order
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="not a permutation"):
+            load_index(path)
+
+    def test_truncated_factor_data_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        payload["lower_data"] = payload["lower_data"][:-3]
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="indptr declares"):
+            load_index(path)
+
+    def test_factor_indices_out_of_range_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        indices = payload["lower_indices"].copy()
+        if indices.size == 0:
+            pytest.skip("factor has no off-diagonal entries")
+        indices[0] = payload["order"].shape[0] + 7
+        payload["lower_indices"] = indices
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="column indices"):
+            load_index(path)
+
+    def test_wrong_diag_length_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        payload["diag"] = payload["diag"][:-1]
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="diagonal"):
+            load_index(path)
+
+    def test_wrong_cluster_means_shape_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        payload["cluster_means"] = payload["cluster_means"][:-1]
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="cluster_means"):
+            load_index(path)
+
+    def test_unknown_factorization_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        payload["factorization"] = np.str_("mystery")
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="factorization"):
+            load_index(path)
+
+    def test_bad_alpha_rejected(self, built_ranker, tmp_path):
+        path = tmp_path / "index.npz"
+        built_ranker.index.save(path)
+        payload = _payload(path)
+        payload["alpha"] = np.float64(1.5)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="alpha"):
             load_index(path)
 
     def test_from_index_checks_node_count(self, built_ranker, small_ring_graph):

@@ -1,0 +1,276 @@
+"""Tests for the micro-batching scheduler (repro.service.scheduler).
+
+The scheduler is an execution layer, not an approximation layer: every
+answer it serves must be bitwise identical to a direct ``top_k`` call,
+under any coalescing policy, any arrival pattern and any mix of ``k``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.index import MogulRanker
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import MicroBatchScheduler
+
+
+@pytest.fixture(scope="module")
+def ranker(bridged_graph):
+    return MogulRanker(bridged_graph)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _gather_searches(scheduler, requests):
+    return await asyncio.gather(
+        *(scheduler.search(node, k) for node, k in requests)
+    )
+
+
+class TestCorrectness:
+    def test_burst_identical_to_direct_top_k(self, ranker):
+        """A concurrent burst coalesces, and every answer is exact."""
+        requests = [(node, 5) for node in range(20)]
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=8, max_wait_ms=5.0
+            ) as scheduler:
+                return await _gather_searches(scheduler, requests)
+
+        served = run(main())
+        for (node, k), scheduled in zip(requests, served):
+            direct = ranker.top_k(node, k)
+            np.testing.assert_array_equal(scheduled.result.indices, direct.indices)
+            np.testing.assert_allclose(
+                scheduled.result.scores, direct.scores, rtol=0, atol=0
+            )
+
+    def test_mixed_k_coalesces_exactly(self, ranker):
+        """Different k in one batch: solve for max k, truncate per query."""
+        requests = [(1, 3), (2, 9), (3, 1), (4, 6), (5, 9), (6, 2)]
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=16, max_wait_ms=10.0
+            ) as scheduler:
+                served = await _gather_searches(scheduler, requests)
+                return served
+
+        served = run(main())
+        # All six landed in one dispatch (the window was generous).
+        assert {scheduled.batch_size for scheduled in served} == {6}
+        for (node, k), scheduled in zip(requests, served):
+            direct = ranker.top_k(node, k)
+            assert len(scheduled.result) == len(direct)
+            np.testing.assert_array_equal(scheduled.result.indices, direct.indices)
+            np.testing.assert_allclose(
+                scheduled.result.scores, direct.scores, rtol=0, atol=0
+            )
+
+    def test_out_of_sample_identical(self, ranker):
+        features = [
+            ranker.graph.features[i] + 0.01 * (i + 1) for i in range(6)
+        ]
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=8, max_wait_ms=10.0
+            ) as scheduler:
+                return await asyncio.gather(
+                    *(
+                        scheduler.search_out_of_sample(feature, 4)
+                        for feature in features
+                    )
+                )
+
+        served = run(main())
+        for feature, scheduled in zip(features, served):
+            direct = ranker.top_k_out_of_sample(feature, 4)
+            np.testing.assert_array_equal(scheduled.result.indices, direct.indices)
+            np.testing.assert_allclose(
+                scheduled.result.scores, direct.scores, rtol=0, atol=0
+            )
+
+    def test_sequential_requests_still_exact(self, ranker):
+        """No concurrency: each request is a singleton batch."""
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=8, max_wait_ms=0.0
+            ) as scheduler:
+                out = []
+                for node in (0, 7, 42):
+                    out.append(await scheduler.search(node, 5))
+                return out
+
+        served = run(main())
+        assert all(scheduled.batch_size == 1 for scheduled in served)
+        for node, scheduled in zip((0, 7, 42), served):
+            direct = ranker.top_k(node, 5)
+            np.testing.assert_array_equal(scheduled.result.indices, direct.indices)
+
+
+class TestCoalescingPolicy:
+    def test_max_batch_size_respected(self, ranker):
+        requests = [(node, 4) for node in range(30)]
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=8, max_wait_ms=20.0
+            ) as scheduler:
+                served = await _gather_searches(scheduler, requests)
+                return served, scheduler.batches_dispatched
+
+        served, batches = run(main())
+        assert all(1 <= scheduled.batch_size <= 8 for scheduled in served)
+        # 30 requests at cap 8 need at least ceil(30/8) = 4 dispatches.
+        assert batches >= 4
+
+    def test_deadline_flushes_partial_batch(self, ranker):
+        """A lone request departs at the deadline, not at batch-full."""
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=64, max_wait_ms=5.0
+            ) as scheduler:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                scheduled = await scheduler.search(3, 5)
+                return scheduled, loop.time() - started
+
+        scheduled, elapsed = run(main())
+        assert scheduled.batch_size == 1
+        # Departed after the 5 ms window but far before any infinite wait.
+        assert 0.004 <= elapsed < 5.0
+
+    def test_batch_size_one_disables_coalescing(self, ranker):
+        requests = [(node, 4) for node in range(12)]
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=1, max_wait_ms=5.0
+            ) as scheduler:
+                return await _gather_searches(scheduler, requests)
+
+        served = run(main())
+        assert all(scheduled.batch_size == 1 for scheduled in served)
+
+    def test_fairness_under_bursty_arrivals(self, ranker):
+        """FIFO dispatch: an early request never waits on a later batch.
+
+        Two bursts arrive back to back; every request of the first burst
+        must be answered by a dispatch no later than any dispatch
+        answering the second burst.
+        """
+        order: list[int] = []
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=4, max_wait_ms=1.0
+            ) as scheduler:
+
+                async def tracked(node, tag):
+                    await scheduler.search(node, 3)
+                    order.append(tag)
+
+                first = [
+                    asyncio.create_task(tracked(node, 0)) for node in range(8)
+                ]
+                await asyncio.sleep(0)  # first burst fully enqueued
+                second = [
+                    asyncio.create_task(tracked(node, 1))
+                    for node in range(20, 28)
+                ]
+                await asyncio.gather(*first, *second)
+
+        run(main())
+        assert len(order) == 16
+        # Completion tags must be non-decreasing burst-wise: once a
+        # second-burst answer lands, no first-burst answer may follow.
+        first_done = order.index(1) if 1 in order else len(order)
+        assert all(tag == 1 for tag in order[first_done:])
+
+    def test_stats_and_counters(self, ranker):
+        metrics = ServiceMetrics()
+        requests = [(node, 4) for node in range(10)]
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_batch_size=8, max_wait_ms=5.0, metrics=metrics
+            ) as scheduler:
+                served = await _gather_searches(scheduler, requests)
+                snapshot = scheduler.snapshot()
+                return served, snapshot
+
+        served, snapshot = run(main())
+        assert snapshot["queries_dispatched"] == 10
+        assert snapshot["batches_dispatched"] >= 2
+        assert metrics.snapshot()["queries_batched"] == 10
+        # Per-query pruning stats ride along with each answer.
+        assert all(
+            scheduled.stats is not None and scheduled.stats.clusters_total > 0
+            for scheduled in served
+        )
+
+
+class TestValidationAndLifecycle:
+    def test_invalid_node_rejected_before_enqueue(self, ranker):
+        async def main():
+            async with MicroBatchScheduler(ranker) as scheduler:
+                with pytest.raises(ValueError, match="out of range"):
+                    await scheduler.search(ranker.n_nodes + 5, 3)
+                with pytest.raises(ValueError, match="k must be positive"):
+                    await scheduler.search(0, 0)
+                with pytest.raises(ValueError, match="shape"):
+                    await scheduler.search_out_of_sample(np.zeros(3), 3)
+
+        run(main())
+
+    def test_not_running_raises(self, ranker):
+        scheduler = MicroBatchScheduler(ranker)
+
+        async def main():
+            with pytest.raises(RuntimeError, match="not running"):
+                await scheduler.search(0, 3)
+
+        run(main())
+
+    def test_bad_policy_rejected(self, ranker):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatchScheduler(ranker, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatchScheduler(ranker, max_wait_ms=-1.0)
+
+    def test_huge_k_is_capped_not_allocated(self, ranker):
+        """A client k beyond the database size must not size an allocation."""
+
+        async def main():
+            async with MicroBatchScheduler(ranker, max_wait_ms=0.0) as scheduler:
+                return await scheduler.search(0, 10**12)
+
+        scheduled = run(main())
+        direct = ranker.top_k(0, ranker.n_nodes)
+        np.testing.assert_array_equal(scheduled.result.indices, direct.indices)
+
+    def test_cache_integration(self, ranker):
+        cache = ResultCache(capacity=32)
+
+        async def main():
+            async with MicroBatchScheduler(
+                ranker, max_wait_ms=0.0, cache=cache
+            ) as scheduler:
+                cold = await scheduler.search(5, 4)
+                warm = await scheduler.search(5, 4)
+                return cold, warm
+
+        cold, warm = run(main())
+        assert not cold.cached and warm.cached
+        np.testing.assert_array_equal(cold.result.indices, warm.result.indices)
+        assert cache.hits == 1 and cache.misses == 1
