@@ -34,6 +34,22 @@ import numpy as np
 from repro.core.index import MogulIndex, MogulRanker
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.graph.build import build_knn_graph
+from repro.linalg.ldl import BACKENDS, DEFAULT_BACKEND
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer >= 1, got {value}"
+        )
+    return value
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -82,6 +98,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="ILU(p)-style fill budget for the incomplete factorization "
         "(0 = the paper's ICF; higher = more accuracy, more memory)",
+    )
+    build.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker threads for the parallel precompute stages (k-NN "
+        "search, per-cluster factorization); any value builds an "
+        "identical index (default 1)",
+    )
+    build.add_argument(
+        "--factor-backend",
+        choices=BACKENDS,
+        default=DEFAULT_BACKEND,
+        help="LDL^T implementation: 'csr' (fast, default) or 'reference' "
+        "(the original dict-of-rows kernel, kept for equivalence runs)",
     )
     build.set_defaults(handler=_cmd_build)
 
@@ -219,7 +250,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def _cmd_build(args: argparse.Namespace) -> int:
     features = _load_features(args)
     started = time.perf_counter()
-    graph = build_knn_graph(features, k=args.k)
+    graph = build_knn_graph(features, k=args.k, jobs=args.jobs)
     graph_seconds = time.perf_counter() - started
     started = time.perf_counter()
     index = MogulIndex.build(
@@ -227,13 +258,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         factorization="complete" if args.exact else "incomplete",
         fill_level=0 if args.exact else args.fill_level,
+        jobs=args.jobs,
+        factor_backend=args.factor_backend,
     )
     index_seconds = time.perf_counter() - started
+    if index.profile is not None:
+        # Account graph construction in the same table, ahead of the
+        # stages MogulIndex.build recorded itself.
+        index.profile.stages = {"graph": graph_seconds, **index.profile.stages}
     index.save(args.out)
     print(
         f"indexed {graph.n_nodes} nodes ({graph.n_edges} edges) in "
         f"{graph_seconds:.2f}s graph + {index_seconds:.2f}s index -> {args.out}"
     )
+    if index.profile is not None:
+        print(index.profile.to_text())
     return 0
 
 
@@ -256,6 +295,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"interior sizes:   min {min(interior)} / max {max(interior)}")
     print(f"factor non-zeros: {index.factors.nnz} (strict lower)")
     print(f"pivot guards hit: {index.factors.pivot_perturbations}")
+    profile = index.profile
+    if profile is not None:
+        if profile.stages:
+            print("build profile:")
+            print(profile.to_text())
+        elif profile.load_seconds is not None:
+            print(f"loaded in:        {profile.load_seconds:.3f}s")
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.core.diagnostics import IndexReport, diagnose_index, expected_prune_r
 from repro.core.dynamic import DynamicMogulRanker
 from repro.core.index import MogulIndex, MogulRanker
 from repro.core.permutation import Permutation, build_permutation
+from repro.core.profile import BuildProfile
 from repro.core.search import SearchStats, TopKAccumulator, top_k_search
 from repro.core.serialize import load_index, save_index
 from repro.core.solver import ClusterSolver
@@ -33,6 +34,7 @@ __all__ = [
     "BatchQuery",
     "BatchStats",
     "BoundsTable",
+    "BuildProfile",
     "ClusterBoundData",
     "ClusterSolver",
     "DynamicMogulRanker",

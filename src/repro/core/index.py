@@ -21,6 +21,8 @@ more non-zeros (paper §4.6.1).
 
 from __future__ import annotations
 
+import inspect
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,11 +31,18 @@ from repro.core.batch import BatchQuery, BatchStats, top_k_batch_search
 from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_bounds
 from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
 from repro.core.permutation import ClusterFn, Permutation, build_permutation
+from repro.core.profile import BuildProfile
 from repro.core.search import SearchStats, top_k_search
 from repro.core.solver import ClusterSolver
 from repro.clustering.louvain import louvain
 from repro.graph.adjacency import KnnGraph
-from repro.linalg.ldl import LDLFactors, complete_ldl, incomplete_ldl
+from repro.linalg.ldl import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    LDLFactors,
+    complete_ldl,
+    incomplete_ldl,
+)
 from repro.ranking.base import (
     DEFAULT_ALPHA,
     Ranker,
@@ -42,7 +51,24 @@ from repro.ranking.base import (
 )
 from repro.ranking.normalize import ranking_matrix
 from repro.utils.timer import Timer
-from repro.utils.validation import check_alpha, check_positive_int
+from repro.utils.validation import check_alpha, check_jobs, check_positive_int
+
+
+def _run_clusterer(clusterer: ClusterFn, adjacency, jobs: int) -> np.ndarray:
+    """Invoke a clusterer, forwarding ``jobs`` when its signature takes it.
+
+    Clusterers are plain ``adjacency -> labels`` callables; parallel-aware
+    ones (e.g. :func:`repro.clustering.louvain_refined`) advertise a
+    ``jobs`` keyword and receive the build's worker budget.
+    """
+    if jobs > 1:
+        try:
+            parameters = inspect.signature(clusterer).parameters
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            parameters = {}
+        if "jobs" in parameters:
+            return clusterer(adjacency, jobs=jobs)
+    return clusterer(adjacency)
 
 
 @dataclass(frozen=True)
@@ -69,6 +95,10 @@ class MogulIndex:
         Per-cluster packed substitution engine (the query-time fast path).
     bounds_table:
         Vectorized form of ``bounds`` evaluated in one SpMV per query.
+    profile:
+        Per-stage :class:`repro.core.profile.BuildProfile` of the build
+        (or load) that produced this index; ``None`` when assembled by
+        hand (tests).
     """
 
     permutation: Permutation
@@ -80,6 +110,7 @@ class MogulIndex:
     factorization: str
     solver: ClusterSolver
     bounds_table: BoundsTable
+    profile: BuildProfile | None = None
 
     @classmethod
     def build(
@@ -90,6 +121,8 @@ class MogulIndex:
         cluster_labels: np.ndarray | None = None,
         clusterer: ClusterFn = louvain,
         fill_level: int = 0,
+        jobs: int = 1,
+        factor_backend: str = DEFAULT_BACKEND,
     ) -> "MogulIndex":
         """Precompute the full index for a graph.
 
@@ -100,6 +133,23 @@ class MogulIndex:
         ``fill_level`` (incomplete factorization only) admits ILU(p)-style
         fill: 0 is the paper's ICF, higher values trade factor size for
         accuracy, interpolating toward MogulE.
+
+        ``jobs`` spreads the parallel-friendly stages over worker
+        threads: the factorization of the mutually independent interior
+        cluster blocks (Lemma 3), and the clustering when ``clusterer``
+        accepts a ``jobs`` keyword (e.g.
+        :func:`repro.clustering.louvain_refined`; the default greedy
+        Louvain sweep is order-dependent and stays sequential).  Every
+        ``jobs`` value produces a bitwise-identical index.  Note that
+        these stages are pure-Python loops holding the GIL, so on
+        standard CPython ``jobs > 1`` changes wall-clock only for the
+        (BLAS-backed) k-NN stage of graph construction; the knob is
+        still safe to set everywhere since results never change.
+        ``factor_backend`` picks the LDL implementation —
+        ``"csr"`` (default) or the original ``"reference"`` kept for
+        equivalence testing and benchmarking (see
+        :mod:`repro.linalg.ldl`).  A :class:`BuildProfile` with
+        per-stage wall times lands on the returned index.
         """
         alpha = check_alpha(alpha)
         if factorization not in ("incomplete", "complete"):
@@ -108,21 +158,60 @@ class MogulIndex:
             )
         if fill_level and factorization == "complete":
             raise ValueError("fill_level only applies to the incomplete factorization")
+        if factor_backend not in BACKENDS:
+            raise ValueError(
+                f"factor_backend must be one of {BACKENDS}, got {factor_backend!r}"
+            )
+        jobs = check_jobs(jobs)
+        profile = BuildProfile(factor_backend=factor_backend, jobs=jobs)
+        stages = profile.stages
+
+        started = time.perf_counter()
+        if cluster_labels is None:
+            cluster_labels = _run_clusterer(clusterer, graph.adjacency, jobs)
+            stages["clustering"] = time.perf_counter() - started
+
+        started = time.perf_counter()
         permutation = build_permutation(
-            graph.adjacency, cluster_labels=cluster_labels, clusterer=clusterer
+            graph.adjacency, cluster_labels=cluster_labels
         )
+        stages["permutation"] = time.perf_counter() - started
+
+        started = time.perf_counter()
         w = ranking_matrix(graph.adjacency, alpha)
         w_permuted = permutation.permute_matrix(w)
+        stages["ranking_matrix"] = time.perf_counter() - started
+
+        started = time.perf_counter()
         if factorization == "incomplete":
-            factors = incomplete_ldl(w_permuted, fill_level=fill_level)
+            factors = incomplete_ldl(
+                w_permuted,
+                fill_level=fill_level,
+                backend=factor_backend,
+                blocks=permutation.cluster_slices,
+                jobs=jobs,
+            )
         else:
-            factors = complete_ldl(w_permuted)
+            factors = complete_ldl(
+                w_permuted,
+                backend=factor_backend,
+                blocks=permutation.cluster_slices,
+                jobs=jobs,
+            )
+        stages["factorization"] = time.perf_counter() - started
+
+        started = time.perf_counter()
         bounds = precompute_cluster_bounds(factors, permutation)
-        solver = ClusterSolver(factors, permutation)
         bounds_table = BoundsTable.from_bounds(
             bounds, permutation.border_slice.start, permutation.n_nodes
         )
+        stages["bounds"] = time.perf_counter() - started
 
+        started = time.perf_counter()
+        solver = ClusterSolver(factors, permutation)
+        stages["solver"] = time.perf_counter() - started
+
+        started = time.perf_counter()
         members: list[np.ndarray] = []
         means = np.zeros(
             (permutation.n_clusters, graph.features.shape[1]), dtype=np.float64
@@ -132,6 +221,18 @@ class MogulIndex:
             members.append(nodes)
             if nodes.size:
                 means[cid] = graph.features[nodes].mean(axis=0)
+        stages["cluster_means"] = time.perf_counter() - started
+
+        border = permutation.border_slice
+        strict_lower_w = (w_permuted.nnz - int(np.count_nonzero(w_permuted.diagonal()))) // 2
+        profile.n_nodes = permutation.n_nodes
+        profile.n_clusters = permutation.n_clusters
+        profile.border_size = border.stop - border.start
+        profile.w_nnz = int(w_permuted.nnz)
+        profile.factor_nnz = int(factors.nnz)
+        profile.fill_ratio = (
+            factors.nnz / strict_lower_w if strict_lower_w else 0.0
+        )
         return cls(
             permutation=permutation,
             factors=factors,
@@ -142,6 +243,7 @@ class MogulIndex:
             factorization=factorization,
             solver=solver,
             bounds_table=bounds_table,
+            profile=profile,
         )
 
     @property
@@ -189,6 +291,10 @@ class MogulRanker(Ranker):
         Search-time switches forwarded to
         :func:`repro.core.top_k_search`; defaults are the full Mogul
         algorithm.
+    jobs, factor_backend:
+        Build-time knobs forwarded to :meth:`MogulIndex.build` (worker
+        threads for the parallel stages; LDL backend).  Neither affects
+        answers.
     """
 
     def __init__(
@@ -202,6 +308,8 @@ class MogulRanker(Ranker):
         use_pruning: bool = True,
         use_sparsity: bool = True,
         cluster_order: str = "index",
+        jobs: int = 1,
+        factor_backend: str = DEFAULT_BACKEND,
     ):
         super().__init__(graph, alpha)
         self.exact = exact
@@ -216,6 +324,8 @@ class MogulRanker(Ranker):
             cluster_labels=cluster_labels,
             clusterer=clusterer,
             fill_level=0 if exact else fill_level,
+            jobs=jobs,
+            factor_backend=factor_backend,
         )
         #: :class:`SearchStats` of the most recent :meth:`top_k` call.
         self.last_stats: SearchStats | None = None

@@ -8,13 +8,24 @@ The ``.npz`` format stores only the *primary* artifacts:
 
 * the permutation (node order + cluster boundaries),
 * the factor (strict lower triangle as CSR arrays + the diagonal of D),
-* the per-cluster feature means (for out-of-sample routing), and
-* the scalars ``alpha`` / ``factorization``.
+* the per-cluster feature means (for out-of-sample routing),
+* the scalars ``alpha`` / ``factorization``, and
+* the :class:`repro.core.profile.BuildProfile` (as JSON), when present.
 
 Everything else in the index (bounds, the packed per-cluster solvers, the
 vectorized bound table, ``U = L^T``) is a pure function of those artifacts
 and is **recomputed on load** — cheaper than storing it, and immune to
 format drift in derived structures.
+
+Files are written *uncompressed* by default (``compressed=True`` restores
+the old behaviour): uncompressed zip members are plain ``.npy`` payloads
+at a fixed offset, so :func:`load_index` maps the large factor arrays
+straight from disk with ``np.memmap`` instead of copying them through the
+zip reader — the OS pages them in on demand.  Loading degrades gracefully
+to the ordinary (still lazy, per-member) ``NpzFile`` reads for compressed
+or otherwise unmappable members, and the measured wall-clock of the whole
+restore lands in ``profile.load_seconds`` so ``repro serve`` startup cost
+is visible in ``/stats``.
 
 The graph itself is deliberately *not* part of the file: an index is
 (features -> ranking structure), and the caller re-attaches whichever
@@ -24,6 +35,8 @@ feature store it keeps (see :meth:`repro.core.MogulRanker.from_index`).
 from __future__ import annotations
 
 import os
+import struct
+import time
 import zipfile
 
 import numpy as np
@@ -46,20 +59,26 @@ _REQUIRED_KEYS = (
     "factorization",
 )
 
+#: Arrays worth memory-mapping (everything that scales with the index).
+_MMAP_KEYS = frozenset(
+    {"order", "lower_data", "lower_indices", "lower_indptr", "diag", "cluster_means"}
+)
 
-def save_index(index, path: "str | os.PathLike") -> None:
+
+def save_index(index, path: "str | os.PathLike", compressed: bool = False) -> None:
     """Write a :class:`repro.core.MogulIndex` to ``path`` (``.npz``).
 
     The file is self-contained and versioned; load with
-    :func:`load_index`.
+    :func:`load_index`.  ``compressed=False`` (default) stores members
+    uncompressed so the loader can memory-map them; ``compressed=True``
+    trades load speed for a smaller file.
     """
     perm = index.permutation
     starts = np.asarray(
         [sl.start for sl in perm.cluster_slices] + [perm.n_nodes], dtype=np.int64
     )
     lower = index.factors.lower.tocsr()
-    np.savez_compressed(
-        path,
+    payload = dict(
         format_version=np.int64(FORMAT_VERSION),
         order=perm.order,
         cluster_starts=starts,
@@ -72,6 +91,85 @@ def save_index(index, path: "str | os.PathLike") -> None:
         alpha=np.float64(index.alpha),
         factorization=np.str_(index.factorization),
     )
+    if index.profile is not None:
+        payload["build_profile"] = np.str_(index.profile.to_json())
+    writer = np.savez_compressed if compressed else np.savez
+    # Write-to-temp + atomic rename: rewriting a path that a live process
+    # has loaded (and therefore memory-mapped) must never truncate the
+    # mapped inode — the old file lingers for existing maps, the new one
+    # takes over the name.  Mirrors numpy's own ".npz" suffix rule.
+    target = os.fspath(path)
+    if not target.endswith(".npz"):
+        target += ".npz"
+    scratch = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(scratch, "wb") as stream:
+            writer(stream, **payload)
+        os.replace(scratch, target)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+
+
+def _mmap_stored_members(path) -> dict[str, np.ndarray]:
+    """Memory-map the uncompressed ``.npy`` members of a zip archive.
+
+    For every ``ZIP_STORED`` member in :data:`_MMAP_KEYS`, locate the raw
+    payload (local file header + npy header) and hand back a read-only
+    ``np.memmap`` view.  Anything unexpected — compression, npy versions
+    or dtypes we do not recognise, a truncated header — simply leaves the
+    member out, and the caller falls back to the ordinary zip read.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            infos = archive.infolist()
+        with open(path, "rb") as stream:
+            for info in infos:
+                if info.compress_type != zipfile.ZIP_STORED:
+                    continue
+                if not info.filename.endswith(".npy"):
+                    continue
+                key = info.filename[:-4]
+                if key not in _MMAP_KEYS:
+                    continue
+                # The local file header repeats the name and carries its
+                # own extra field (possibly differing from the central
+                # directory's) — the payload offset must be derived from
+                # it, not from the ZipInfo lengths.
+                stream.seek(info.header_offset)
+                header = stream.read(30)
+                if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                    continue
+                name_len, extra_len = struct.unpack("<HH", header[26:30])
+                stream.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(stream)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                        stream
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                        stream
+                    )
+                else:
+                    continue
+                if dtype.hasobject:
+                    continue
+                arrays[key] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=stream.tell(),
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+    except (OSError, ValueError, zipfile.BadZipFile, struct.error):
+        return {}
+    return arrays
 
 
 def load_index(path: "str | os.PathLike"):
@@ -82,15 +180,20 @@ def load_index(path: "str | os.PathLike"):
     format versions, missing keys, and structurally corrupt arrays (a
     broken permutation, inconsistent CSR triplets, mismatched diagonal
     or mean shapes) all raise a clear :class:`ValueError` naming the
-    problem rather than failing deep inside the solver rebuild.
+    problem rather than failing deep inside the solver rebuild.  Large
+    arrays arrive as read-only memory maps when the file stores them
+    uncompressed; the total restore time is recorded on the returned
+    index's ``profile.load_seconds``.
     """
     # Imported here: serialize <-> index would otherwise be a cycle.
     from repro.core.bounds import BoundsTable, precompute_cluster_bounds
     from repro.core.index import MogulIndex
     from repro.core.permutation import Permutation
+    from repro.core.profile import BuildProfile
     from repro.core.solver import ClusterSolver
     from repro.linalg.ldl import LDLFactors
 
+    load_started = time.perf_counter()
     try:
         archive = np.load(path, allow_pickle=False)
     except (zipfile.BadZipFile, ValueError) as error:
@@ -105,10 +208,16 @@ def load_index(path: "str | os.PathLike"):
             f"not a Mogul index file ({os.fspath(path)!r} is a plain "
             f"array, expected an .npz archive)"
         )
+    mapped = _mmap_stored_members(path)
+
     with archive:
         missing = [key for key in _REQUIRED_KEYS if key not in archive]
         if missing:
             raise ValueError(f"not a Mogul index file (missing keys {missing})")
+
+        def fetch(key: str) -> np.ndarray:
+            return mapped[key] if key in mapped else archive[key]
+
         version_array = archive["format_version"]
         if version_array.size != 1 or not np.issubdtype(
             version_array.dtype, np.integer
@@ -120,8 +229,8 @@ def load_index(path: "str | os.PathLike"):
                 f"index file has format version {version}, "
                 f"this library reads version {FORMAT_VERSION}"
             )
-        order = archive["order"].astype(np.int64)
-        starts = archive["cluster_starts"].astype(np.int64)
+        order = np.asarray(fetch("order"), dtype=np.int64)
+        starts = np.asarray(archive["cluster_starts"], dtype=np.int64)
         n = order.shape[0]
         if order.ndim != 1 or n == 0:
             raise ValueError("corrupt index file: node order must be 1-D, non-empty")
@@ -138,15 +247,18 @@ def load_index(path: "str | os.PathLike"):
             or np.any(np.diff(starts) < 0)
         ):
             raise ValueError("corrupt index file: bad cluster boundaries")
-        _check_csr_arrays(archive, n)
-        diag = archive["diag"]
+        lower_data = fetch("lower_data")
+        lower_indices = fetch("lower_indices")
+        lower_indptr = fetch("lower_indptr")
+        _check_csr_arrays(lower_data, lower_indices, lower_indptr, n)
+        diag = fetch("diag")
         if diag.shape != (n,):
             raise ValueError(
                 f"corrupt index file: diagonal has shape {diag.shape}, "
                 f"expected ({n},)"
             )
         n_clusters = starts.size - 1
-        means = archive["cluster_means"]
+        means = fetch("cluster_means")
         if means.ndim != 2 or means.shape[0] != n_clusters:
             raise ValueError(
                 f"corrupt index file: cluster_means has shape {means.shape}, "
@@ -160,6 +272,12 @@ def load_index(path: "str | os.PathLike"):
         alpha = float(archive["alpha"])
         if not 0.0 < alpha < 1.0:
             raise ValueError(f"corrupt index file: alpha {alpha} outside (0, 1)")
+        profile = None
+        if "build_profile" in archive:
+            try:
+                profile = BuildProfile.from_json(str(archive["build_profile"]))
+            except (ValueError, TypeError):
+                profile = None  # a broken profile never blocks a load
 
         slices = tuple(
             slice(int(a), int(b)) for a, b in zip(starts[:-1], starts[1:])
@@ -178,19 +296,19 @@ def load_index(path: "str | os.PathLike"):
 
         lower = sp.csr_matrix(
             (
-                archive["lower_data"].astype(np.float64),
-                archive["lower_indices"].astype(np.int64),
-                archive["lower_indptr"].astype(np.int64),
+                np.asarray(lower_data, dtype=np.float64),
+                np.asarray(lower_indices, dtype=np.int64),
+                np.asarray(lower_indptr, dtype=np.int64),
             ),
             shape=(n, n),
         )
         factors = LDLFactors(
             lower=lower,
             upper=lower.T.tocsr(),
-            diag=diag.astype(np.float64),
+            diag=np.asarray(diag, dtype=np.float64),
             pivot_perturbations=int(archive["pivot_perturbations"]),
         )
-        cluster_means = means.astype(np.float64)
+        cluster_means = np.asarray(means, dtype=np.float64)
 
     bounds = precompute_cluster_bounds(factors, permutation)
     solver = ClusterSolver(factors, permutation)
@@ -198,6 +316,14 @@ def load_index(path: "str | os.PathLike"):
         bounds, permutation.border_slice.start, n
     )
     members = tuple(order[sl] for sl in slices)
+    if profile is None:
+        profile = BuildProfile(
+            n_nodes=n,
+            n_clusters=len(slices),
+            border_size=slices[-1].stop - slices[-1].start,
+            factor_nnz=int(lower.nnz),
+        )
+    profile.load_seconds = time.perf_counter() - load_started
     return MogulIndex(
         permutation=permutation,
         factors=factors,
@@ -208,19 +334,17 @@ def load_index(path: "str | os.PathLike"):
         factorization=factorization,
         solver=solver,
         bounds_table=bounds_table,
+        profile=profile,
     )
 
 
-def _check_csr_arrays(archive, n: int) -> None:
+def _check_csr_arrays(data, indices, indptr, n: int) -> None:
     """Reject inconsistent CSR triplets before scipy reconstructs them.
 
     scipy's own failure modes here range from cryptic exceptions to
     silently out-of-bounds reads, so the structural invariants are
     asserted up front.
     """
-    data = archive["lower_data"]
-    indices = archive["lower_indices"]
-    indptr = archive["lower_indptr"]
     if data.ndim != 1 or indices.ndim != 1 or indptr.ndim != 1:
         raise ValueError("corrupt index file: factor CSR arrays must be 1-D")
     if indptr.shape[0] != n + 1:
@@ -228,7 +352,7 @@ def _check_csr_arrays(archive, n: int) -> None:
             f"corrupt index file: factor indptr has {indptr.shape[0]} entries, "
             f"expected {n + 1}"
         )
-    if int(indptr[0]) != 0 or np.any(np.diff(indptr.astype(np.int64)) < 0):
+    if int(indptr[0]) != 0 or np.any(np.diff(np.asarray(indptr, dtype=np.int64)) < 0):
         raise ValueError("corrupt index file: factor indptr is not monotonic from 0")
     nnz = int(indptr[-1])
     if data.shape[0] != nnz or indices.shape[0] != nnz:
@@ -240,3 +364,26 @@ def _check_csr_arrays(archive, n: int) -> None:
         raise ValueError(
             f"corrupt index file: factor column indices outside [0, {n})"
         )
+    if nnz:
+        # The factor stores the *strict* lower triangle with sorted
+        # rows; on/above-diagonal entries would silently corrupt the
+        # trusted solver packing downstream, and unsorted rows would
+        # trip an in-place sort on the read-only memory maps — both are
+        # rejected here at the boundary instead.
+        indices64 = np.asarray(indices, dtype=np.int64)
+        indptr64 = np.asarray(indptr, dtype=np.int64)
+        entry_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr64))
+        if np.any(indices64 >= entry_rows):
+            raise ValueError(
+                "corrupt index file: factor entries on or above the diagonal"
+            )
+        if nnz > 1:
+            row_breaks = indptr64[1:-1]
+            row_breaks = row_breaks[(row_breaks > 0) & (row_breaks < nnz)]
+            within_row = np.ones(nnz - 1, dtype=bool)
+            within_row[row_breaks - 1] = False
+            if np.any(np.diff(indices64)[within_row] <= 0):
+                raise ValueError(
+                    "corrupt index file: factor column indices are "
+                    "unsorted or duplicated within a row"
+                )

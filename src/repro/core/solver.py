@@ -89,6 +89,81 @@ def _spmm(matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
     return out
 
 
+def _csr_column_range(
+    matrix: sp.csr_matrix,
+    row_start: int,
+    row_stop: int,
+    col_start: int,
+    col_stop: int,
+) -> sp.csr_matrix:
+    """``matrix[row_start:row_stop, col_start:col_stop]`` via array surgery.
+
+    One subarray slice plus one boolean mask over the row range's
+    entries — equivalent to scipy's chained row/column fancy indexing,
+    minus the intermediate matrix and its format validation.
+    """
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    a, b = int(indptr[row_start]), int(indptr[row_stop])
+    n_rows = row_stop - row_start
+    cols = indices[a:b]
+    mask = (cols >= col_start) & (cols < col_stop)
+    row_ids = np.repeat(
+        np.arange(n_rows, dtype=np.int64),
+        np.diff(indptr[row_start : row_stop + 1]),
+    )
+    counts = np.bincount(row_ids[mask], minlength=n_rows)
+    out_indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=out_indptr[1:])
+    return sp.csr_matrix(
+        (data[a:b][mask], cols[mask] - col_start, out_indptr),
+        shape=(n_rows, col_stop - col_start),
+    )
+
+
+def _square_block(
+    lower: sp.csr_matrix, start: int, stop: int, cid: int
+) -> sp.csr_matrix:
+    """One interior cluster's diagonal block of ``L``.
+
+    An interior row's columns all lie in ``[start, row)`` for a factor
+    that matches the permutation (Lemma 3), so the block is the row
+    range itself with shifted columns; a column left of the block means
+    the factors and permutation disagree.
+    """
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    a, b = int(indptr[start]), int(indptr[stop])
+    cols = indices[a:b]
+    if cols.size and int(cols.min()) < start:
+        raise ValueError(
+            f"cluster {cid} rows of L reference earlier clusters; "
+            "factors do not match this permutation"
+        )
+    return sp.csr_matrix(
+        (data[a:b], cols - start, indptr[start : stop + 1] - a),
+        shape=(stop - start, stop - start),
+    )
+
+
+def _interior_coupling(
+    upper: sp.csr_matrix, sl: slice, border_start: int, cid: int
+) -> sp.csr_matrix:
+    """One interior cluster's rows of ``U`` restricted to border columns.
+
+    Also enforces the bordered structure: an interior row of ``U`` may
+    only reference its own cluster and the border (Lemma 3).
+    """
+    n = upper.shape[0]
+    indptr, indices = upper.indptr, upper.indices
+    a, b = int(indptr[sl.start]), int(indptr[sl.stop])
+    cols = indices[a:b]
+    if np.any((cols >= sl.stop) & (cols < border_start)):
+        raise ValueError(
+            f"cluster {cid} rows of U reference later interior "
+            "clusters; factors do not match this permutation"
+        )
+    return _csr_column_range(upper, sl.start, sl.stop, border_start, n)
+
+
 class ClusterSolver:
     """Precomputed per-cluster triangular solvers for one factorization.
 
@@ -119,49 +194,67 @@ class ClusterSolver:
         self.permutation = permutation
         n = factors.n
         lower = factors.lower.tocsr()
+        lower.sort_indices()
         upper = factors.upper.tocsr()
+        upper.sort_indices()
         border = permutation.border_slice
         self._border_start = border.start
         self._border_id = permutation.border_cluster
         self._diag = np.asarray(factors.diag, dtype=np.float64)
 
+        # Blocks and couplings are carved out of the factor with raw CSR
+        # array surgery (one subarray + mask per cluster) instead of
+        # scipy's row-then-column fancy indexing, which dominates index
+        # construction time at a hundred-plus clusters.
         self._blocks: list[PackedUnitLower] = []
         self._couplings: list[sp.csr_matrix | None] = []
         for cid, sl in enumerate(permutation.cluster_slices):
-            block = lower[sl.start : sl.stop, sl.start : sl.stop]
             if cid != self._border_id:
-                outside = lower[sl.start : sl.stop, : sl.start]
-                if outside.nnz:
-                    raise ValueError(
-                        f"cluster {cid} rows of L reference earlier clusters; "
-                        "factors do not match this permutation"
-                    )
-                mid = upper[sl.start : sl.stop, sl.stop : border.start]
-                if mid.nnz:
-                    raise ValueError(
-                        f"cluster {cid} rows of U reference later interior "
-                        "clusters; factors do not match this permutation"
-                    )
-                coupling = upper[sl.start : sl.stop, border.start :].tocsr()
-                self._couplings.append(coupling)
+                block = _square_block(lower, sl.start, sl.stop, cid)
+                self._couplings.append(
+                    _interior_coupling(upper, sl, border.start, cid)
+                )
             else:
+                block = _csr_column_range(
+                    lower, border.start, n, border.start, n
+                )
                 self._couplings.append(None)
-            self._blocks.append(PackedUnitLower(block, use_superlu=use_superlu))
+            self._blocks.append(
+                PackedUnitLower.from_strict_lower_trusted(
+                    block, use_superlu=use_superlu
+                )
+            )
 
         # Border rows' coupling to every earlier column, consumed as one
         # SpMV against z = D y in the forward pass.
-        self._border_left = lower[border.start :, : border.start].tocsr()
+        self._border_left = _csr_column_range(
+            lower, border.start, n, 0, border.start
+        )
         # Whole-factor solver for full solves and the no-sparsity ablation.
-        self._full = PackedUnitLower(lower, use_superlu=use_superlu)
+        self._full = PackedUnitLower.from_strict_lower_trusted(
+            lower, use_superlu=use_superlu
+        )
         # The interior range [0, c_N) of U is *block diagonal* (interior
         # clusters never couple to each other, Lemma 3), so the no-pruning
         # configuration can score every interior cluster with ONE solve
         # instead of one per cluster — same numbers, none of the per-call
-        # overhead.
-        self._interior = PackedUnitLower(
-            lower[: border.start, : border.start], use_superlu=use_superlu
+        # overhead.  The per-cluster checks above already guarantee no
+        # interior row of L references a column outside [0, border.start).
+        interior_nnz = int(lower.indptr[border.start])
+        interior_block = sp.csr_matrix(
+            (
+                lower.data[:interior_nnz],
+                lower.indices[:interior_nnz],
+                lower.indptr[: border.start + 1],
+            ),
+            shape=(border.start, border.start),
         )
-        self._interior_coupling = upper[: border.start, border.start :].tocsr()
+        self._interior = PackedUnitLower.from_strict_lower_trusted(
+            interior_block, use_superlu=use_superlu
+        )
+        self._interior_coupling = _csr_column_range(
+            upper, 0, border.start, border.start, n
+        )
 
     @property
     def n(self) -> int:

@@ -44,6 +44,12 @@ class ExperimentConfig:
         larger datasets.
     emr_anchors:
         EMR anchor count for the headline comparison (paper Fig. 1: 10).
+    jobs:
+        Worker threads for the parallel precompute stages (k-NN search,
+        per-cluster factorization); results are identical for any value.
+    factor_backend:
+        LDL^T implementation for every index the experiments build
+        (``"csr"`` or ``"reference"``, see :mod:`repro.linalg.ldl`).
     """
 
     scale: float = 1.0
@@ -56,7 +62,14 @@ class ExperimentConfig:
     inverse_cap: int = 3_000
     emr_anchors: int = 10
     mogul_k_values: tuple[int, ...] = (5, 10, 15, 20)
+    jobs: int = 1
+    factor_backend: str = "csr"
     extra: dict = field(default_factory=dict)
+
+
+def build_kwargs(config: ExperimentConfig) -> dict:
+    """Build-time knobs forwarded to every Mogul index construction."""
+    return {"jobs": config.jobs, "factor_backend": config.factor_backend}
 
 
 def get_dataset(name: str, config: ExperimentConfig) -> Dataset:
@@ -72,7 +85,7 @@ def get_graph(name: str, config: ExperimentConfig) -> KnnGraph:
     key = (name, config.scale, config.seed, config.knn_k)
     if key not in _GRAPH_CACHE:
         dataset = get_dataset(name, config)
-        _GRAPH_CACHE[key] = dataset.build_graph(k=config.knn_k)
+        _GRAPH_CACHE[key] = dataset.build_graph(k=config.knn_k, jobs=config.jobs)
     return _GRAPH_CACHE[key]
 
 

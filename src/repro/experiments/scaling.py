@@ -20,7 +20,7 @@ import numpy as np
 from repro.baselines.emr import EMRRanker
 from repro.core.index import MogulRanker
 from repro.eval.harness import ExperimentTable, sample_queries, time_queries
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, build_kwargs
 from repro.datasets.registry import load_dataset
 from repro.ranking.exact import ExactRanker
 from repro.ranking.iterative import IterativeRanker
@@ -51,11 +51,11 @@ def run(config: ExperimentConfig | None = None) -> list[ExperimentTable]:
         dataset = load_dataset(
             SWEEP_DATASET, scale=config.scale * factor, seed=config.seed
         )
-        graph = dataset.build_graph(k=config.knn_k)
+        graph = dataset.build_graph(k=config.knn_k, jobs=config.jobs)
         queries = sample_queries(graph.n_nodes, config.n_queries, seed=config.seed)
 
         started = time.perf_counter()
-        mogul = MogulRanker(graph, alpha=config.alpha)
+        mogul = MogulRanker(graph, alpha=config.alpha, **build_kwargs(config))
         mogul_build = time.perf_counter() - started
         started = time.perf_counter()
         emr = EMRRanker(graph, alpha=config.alpha, n_anchors=config.emr_anchors)

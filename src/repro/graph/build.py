@@ -24,6 +24,7 @@ def build_knn_graph(
     weight: str = "heat",
     mode: str = "union",
     method: str = "auto",
+    jobs: int = 1,
 ) -> KnnGraph:
     """Build the undirected weighted k-NN graph of a feature matrix.
 
@@ -45,6 +46,9 @@ def build_knn_graph(
         "two nodes are connected if they are k-nearest neighbors".
     method:
         Neighbour-search engine, forwarded to :func:`repro.graph.knn_search`.
+    jobs:
+        Worker threads for the neighbour search (the expensive stage of
+        graph construction); identical graphs for any value.
 
     Returns
     -------
@@ -62,7 +66,7 @@ def build_knn_graph(
     if mode not in ("union", "mutual"):
         raise ValueError(f"mode must be 'union' or 'mutual', got {mode!r}")
 
-    nbr_idx, nbr_dist = knn_search(features, k, method=method)
+    nbr_idx, nbr_dist = knn_search(features, k, method=method, jobs=jobs)
 
     rows = np.repeat(np.arange(n, dtype=np.int64), k)
     cols = nbr_idx.ravel()

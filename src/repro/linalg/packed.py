@@ -104,6 +104,70 @@ class PackedUnitLower:
             self._unit_csc = unit.tocsr()
             self._unit_csc_t = self._unit_csc.T.tocsr()
 
+    @classmethod
+    def from_strict_lower_trusted(
+        cls, strict_lower: sp.csr_matrix, use_superlu: bool | None = None
+    ) -> "PackedUnitLower":
+        """Pack a sorted strictly-lower CSR block without scipy conversions.
+
+        Assembles the unit CSC arrays directly (diagonal entry first,
+        then the block column's rows, already ascending) — the same
+        arrays ``__init__`` produces via ``+ identity`` and ``tocsc``,
+        so solves are bitwise identical.  Index construction packs a
+        block per cluster; this path is what keeps that linear in nnz
+        instead of in scipy conversions.  "Trusted" refers to skipping
+        the ``tocoo`` materialisation only: strict-lowerness itself is
+        still verified with one O(nnz) vectorized check, because a
+        diagonal entry would silently shift the assembled columns.
+        """
+        n = strict_lower.shape[0]
+        if use_superlu is None:
+            use_superlu = HAVE_SUPERLU_GSTRS
+        if (
+            n <= 1
+            or not use_superlu
+            or not HAVE_SUPERLU_GSTRS
+            or strict_lower.nnz + n > np.iinfo(np.intc).max
+        ):
+            # Cold paths (empty, fallback tier, missing kernel, index
+            # overflow) carry no packing cost worth skipping — reuse the
+            # validated route, which also raises __init__'s clear error
+            # for an explicit use_superlu=True without the kernel.
+            return cls(strict_lower, use_superlu=use_superlu)
+        strict_lower = strict_lower.tocsr()
+        entry_rows = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(strict_lower.indptr)
+        )
+        if np.any(strict_lower.indices >= entry_rows):
+            raise ValueError("strict_lower has entries on or above the diagonal")
+        self = cls.__new__(cls)
+        self.n = n
+        self.uses_superlu = True
+        self._unit_csc = None
+        transposed = strict_lower.T.tocsr()  # rows = columns of L
+        transposed.sort_indices()
+        nnz = transposed.nnz
+        counts = np.diff(transposed.indptr)
+        indptr = np.zeros(n + 1, dtype=np.intc)
+        np.cumsum(counts + 1, out=indptr[1:])
+        indices = np.empty(nnz + n, dtype=np.intc)
+        data = np.empty(nnz + n, dtype=np.float64)
+        diag_pos = indptr[:-1]
+        indices[diag_pos] = np.arange(n, dtype=np.intc)
+        data[diag_pos] = 1.0
+        off_diag = np.ones(nnz + n, dtype=bool)
+        off_diag[diag_pos] = False
+        indices[off_diag] = transposed.indices
+        data[off_diag] = transposed.data
+        self._l_data = data
+        self._l_indices = indices
+        self._l_indptr = indptr
+        self._l_nnz = nnz + n
+        self._u_data = np.empty(0, dtype=np.float64)
+        self._u_index = np.empty(0, dtype=np.intc)
+        self._u_indptr = np.zeros(n + 1, dtype=np.intc)
+        return self
+
     @property
     def nnz(self) -> int:
         """Stored non-zeros including the unit diagonal."""

@@ -275,7 +275,7 @@ class RetrievalServer:
 
     def _stats(self) -> dict:
         index = self.ranker.index
-        return {
+        payload = {
             "index": {
                 "n_nodes": index.n_nodes,
                 "n_clusters": index.n_clusters,
@@ -286,6 +286,11 @@ class RetrievalServer:
             "scheduler": self.scheduler.snapshot(),
             "engine_totals": self.metrics.snapshot()["engine"],
         }
+        if index.profile is not None:
+            # Per-stage build cost and, for a loaded index, the measured
+            # startup (load) time — the precompute side of the story.
+            payload["build_profile"] = index.profile.to_dict()
+        return payload
 
 
 # -- HTTP plumbing ---------------------------------------------------------

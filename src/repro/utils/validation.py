@@ -20,6 +20,15 @@ def check_positive_int(value: int, name: str) -> int:
     return int(value)
 
 
+def check_jobs(jobs: int) -> int:
+    """Validate a worker-thread count (``jobs >= 1``) and return it."""
+    if isinstance(jobs, bool) or not isinstance(jobs, (int, np.integer)):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
 def check_probability(value: float, name: str) -> float:
     """Validate that ``value`` lies in the closed interval [0, 1]."""
     value = float(value)

@@ -263,3 +263,70 @@ class TestJsonOutput:
         assert all(len(entry["indices"]) == 4 for entry in document["results"])
         assert document["totals"]["clusters_total"] > 0
         assert 0.0 <= document["totals"]["prune_fraction"] <= 1.0
+
+
+class TestBuildJobsAndBackend:
+    def test_build_prints_stage_table(self, capsys, tmp_path):
+        out_path = tmp_path / "profiled.idx.npz"
+        code, out, _ = run_cli(
+            capsys,
+            "build", "--dataset", "coil", "--scale", "0.2",
+            "--jobs", "2", "--out", str(out_path),
+        )
+        assert code == 0
+        for stage in ("graph", "clustering", "factorization", "solver"):
+            assert stage in out
+        assert "backend=csr jobs=2" in out
+
+    def test_backends_build_identical_answers(self, capsys, tmp_path):
+        reference = tmp_path / "ref.idx.npz"
+        fast = tmp_path / "csr.idx.npz"
+        for path, backend in ((reference, "reference"), (fast, "csr")):
+            assert main(
+                [
+                    "build", "--dataset", "coil", "--scale", "0.2",
+                    "--factor-backend", backend, "--jobs", "2",
+                    "--out", str(path),
+                ]
+            ) == 0
+        capsys.readouterr()  # drop the build output before parsing searches
+        outputs = []
+        for path in (reference, fast):
+            code, out, _ = run_cli(
+                capsys,
+                "search", str(path), "--dataset", "coil", "--scale", "0.2",
+                "--query", "3", "-k", "5",
+            )
+            assert code == 0
+            # Compare the ranked node ids line by line.
+            outputs.append(
+                [line.split()[2] for line in out.splitlines() if "node" in line]
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_invalid_jobs_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "build", "--dataset", "coil", "--scale", "0.2",
+                    "--jobs", "none", "--out", str(tmp_path / "x.npz"),
+                ]
+            )
+
+    def test_zero_jobs_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "build", "--dataset", "coil", "--scale", "0.2",
+                    "--jobs", "0", "--out", str(tmp_path / "x.npz"),
+                ]
+            )
+
+    def test_unknown_backend_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "build", "--dataset", "coil", "--scale", "0.2",
+                    "--factor-backend", "bogus", "--out", str(tmp_path / "x.npz"),
+                ]
+            )

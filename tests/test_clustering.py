@@ -8,7 +8,13 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.clustering import kmeans, louvain, modularity, spectral_clustering
+from repro.clustering import (
+    kmeans,
+    louvain,
+    louvain_reference,
+    modularity,
+    spectral_clustering,
+)
 from tests.conftest import random_symmetric_adjacency, three_cluster_features
 
 
@@ -216,3 +222,41 @@ class TestSpectral:
         adj[2, 3] = adj[3, 2] = 1.0
         labels = spectral_clustering(adj.tocsr(), 2, seed=1)
         assert labels.shape == (8,)
+
+
+class TestLouvainImplementations:
+    """The fast and reference local-move sweeps are the same algorithm."""
+
+    @pytest.mark.parametrize("n,seed", [(30, 0), (80, 1), (150, 2)])
+    def test_labels_bitwise_identical(self, n, seed):
+        adj = random_symmetric_adjacency(n, seed=seed)
+        fast = louvain(adj, impl="fast")
+        reference = louvain(adj, impl="reference")
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_identical_on_knn_graph(self, clustered_graph):
+        fast = louvain(clustered_graph.adjacency)
+        reference = louvain_reference(clustered_graph.adjacency)
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_shuffled_order_identical(self):
+        adj = random_symmetric_adjacency(60, seed=3)
+        fast = louvain(adj, shuffle=True, seed=42, impl="fast")
+        reference = louvain(adj, shuffle=True, seed=42, impl="reference")
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_unknown_impl_rejected(self):
+        adj = random_symmetric_adjacency(10, seed=0)
+        with pytest.raises(ValueError, match="impl"):
+            louvain(adj, impl="gpu")
+
+    def test_nonpositive_weights_fall_back(self):
+        # Explicit zero-weight edge: the scatter accumulator would be
+        # unsound, so the fast path must route through the reference
+        # sweep — and still agree with it.
+        adj = random_symmetric_adjacency(40, seed=4).tolil()
+        adj[0, 1] = adj[1, 0] = 0.0
+        adj = adj.tocsr()
+        np.testing.assert_array_equal(
+            louvain(adj, impl="fast"), louvain(adj, impl="reference")
+        )

@@ -86,6 +86,98 @@ class TestKnnSearch:
         np.testing.assert_allclose(bd, kd, atol=1e-9)
         np.testing.assert_array_equal(bi, ki)
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_blas_method_agrees_with_brute(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(200, 24))
+        bi, bd = knn_search(points, 6, method="brute")
+        fi, fd = knn_search(points, 6, method="blas")
+        np.testing.assert_array_equal(bi, fi)
+        np.testing.assert_allclose(bd, fd, rtol=1e-9, atol=1e-12)
+
+    def test_blas_external_queries(self):
+        rng = np.random.default_rng(9)
+        points = rng.normal(size=(120, 20))
+        queries = rng.normal(size=(17, 20))
+        bi, bd = knn_search(points, 3, queries=queries, method="brute")
+        fi, fd = knn_search(points, 3, queries=queries, method="blas")
+        np.testing.assert_array_equal(bi, fi)
+        np.testing.assert_allclose(bd, fd, rtol=1e-9, atol=1e-12)
+
+    def test_blas_chunked_and_parallel_identical(self, monkeypatch):
+        """Chunk size and jobs are execution details, not result knobs."""
+        import repro.graph.knn as knn_mod
+
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(90, 18))
+        base_idx, base_dist = knn_search(points, 4, method="blas")
+        monkeypatch.setattr(knn_mod, "_BLAS_CHUNK", 13)
+        for jobs in (1, 3):
+            idx, dist = knn_search(points, 4, method="blas", jobs=jobs)
+            np.testing.assert_array_equal(base_idx, idx)
+            np.testing.assert_array_equal(base_dist, dist)
+
+    def test_blas_duplicate_points(self):
+        rng = np.random.default_rng(8)
+        base = rng.normal(size=(40, 17))
+        points = np.vstack([base, base[:10]])  # exact duplicates
+        bi, bd = knn_search(points, 5, method="brute")
+        fi, fd = knn_search(points, 5, method="blas")
+        # Duplicates tie at distance zero, where the clamped expansion
+        # leaves cancellation-level residue that sqrt amplifies to
+        # ~sqrt(eps); the engines must agree up to that, and exactly on
+        # the well-separated neighbours.
+        np.testing.assert_allclose(bd, fd, rtol=1e-9, atol=1e-6)
+        np.testing.assert_allclose(bd**2, fd**2, rtol=1e-9, atol=1e-12)
+
+    def test_blas_uncentred_large_norms(self):
+        # Large uncentred norms sink a naive float32 prefilter in
+        # cancellation; centring + the certification fallback must keep
+        # the selected neighbours identical to brute force.
+        rng = np.random.default_rng(10)
+        points = 300.0 + rng.normal(size=(3000, 32)) * 0.01
+        bi, _ = knn_search(points, 5, method="brute")
+        fi, _ = knn_search(points, 5, method="blas")
+        np.testing.assert_array_equal(bi, fi)
+
+    def test_blas_bimodal_tiny_gaps(self):
+        # Far-apart clusters with tiny jitter defeat centring too; the
+        # certification must route every ambiguous row through brute
+        # force's own panels, making the results bitwise identical.
+        rng = np.random.default_rng(11)
+        a = -500.0 + rng.normal(size=(1500, 16)) * 1e-3
+        b = 500.0 + rng.normal(size=(1500, 16)) * 1e-3
+        points = np.vstack([a, b])
+        bi, bd = knn_search(points, 5, method="brute")
+        fi, fd = knn_search(points, 5, method="blas")
+        np.testing.assert_array_equal(bi, fi)
+        np.testing.assert_array_equal(bd, fd)
+
+    def test_blas_boundary_ties_match_brute(self):
+        # k-th and (k+1)-th neighbours tying within float64 noise while
+        # the nearer ranks are well separated: the certification must
+        # treat the top-k boundary as ambiguous and fall back to brute's
+        # panels, keeping the selected indices bitwise identical.
+        rng = np.random.default_rng(12)
+        base = rng.normal(size=(800, 24))
+        near_twins = base[:400] + rng.normal(size=(400, 24)) * 1e-12
+        points = np.vstack([base, near_twins])
+        bi, _ = knn_search(points, 3, method="brute")
+        fi, _ = knn_search(points, 3, method="blas")
+        np.testing.assert_array_equal(bi, fi)
+
+    def test_brute_jobs_identical(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(80, 12))
+        base = knn_search(points, 4, method="brute")
+        parallel = knn_search(points, 4, method="brute", jobs=4)
+        np.testing.assert_array_equal(base[0], parallel[0])
+        np.testing.assert_array_equal(base[1], parallel[1])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            knn_search(np.zeros((5, 3)), 2, jobs=0)
+
     def test_chunked_path(self, monkeypatch):
         """Force multiple brute-force chunks and check consistency."""
         import repro.graph.knn as knn_mod

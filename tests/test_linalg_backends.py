@@ -1,0 +1,193 @@
+"""Equivalence of the LDL backends and the parallel block schedule.
+
+The contracts under test (see repro.linalg.ldl):
+
+* ``backend="csr"`` and ``backend="reference"`` produce factors with the
+  *identical* sparsity pattern and allclose values (they accumulate the
+  same sums in different orders) for every variant — incomplete at any
+  fill level, and complete;
+* factoring with ``blocks=`` (the bordered-block layout) and any
+  ``jobs`` value is **bitwise identical** to the plain sequential csr
+  run — parallelism is an execution schedule, not an approximation;
+* downstream top-k answers agree across backends (indices exactly,
+  scores to float tolerance) and are bitwise identical across ``jobs``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.clustering.louvain import louvain_reference
+from repro.core.index import MogulIndex, MogulRanker
+from repro.core.permutation import build_permutation
+from repro.linalg.ldl import complete_ldl, incomplete_ldl
+from repro.ranking.normalize import ranking_matrix
+from tests.conftest import random_symmetric_adjacency
+
+
+def _ranking_w(n: int, seed: int, alpha: float = 0.95) -> sp.csr_matrix:
+    return ranking_matrix(random_symmetric_adjacency(n, seed=seed), alpha)
+
+
+def _assert_equivalent(reference, other, rtol=1e-9, atol=1e-13):
+    assert np.array_equal(reference.lower.indptr, other.lower.indptr)
+    assert np.array_equal(reference.lower.indices, other.lower.indices)
+    np.testing.assert_allclose(
+        reference.lower.data, other.lower.data, rtol=rtol, atol=atol
+    )
+    np.testing.assert_allclose(reference.diag, other.diag, rtol=rtol)
+    assert reference.pivot_perturbations == other.pivot_perturbations
+
+
+def _assert_bitwise(a, b):
+    assert np.array_equal(a.lower.indptr, b.lower.indptr)
+    assert np.array_equal(a.lower.indices, b.lower.indices)
+    assert np.array_equal(a.lower.data, b.lower.data)
+    assert np.array_equal(a.diag, b.diag)
+    assert a.pivot_perturbations == b.pivot_perturbations
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("n,seed", [(12, 0), (40, 1), (90, 2), (150, 3)])
+    def test_incomplete_matches_reference(self, n, seed):
+        w = _ranking_w(n, seed)
+        _assert_equivalent(
+            incomplete_ldl(w, backend="reference"), incomplete_ldl(w, backend="csr")
+        )
+
+    @pytest.mark.parametrize("fill_level", [1, 2, 4])
+    def test_fill_levels_match_reference(self, fill_level):
+        w = _ranking_w(60, 5)
+        _assert_equivalent(
+            incomplete_ldl(w, fill_level=fill_level, backend="reference"),
+            incomplete_ldl(w, fill_level=fill_level, backend="csr"),
+        )
+
+    @pytest.mark.parametrize("n,seed", [(12, 0), (40, 1), (90, 2)])
+    def test_complete_matches_reference(self, n, seed):
+        w = _ranking_w(n, seed)
+        _assert_equivalent(
+            complete_ldl(w, backend="reference"), complete_ldl(w, backend="csr")
+        )
+
+    def test_complete_still_reconstructs(self):
+        w = _ranking_w(50, 7)
+        factors = complete_ldl(w, backend="csr")
+        np.testing.assert_allclose(
+            factors.reconstruct().toarray(), w.toarray(), atol=1e-10
+        )
+
+    def test_unknown_backend_rejected(self):
+        w = _ranking_w(10, 0)
+        with pytest.raises(ValueError, match="backend"):
+            incomplete_ldl(w, backend="fortran")
+        with pytest.raises(ValueError, match="backend"):
+            complete_ldl(w, backend="fortran")
+
+
+class TestBlocksAndJobs:
+    @pytest.fixture(scope="class")
+    def permuted(self, bridged_graph):
+        permutation = build_permutation(bridged_graph.adjacency)
+        w = permutation.permute_matrix(
+            ranking_matrix(bridged_graph.adjacency, 0.99)
+        )
+        return w, permutation
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_blocks_and_jobs_bitwise_incomplete(self, permuted, jobs):
+        w, permutation = permuted
+        plain = incomplete_ldl(w)
+        blocked = incomplete_ldl(
+            w, blocks=permutation.cluster_slices, jobs=jobs
+        )
+        _assert_bitwise(plain, blocked)
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_blocks_and_jobs_bitwise_complete(self, permuted, jobs):
+        w, permutation = permuted
+        plain = complete_ldl(w)
+        blocked = complete_ldl(w, blocks=permutation.cluster_slices, jobs=jobs)
+        _assert_bitwise(plain, blocked)
+
+    def test_fill_level_with_blocks_matches_reference(self, permuted):
+        w, permutation = permuted
+        _assert_equivalent(
+            incomplete_ldl(w, fill_level=2, backend="reference"),
+            incomplete_ldl(
+                w, fill_level=2, blocks=permutation.cluster_slices, jobs=2
+            ),
+        )
+
+    def test_non_bordered_matrix_rejected(self):
+        # A dense-ish random W is not block diagonal w.r.t. an arbitrary
+        # split, and the numeric phase must refuse rather than mis-factor.
+        w = _ranking_w(30, 11)
+        blocks = [slice(0, 10), slice(10, 20), slice(20, 30)]
+        with pytest.raises(ValueError, match="bordered block diagonal"):
+            incomplete_ldl(w, blocks=blocks)
+
+    def test_malformed_blocks_rejected(self, permuted):
+        w, _ = permuted
+        n = w.shape[0]
+        with pytest.raises(ValueError, match="contiguous"):
+            incomplete_ldl(w, blocks=[slice(0, 10), slice(12, n)])
+        with pytest.raises(ValueError, match="blocks cover"):
+            incomplete_ldl(w, blocks=[slice(0, n - 1)])
+
+    def test_bad_jobs_rejected(self, permuted):
+        w, _ = permuted
+        with pytest.raises(ValueError, match="jobs"):
+            incomplete_ldl(w, jobs=0)
+        with pytest.raises(ValueError, match="jobs"):
+            complete_ldl(w, jobs=-2)
+
+
+class TestDownstreamAnswers:
+    """Backend/jobs choices must never change what a query returns."""
+
+    @pytest.fixture(scope="class")
+    def rankers(self, bridged_graph):
+        reference = MogulRanker(
+            bridged_graph,
+            factor_backend="reference",
+            clusterer=louvain_reference,
+        )
+        csr = MogulRanker(bridged_graph, factor_backend="csr", jobs=2)
+        return reference, csr
+
+    def test_top_k_matches_across_backends(self, rankers, bridged_graph):
+        reference, csr = rankers
+        for query in range(0, bridged_graph.n_nodes, 7):
+            expected = reference.top_k(query, 10)
+            actual = csr.top_k(query, 10)
+            assert np.array_equal(expected.indices, actual.indices)
+            np.testing.assert_allclose(
+                expected.scores, actual.scores, rtol=1e-9
+            )
+
+    def test_exact_ranker_matches_across_backends(self, bridged_graph):
+        reference = MogulRanker(
+            bridged_graph, exact=True, factor_backend="reference"
+        )
+        csr = MogulRanker(bridged_graph, exact=True, jobs=3)
+        for query in (0, 17, 80):
+            expected = reference.top_k(query, 8)
+            actual = csr.top_k(query, 8)
+            assert np.array_equal(expected.indices, actual.indices)
+            np.testing.assert_allclose(
+                expected.scores, actual.scores, rtol=1e-9
+            )
+
+    def test_parallel_build_answers_bitwise(self, bridged_graph):
+        sequential = MogulIndex.build(bridged_graph, jobs=1)
+        parallel = MogulIndex.build(bridged_graph, jobs=4)
+        ranker_seq = MogulRanker.from_index(bridged_graph, sequential)
+        ranker_par = MogulRanker.from_index(bridged_graph, parallel)
+        for query in (0, 21, 42, 84):
+            expected = ranker_seq.top_k(query, 10)
+            actual = ranker_par.top_k(query, 10)
+            assert np.array_equal(expected.indices, actual.indices)
+            assert np.array_equal(expected.scores, actual.scores)

@@ -195,3 +195,20 @@ class TestMultiRHS:
         packed = PackedUnitLower(random_strict_lower(4, 0.5, seed=0))
         with pytest.raises(ValueError, match="shape"):
             packed.solve_lower(np.zeros((4, 2, 2)))
+
+
+class TestTrustedPacking:
+    def test_matches_validated_path_bitwise(self):
+        rng = np.random.default_rng(0)
+        dense = np.tril(rng.random((20, 20)), k=-1)
+        block = sp.csr_matrix(dense)
+        fast = PackedUnitLower.from_strict_lower_trusted(block)
+        slow = PackedUnitLower(block)
+        b = rng.random((20, 3))
+        np.testing.assert_array_equal(fast.solve_lower(b), slow.solve_lower(b))
+        np.testing.assert_array_equal(fast.solve_upper(b), slow.solve_upper(b))
+
+    def test_rejects_diagonal_entries(self):
+        bad = sp.csr_matrix(np.tril(np.ones((6, 6))))  # unit diagonal present
+        with pytest.raises(ValueError, match="on or above the diagonal"):
+            PackedUnitLower.from_strict_lower_trusted(bad)

@@ -87,6 +87,10 @@ class TestEndpoints:
         assert stats["index"]["n_nodes"] == ranker.n_nodes
         assert stats["scheduler"]["max_batch_size"] == 16
         assert stats["engine_totals"]["nodes_scored"] >= 0
+        profile = stats["build_profile"]
+        assert profile["factor_backend"] == "csr"
+        assert "factorization" in profile["stages"]
+        assert profile["total_seconds"] >= 0.0
 
     def test_wait_until_healthy(self, background):
         health = wait_until_healthy("127.0.0.1", background.port, 5.0)
