@@ -30,9 +30,13 @@ from repro.baselines import EMRRanker, FMRRanker
 from repro.core import (
     BatchStats,
     DynamicMogulRanker,
+    Engine,
     MogulIndex,
     MogulRanker,
+    ShardedMogulIndex,
+    ShardedMogulRanker,
     build_permutation,
+    engine_from_index,
     top_k_batch_search,
     top_k_search,
 )
@@ -51,6 +55,7 @@ __all__ = [
     "BatchStats",
     "DynamicMogulRanker",
     "EMRRanker",
+    "Engine",
     "ExactRanker",
     "FMRRanker",
     "IterativeRanker",
@@ -58,10 +63,13 @@ __all__ = [
     "MogulIndex",
     "MogulRanker",
     "Ranker",
+    "ShardedMogulIndex",
+    "ShardedMogulRanker",
     "TopKResult",
     "build_knn_graph",
     "build_permutation",
     "cost_function",
+    "engine_from_index",
     "top_k_batch_search",
     "top_k_search",
     "__version__",

@@ -5,20 +5,24 @@ without writing Python::
 
     python -m repro datasets
     python -m repro build --dataset coil --out coil.idx.npz
+    python -m repro build --dataset coil --shards 4 --jobs 4 --out coil.shards
     python -m repro info coil.idx.npz
+    python -m repro info coil.shards
     python -m repro search coil.idx.npz --dataset coil --query 42 -k 10
-    python -m repro search coil.idx.npz --features db.npy --query 42 -k 10
+    python -m repro search coil.shards --features db.npy --query 42 -k 10
     python -m repro search coil.idx.npz --dataset coil --batch \
         --query 1 --query 2 --query 3 -k 10
-    python -m repro serve coil.idx.npz --dataset coil --port 8080
+    python -m repro serve coil.shards --dataset coil --port 8080
     python -m repro loadtest --port 8080 --concurrency 32 --requests 512
 
 Feature sources: either a named synthetic dataset (``--dataset`` +
 ``--scale``/``--seed``, regenerated deterministically) or a dense ``.npy``
-feature matrix (``--features``).  ``search --json`` emits the same
-machine-readable documents the HTTP server serves.  Experiment
-regeneration lives in its own entry point,
-``python -m repro.experiments <figure>``.
+feature matrix (``--features``).  Index artifacts are interchangeable
+everywhere a path is accepted: a legacy single ``.npz`` file or a sharded
+directory (built with ``--shards``) — ``search``/``serve``/``info`` pick
+the right engine.  ``search --json`` emits the same machine-readable
+documents the HTTP server serves.  Experiment regeneration lives in its
+own entry point, ``python -m repro.experiments <figure>``.
 """
 
 from __future__ import annotations
@@ -31,7 +35,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.index import MogulIndex, MogulRanker
+from repro.core.engine import engine_from_index
+from repro.core.index import MogulIndex
+from repro.core.serialize import load_any_index
+from repro.core.sharded import ShardedMogulIndex
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.graph.build import build_knn_graph
 from repro.linalg.ldl import BACKENDS, DEFAULT_BACKEND
@@ -113,6 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BACKEND,
         help="LDL^T implementation: 'csr' (fast, default) or 'reference' "
         "(the original dict-of-rows kernel, kept for equivalence runs)",
+    )
+    build.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="S",
+        help="build a sharded index with S shards (written as a directory: "
+        "manifest.json + per-shard .npz); answers are identical to the "
+        "unsharded index for any S, and --jobs > 1 builds the shards in "
+        "parallel worker processes.  Omit for the legacy single .npz",
     )
     build.set_defaults(handler=_cmd_build)
 
@@ -253,23 +270,30 @@ def _cmd_build(args: argparse.Namespace) -> int:
     graph = build_knn_graph(features, k=args.k, jobs=args.jobs)
     graph_seconds = time.perf_counter() - started
     started = time.perf_counter()
-    index = MogulIndex.build(
-        graph,
+    build_kwargs = dict(
         alpha=args.alpha,
         factorization="complete" if args.exact else "incomplete",
         fill_level=0 if args.exact else args.fill_level,
         jobs=args.jobs,
         factor_backend=args.factor_backend,
     )
+    if args.shards is not None:
+        index = ShardedMogulIndex.build(graph, args.shards, **build_kwargs)
+    else:
+        index = MogulIndex.build(graph, **build_kwargs)
     index_seconds = time.perf_counter() - started
     if index.profile is not None:
         # Account graph construction in the same table, ahead of the
-        # stages MogulIndex.build recorded itself.
+        # stages the index build recorded itself.
         index.profile.stages = {"graph": graph_seconds, **index.profile.stages}
     index.save(args.out)
+    shard_note = (
+        f" ({index.n_shards} shards)" if args.shards is not None else ""
+    )
     print(
         f"indexed {graph.n_nodes} nodes ({graph.n_edges} edges) in "
-        f"{graph_seconds:.2f}s graph + {index_seconds:.2f}s index -> {args.out}"
+        f"{graph_seconds:.2f}s graph + {index_seconds:.2f}s index"
+        f"{shard_note} -> {args.out}"
     )
     if index.profile is not None:
         print(index.profile.to_text())
@@ -277,12 +301,19 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    index = MogulIndex.load(args.index)
+    index = load_any_index(args.index)
+    sharded = isinstance(index, ShardedMogulIndex)
     if args.verbose:
-        from repro.core.diagnostics import diagnose_index
+        if sharded:
+            # Full health diagnostics assume the single-index layout;
+            # degrade to the standard report rather than failing.
+            print("(--verbose diagnostics cover single-index layouts; "
+                  "showing the standard report)")
+        else:
+            from repro.core.diagnostics import diagnose_index
 
-        print(diagnose_index(index).to_text())
-        return 0
+            print(diagnose_index(index).to_text())
+            return 0
     perm = index.permutation
     border = perm.border_slice
     interior = [sl.stop - sl.start for sl in perm.cluster_slices[:-1]]
@@ -293,8 +324,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"border size:      {border.stop - border.start}")
     if interior:
         print(f"interior sizes:   min {min(interior)} / max {max(interior)}")
-    print(f"factor non-zeros: {index.factors.nnz} (strict lower)")
-    print(f"pivot guards hit: {index.factors.pivot_perturbations}")
+    print(f"factor non-zeros: {index.factor_nnz} (strict lower)")
+    if sharded:
+        print(f"pivot guards hit: {index.pivot_perturbations}")
+        layout = index.layout
+        print(
+            f"shard layout:     {index.n_shards} shards + shared border "
+            f"block of {index.border_size} nodes "
+            f"({index.border_rows.nnz} border nnz)"
+        )
+        for shard_id, ((start, stop), (c_lo, c_hi)) in enumerate(
+            zip(layout.spans, layout.cluster_ranges)
+        ):
+            print(
+                f"  shard {shard_id}:        n={stop - start} "
+                f"clusters={c_hi - c_lo} nnz={index.shard_nnz(shard_id)}"
+            )
+    else:
+        # Legacy single-file layout: everything lives in one shard.
+        print(f"pivot guards hit: {index.factors.pivot_perturbations}")
+        print("shard layout:     1 shard (legacy single-file index)")
     profile = index.profile
     if profile is not None:
         if profile.stages:
@@ -302,14 +351,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(profile.to_text())
         elif profile.load_seconds is not None:
             print(f"loaded in:        {profile.load_seconds:.3f}s")
+            for warning in profile.load_warnings:
+                print(f"load warning:     {warning}")
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    index = MogulIndex.load(args.index)
+    index = load_any_index(args.index)
     features = _load_features(args)
     graph = build_knn_graph(features, k=args.knn)
-    ranker = MogulRanker.from_index(graph, index)
+    ranker = engine_from_index(graph, index)
     if args.batch:
         # Batch queries are independent; repeats are answered repeatedly.
         return _search_batch(ranker, list(args.query), args.k, as_json=args.json)
@@ -343,7 +394,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _search_batch(
-    ranker: MogulRanker, queries: list[int], k: int, as_json: bool = False
+    ranker, queries: list[int], k: int, as_json: bool = False
 ) -> int:
     """Answer every ``--query`` independently in one batched engine pass."""
     started = time.perf_counter()
@@ -395,10 +446,10 @@ def _search_batch(
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import run_server
 
-    index = MogulIndex.load(args.index)
+    index = load_any_index(args.index)
     features = _load_features(args)
     graph = build_knn_graph(features, k=args.knn)
-    ranker = MogulRanker.from_index(graph, index)
+    ranker = engine_from_index(graph, index)
     run_server(
         ranker,
         host=args.host,

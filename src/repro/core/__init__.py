@@ -23,11 +23,25 @@ from repro.core.batch import BatchQuery, BatchStats, top_k_batch_search
 from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_bounds
 from repro.core.diagnostics import IndexReport, diagnose_index, expected_prune_rate
 from repro.core.dynamic import DynamicMogulRanker
+from repro.core.engine import Engine, engine_from_index
 from repro.core.index import MogulIndex, MogulRanker
 from repro.core.permutation import Permutation, build_permutation
 from repro.core.profile import BuildProfile
 from repro.core.search import SearchStats, TopKAccumulator, top_k_search
-from repro.core.serialize import load_index, save_index
+from repro.core.serialize import (
+    load_any_index,
+    load_index,
+    load_sharded_index,
+    save_index,
+    save_sharded_index,
+)
+from repro.core.sharded import (
+    ShardedMogulIndex,
+    ShardedMogulRanker,
+    ShardLayout,
+    plan_shards,
+    scatter_gather_search,
+)
 from repro.core.solver import ClusterSolver
 
 __all__ = [
@@ -38,18 +52,28 @@ __all__ = [
     "ClusterBoundData",
     "ClusterSolver",
     "DynamicMogulRanker",
+    "Engine",
     "IndexReport",
     "MogulIndex",
     "MogulRanker",
     "Permutation",
     "SearchStats",
+    "ShardLayout",
+    "ShardedMogulIndex",
+    "ShardedMogulRanker",
     "TopKAccumulator",
     "build_permutation",
     "diagnose_index",
+    "engine_from_index",
     "expected_prune_rate",
+    "load_any_index",
     "load_index",
+    "load_sharded_index",
+    "plan_shards",
     "precompute_cluster_bounds",
     "save_index",
+    "save_sharded_index",
+    "scatter_gather_search",
     "top_k_batch_search",
     "top_k_search",
 ]

@@ -37,7 +37,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.index import MogulIndex, MogulRanker
+from repro.core.index import MogulRanker
+from repro.core.topk import dedupe_ranked, truncate_result
 from repro.graph.adjacency import KnnGraph
 from repro.graph.build import build_knn_graph
 from repro.graph.knn import knn_search
@@ -68,6 +69,16 @@ class DynamicMogulRanker:
     pending_penalty:
         Multiplier in ``(0, 1]`` applied to pending points' estimated
         scores (1.0 = estimates compete at face value).
+    n_shards:
+        Serve the base index through the sharded engine
+        (:class:`repro.core.ShardedMogulRanker`) with this many shards.
+        Queries, inserts and deletes route to the owning shard through
+        the engine's scatter-gather router; rebuilds rebuild every
+        shard (shard-parallel when ``jobs`` permits).  1 (default) keeps
+        the single-index engine — answers are identical either way.
+    jobs:
+        Worker budget forwarded to the base engine's builds (shard-
+        parallel factorization for ``n_shards > 1``).
     """
 
     def __init__(
@@ -78,6 +89,8 @@ class DynamicMogulRanker:
         exact: bool = False,
         auto_rebuild_fraction: float | None = 0.2,
         pending_penalty: float = 1.0,
+        n_shards: int = 1,
+        jobs: int = 1,
     ):
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2 or features.shape[0] < 2:
@@ -99,6 +112,8 @@ class DynamicMogulRanker:
             )
         self.auto_rebuild_fraction = auto_rebuild_fraction
         self.pending_penalty = pending_penalty
+        self.n_shards = check_positive_int(n_shards, "n_shards")
+        self.jobs = check_positive_int(jobs, "jobs")
 
         self._dim = features.shape[1]
         #: Callbacks fired after every mutation (insert/delete/rebuild) —
@@ -237,6 +252,59 @@ class DynamicMogulRanker:
         keep = [i for i, gid in enumerate(indices) if gid not in exclude]
         return _take_top(indices[keep], scores[keep], k)
 
+    def top_k_batch(
+        self, queries, k: int, exclude_query: bool = True
+    ) -> list[TopKResult]:
+        """Answer many queries at once; identical to per-query :meth:`top_k`.
+
+        Indexed queries run through the base engine's batched execution
+        path (one shared multi-RHS pass — scatter-gathered when the base
+        engine is sharded); pending queries go through the batched
+        out-of-sample path; the pending-buffer merge then runs per query
+        exactly as in :meth:`top_k`.
+        """
+        k = check_positive_int(k, "k")
+        queries = [int(q) for q in queries]
+        for query in queries:
+            if not 0 <= query < self.n_total:
+                raise ValueError(f"query {query} does not exist")
+            if query in self._tombstones:
+                raise ValueError(f"query {query} was removed")
+        overfetch = k + 1 + len(self._tombstones)
+        indexed_rows = [
+            (i, self._local_of_global(q)) for i, q in enumerate(queries)
+        ]
+        indexed = [(i, local) for i, local in indexed_rows if local is not None]
+        pending = [i for i, local in indexed_rows if local is None]
+        base_results: list[TopKResult | None] = [None] * len(queries)
+        if indexed:
+            batch = self._ranker.top_k_batch(
+                np.asarray([local for _, local in indexed], dtype=np.int64),
+                overfetch,
+                exclude_query=False,
+            )
+            for (i, _), result in zip(indexed, batch):
+                base_results[i] = result
+        if pending:
+            feats = np.asarray([self._features[queries[i]] for i in pending])
+            batch = self._ranker.top_k_out_of_sample_batch(feats, overfetch)
+            for i, result in zip(pending, batch):
+                base_results[i] = result
+        answers: list[TopKResult] = []
+        for i, query in enumerate(queries):
+            local = indexed_rows[i][1]
+            if local is not None:
+                field_fn = lambda local=local: self._ranker.scores(int(local))  # noqa: E731
+            else:
+                feature = self._features[query]
+                field_fn = lambda feature=feature: self._score_field(feature)  # noqa: E731
+            indices, scores = self._merge_pending(base_results[i], field_fn)
+            exclude = {query} if exclude_query else set()
+            exclude |= self._tombstones
+            keep = [j for j, gid in enumerate(indices) if gid not in exclude]
+            answers.append(_take_top(indices[keep], scores[keep], k))
+        return answers
+
     def top_k_out_of_sample(self, feature: np.ndarray, k: int) -> TopKResult:
         """Top-k live points for a feature vector outside the database."""
         k = check_positive_int(k, "k")
@@ -258,11 +326,29 @@ class DynamicMogulRanker:
     def _build_base(self) -> None:
         features = np.asarray([self._features[g] for g in self._indexed_ids])
         self._graph: KnnGraph = build_knn_graph(features, k=self.k)
-        self._ranker = MogulRanker(self._graph, alpha=self.alpha, exact=self.exact)
-        self._index: MogulIndex = self._ranker.index
+        if self.n_shards > 1:
+            from repro.core.sharded import ShardedMogulRanker
+
+            self._ranker = ShardedMogulRanker(
+                self._graph,
+                self.n_shards,
+                alpha=self.alpha,
+                exact=self.exact,
+                jobs=self.jobs,
+            )
+        else:
+            self._ranker = MogulRanker(
+                self._graph, alpha=self.alpha, exact=self.exact
+            )
+        self._index = self._ranker.index
         self._local_by_global = {
             int(gid): local for local, gid in enumerate(self._indexed_ids)
         }
+
+    @property
+    def engine(self):
+        """The base :class:`repro.core.engine.Engine` answering queries."""
+        return self._ranker
 
     def _local_of_global(self, gid: int) -> int | None:
         return self._local_by_global.get(int(gid))
@@ -325,23 +411,15 @@ class DynamicMogulRanker:
 
 def _take_top(indices: np.ndarray, scores: np.ndarray, k: int) -> TopKResult:
     """Order (score desc, id asc) and truncate to k."""
-    ranked = rank_scores_by_pairs(indices, scores)
-    return TopKResult(indices=ranked.indices[:k], scores=ranked.scores[:k])
+    return truncate_result(rank_scores_by_pairs(indices, scores), k)
 
 
 def rank_scores_by_pairs(indices: np.ndarray, scores: np.ndarray) -> TopKResult:
     """Sort (id, score) pairs by (score desc, id asc), dropping duplicates.
 
     Duplicates can arise when a pending point was also returned by the
-    base index after a partial rebuild; the higher score wins.
+    base index after a partial rebuild; the higher score wins.  (Thin
+    wrapper over :func:`repro.core.topk.dedupe_ranked`, the shared
+    canonical-order implementation.)
     """
-    order = np.lexsort((indices, -scores))
-    seen: set[int] = set()
-    keep: list[int] = []
-    for position in order:
-        gid = int(indices[position])
-        if gid not in seen:
-            seen.add(gid)
-            keep.append(position)
-    keep_arr = np.asarray(keep, dtype=np.int64)
-    return TopKResult(indices=indices[keep_arr], scores=scores[keep_arr])
+    return dedupe_ranked(indices, scores)

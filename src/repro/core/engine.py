@@ -1,0 +1,97 @@
+"""The minimal engine interface every query-serving ranker implements.
+
+:class:`Engine` is the contract the rest of the system programs against —
+the batched execution layer, the dynamic database, the service scheduler,
+the eval harness and the CLI all accept "an engine", never a concrete
+ranker class.  Two implementations exist today:
+
+* :class:`repro.core.MogulRanker` — one index, one factorization.
+* :class:`repro.core.ShardedMogulRanker` — the two-level sharded index
+  served through a scatter-gather router.
+
+The protocol is deliberately small: the four query entry points plus the
+stats attributes they maintain.  Anything engine-specific (ablation
+switches, shard layout, build profiles) stays off the interface.
+
+:func:`engine_from_index` is the matching factory: given a feature graph
+and *any* persisted index artifact (a legacy single ``MogulIndex`` or a
+``ShardedMogulIndex`` directory), it returns the right engine — the one
+dispatch point the CLI and service share.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.ranking.base import TopKResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchStats
+    from repro.core.search import SearchStats
+    from repro.graph.adjacency import KnnGraph
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What a query-serving ranker must provide.
+
+    Implementations guarantee that the batched entry points return
+    answers identical to their sequential counterparts — batching is an
+    execution strategy, never a semantic: the scheduler coalesces
+    requests relying on it.
+    """
+
+    #: Human-readable method name (used by /healthz and result tables).
+    name: str
+    #: Stats of the most recent single-query call.
+    last_stats: "SearchStats | None"
+    #: Stats of the most recent batched call.
+    last_batch_stats: "BatchStats | None"
+    #: The feature graph queries are answered against.
+    graph: "KnnGraph"
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of database nodes."""
+
+    def top_k(self, query: int, k: int, exclude_query: bool = True) -> TopKResult:
+        """Top-k for an in-database query node."""
+
+    def top_k_batch(
+        self, queries, k: int, exclude_query: bool = True
+    ) -> list[TopKResult]:
+        """Independent single-node queries answered in one engine pass."""
+
+    def top_k_out_of_sample(
+        self, feature: np.ndarray, k: int, n_probe: int = 1
+    ) -> TopKResult:
+        """Top-k for a feature vector outside the database (§4.6.2)."""
+
+    def top_k_out_of_sample_batch(
+        self, features: np.ndarray, k: int, n_probe: int = 1
+    ) -> list[TopKResult]:
+        """Batched out-of-sample queries."""
+
+
+def engine_from_index(graph, index, **search_kwargs) -> "Engine":
+    """Attach the right engine to a loaded index artifact.
+
+    ``index`` is whatever :func:`repro.core.serialize.load_any_index`
+    returned — a legacy :class:`repro.core.MogulIndex` (``.npz`` file) or
+    a :class:`repro.core.ShardedMogulIndex` (directory layout).
+    ``search_kwargs`` are forwarded to the engine constructor
+    (``use_pruning``, ``cluster_order``, ...).
+    """
+    from repro.core.index import MogulIndex, MogulRanker
+    from repro.core.sharded import ShardedMogulIndex, ShardedMogulRanker
+
+    if isinstance(index, ShardedMogulIndex):
+        return ShardedMogulRanker.from_index(graph, index, **search_kwargs)
+    if isinstance(index, MogulIndex):
+        return MogulRanker.from_index(graph, index, **search_kwargs)
+    raise TypeError(
+        f"cannot build an engine around {type(index).__name__}; expected "
+        "MogulIndex or ShardedMogulIndex"
+    )

@@ -34,6 +34,7 @@ from repro.core.permutation import ClusterFn, Permutation, build_permutation
 from repro.core.profile import BuildProfile
 from repro.core.search import SearchStats, top_k_search
 from repro.core.solver import ClusterSolver
+from repro.core.topk import sorted_result
 from repro.clustering.louvain import louvain
 from repro.graph.adjacency import KnnGraph
 from repro.linalg.ldl import (
@@ -255,6 +256,15 @@ class MogulIndex:
     def n_clusters(self) -> int:
         """Cluster count N including the border cluster."""
         return self.permutation.n_clusters
+
+    @property
+    def factor_nnz(self) -> int:
+        """Non-zeros in the strict lower triangle of the factor.
+
+        Part of the uniform index-statistics surface shared with
+        :class:`repro.core.ShardedMogulIndex` (``/stats``, ``repro info``).
+        """
+        return int(self.factors.nnz)
 
     def save(self, path) -> None:
         """Persist the index to an ``.npz`` file (see :mod:`repro.core.serialize`)."""
@@ -615,5 +625,4 @@ class MogulRanker(Ranker):
         scores = np.asarray([score for _, score in answers], dtype=np.float64)
         # Re-sort by (score desc, original id asc) so results are
         # deterministic in *original* id space like every other ranker.
-        resort = np.lexsort((indices, -scores))
-        return TopKResult(indices=indices[resort], scores=scores[resort])
+        return sorted_result(indices, scores)

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.bounds import BoundsTable, ClusterBoundData
 from repro.core.permutation import Permutation
 from repro.core.solver import ClusterSolver
+from repro.core.topk import sort_answer_pairs
 from repro.linalg.ldl import LDLFactors
 
 
@@ -93,17 +94,31 @@ class TopKAccumulator:
     dummy is evicted before a real answer, and among real ties the largest
     position goes first (keeping the deterministic "score desc, position
     asc" answer order).
+
+    ``initial_threshold`` seeds the dummies at a known lower bound on the
+    final k-th best score instead of 0 — the sharded scatter-gather
+    search hands each shard the router's post-seed/border threshold, so
+    shard-local scans prune against it from the first cluster.  Raising
+    the dummy floor is exact: any candidate scoring below a valid lower
+    bound on the global k-th best score provably cannot be an answer.
     """
 
     __slots__ = ("k", "n", "excluded", "heap", "threshold")
 
-    def __init__(self, k: int, n: int, exclude_positions: Iterable[int] = ()):
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        exclude_positions: Iterable[int] = (),
+        initial_threshold: float = 0.0,
+    ):
         self.k = k
         self.n = n
         self.excluded = set(int(p) for p in exclude_positions)
-        self.heap: list[tuple[float, int]] = [(0.0, -(n + 2))] * k
+        floor = max(0.0, float(initial_threshold))
+        self.heap: list[tuple[float, int]] = [(floor, -(n + 2))] * k
         heapq.heapify(self.heap)
-        self.threshold = 0.0
+        self.threshold = floor
 
     def offer_block(self, x: np.ndarray, start: int, stop: int) -> None:
         """Admit the block members of ``x[start:stop]`` that can still enter.
@@ -165,8 +180,7 @@ class TopKAccumulator:
             for score, neg_pos in self.heap
             if 0 <= -neg_pos < self.n
         ]
-        real.sort(key=lambda item: (-item[1], item[0]))
-        return real
+        return sort_answer_pairs(real)
 
 
 def top_k_search(

@@ -34,6 +34,8 @@ feature store it keeps (see :meth:`repro.core.MogulRanker.from_index`).
 
 from __future__ import annotations
 
+import json
+import logging
 import os
 import struct
 import time
@@ -42,8 +44,15 @@ import zipfile
 import numpy as np
 import scipy.sparse as sp
 
+logger = logging.getLogger(__name__)
+
 #: Bump when the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
+
+#: Format marker of the sharded directory layout's manifest.
+SHARDED_FORMAT_VERSION = 1
+SHARDED_KIND = "sharded-mogul-index"
+MANIFEST_NAME = "manifest.json"
 
 _REQUIRED_KEYS = (
     "format_version",
@@ -63,6 +72,41 @@ _REQUIRED_KEYS = (
 _MMAP_KEYS = frozenset(
     {"order", "lower_data", "lower_indices", "lower_indptr", "diag", "cluster_means"}
 )
+
+
+def _atomic_write(target: str, write) -> None:
+    """Write ``target`` via temp file + atomic rename.
+
+    ``write`` receives the open binary/text stream.  Rewriting a path a
+    live process has loaded (and possibly memory-mapped) must never
+    truncate the mapped inode — the old file lingers for existing maps,
+    the new one takes over the name.
+    """
+    scratch = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(scratch, "wb") as stream:
+            write(stream)
+        os.replace(scratch, target)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+
+
+def _profile_payload(profile) -> dict:
+    """A profile's persistable dict: build facts only.
+
+    ``load_seconds`` / ``load_warnings`` describe one *load event* on one
+    machine, not the build — persisting them would replay a previous
+    session's warnings forever (and accumulate duplicates across
+    save/load cycles), so they are stripped at every save.
+    """
+    payload = profile.to_dict()
+    payload["load_seconds"] = None
+    payload["load_warnings"] = []
+    return payload
 
 
 def save_index(index, path: "str | os.PathLike", compressed: bool = False) -> None:
@@ -92,33 +136,22 @@ def save_index(index, path: "str | os.PathLike", compressed: bool = False) -> No
         factorization=np.str_(index.factorization),
     )
     if index.profile is not None:
-        payload["build_profile"] = np.str_(index.profile.to_json())
+        payload["build_profile"] = np.str_(
+            json.dumps(_profile_payload(index.profile))
+        )
     writer = np.savez_compressed if compressed else np.savez
-    # Write-to-temp + atomic rename: rewriting a path that a live process
-    # has loaded (and therefore memory-mapped) must never truncate the
-    # mapped inode — the old file lingers for existing maps, the new one
-    # takes over the name.  Mirrors numpy's own ".npz" suffix rule.
+    # Mirrors numpy's own ".npz" suffix rule.
     target = os.fspath(path)
     if not target.endswith(".npz"):
         target += ".npz"
-    scratch = f"{target}.tmp.{os.getpid()}"
-    try:
-        with open(scratch, "wb") as stream:
-            writer(stream, **payload)
-        os.replace(scratch, target)
-    except BaseException:
-        try:
-            os.unlink(scratch)
-        except OSError:
-            pass
-        raise
+    _atomic_write(target, lambda stream: writer(stream, **payload))
 
 
-def _mmap_stored_members(path) -> dict[str, np.ndarray]:
+def _mmap_stored_members(path, keys=_MMAP_KEYS) -> dict[str, np.ndarray]:
     """Memory-map the uncompressed ``.npy`` members of a zip archive.
 
-    For every ``ZIP_STORED`` member in :data:`_MMAP_KEYS`, locate the raw
-    payload (local file header + npy header) and hand back a read-only
+    For every ``ZIP_STORED`` member in ``keys``, locate the raw payload
+    (local file header + npy header) and hand back a read-only
     ``np.memmap`` view.  Anything unexpected — compression, npy versions
     or dtypes we do not recognise, a truncated header — simply leaves the
     member out, and the caller falls back to the ordinary zip read.
@@ -134,7 +167,7 @@ def _mmap_stored_members(path) -> dict[str, np.ndarray]:
                 if not info.filename.endswith(".npy"):
                     continue
                 key = info.filename[:-4]
-                if key not in _MMAP_KEYS:
+                if key not in keys:
                     continue
                 # The local file header repeats the name and carries its
                 # own extra field (possibly differing from the central
@@ -188,7 +221,6 @@ def load_index(path: "str | os.PathLike"):
     # Imported here: serialize <-> index would otherwise be a cycle.
     from repro.core.bounds import BoundsTable, precompute_cluster_bounds
     from repro.core.index import MogulIndex
-    from repro.core.permutation import Permutation
     from repro.core.profile import BuildProfile
     from repro.core.solver import ClusterSolver
     from repro.linalg.ldl import LDLFactors
@@ -214,6 +246,9 @@ def load_index(path: "str | os.PathLike"):
         missing = [key for key in _REQUIRED_KEYS if key not in archive]
         if missing:
             raise ValueError(f"not a Mogul index file (missing keys {missing})")
+        unmapped = sorted(
+            key for key in _MMAP_KEYS if key in archive and key not in mapped
+        )
 
         def fetch(key: str) -> np.ndarray:
             return mapped[key] if key in mapped else archive[key]
@@ -229,24 +264,12 @@ def load_index(path: "str | os.PathLike"):
                 f"index file has format version {version}, "
                 f"this library reads version {FORMAT_VERSION}"
             )
-        order = np.asarray(fetch("order"), dtype=np.int64)
-        starts = np.asarray(archive["cluster_starts"], dtype=np.int64)
-        n = order.shape[0]
-        if order.ndim != 1 or n == 0:
-            raise ValueError("corrupt index file: node order must be 1-D, non-empty")
-        if not np.array_equal(np.sort(order), np.arange(n, dtype=np.int64)):
-            raise ValueError(
-                "corrupt index file: node order is not a permutation of "
-                f"0..{n - 1}"
-            )
-        if (
-            starts.ndim != 1
-            or starts.size < 2
-            or starts[0] != 0
-            or starts[-1] != n
-            or np.any(np.diff(starts) < 0)
-        ):
-            raise ValueError("corrupt index file: bad cluster boundaries")
+        permutation = _reconstruct_permutation(
+            fetch("order"), archive["cluster_starts"]
+        )
+        order = permutation.order
+        slices = permutation.cluster_slices
+        n = permutation.n_nodes
         lower_data = fetch("lower_data")
         lower_indices = fetch("lower_indices")
         lower_indptr = fetch("lower_indptr")
@@ -257,7 +280,7 @@ def load_index(path: "str | os.PathLike"):
                 f"corrupt index file: diagonal has shape {diag.shape}, "
                 f"expected ({n},)"
             )
-        n_clusters = starts.size - 1
+        n_clusters = len(slices)
         means = fetch("cluster_means")
         if means.ndim != 2 or means.shape[0] != n_clusters:
             raise ValueError(
@@ -278,21 +301,6 @@ def load_index(path: "str | os.PathLike"):
                 profile = BuildProfile.from_json(str(archive["build_profile"]))
             except (ValueError, TypeError):
                 profile = None  # a broken profile never blocks a load
-
-        slices = tuple(
-            slice(int(a), int(b)) for a, b in zip(starts[:-1], starts[1:])
-        )
-        cluster_of_position = np.empty(n, dtype=np.int64)
-        for cid, sl in enumerate(slices):
-            cluster_of_position[sl] = cid
-        inverse = np.empty(n, dtype=np.int64)
-        inverse[order] = np.arange(n, dtype=np.int64)
-        permutation = Permutation(
-            order=order,
-            inverse=inverse,
-            cluster_slices=slices,
-            cluster_of_position=cluster_of_position,
-        )
 
         lower = sp.csr_matrix(
             (
@@ -323,6 +331,17 @@ def load_index(path: "str | os.PathLike"):
             border_size=slices[-1].stop - slices[-1].start,
             factor_nnz=int(lower.nnz),
         )
+    if unmapped:
+        # The mmap fast path degraded to ordinary (copying) zip reads —
+        # correct but slower; say so on the profile instead of diverging
+        # silently, so `repro info` and /stats surface it.
+        message = (
+            "memory-map fallback: members "
+            + ", ".join(unmapped)
+            + " were read through the zip reader (compressed or unmappable)"
+        )
+        logger.warning("%s: %s", os.fspath(path), message)
+        profile.load_warnings.append(message)
     profile.load_seconds = time.perf_counter() - load_started
     return MogulIndex(
         permutation=permutation,
@@ -336,6 +355,436 @@ def load_index(path: "str | os.PathLike"):
         bounds_table=bounds_table,
         profile=profile,
     )
+
+
+# -- sharded directory layout ----------------------------------------------
+#
+# A sharded index is a *directory*:
+#
+#     <path>/manifest.json     scalars, shard layout, build profile
+#     <path>/global.npz        order, cluster boundaries, diagonal, means,
+#                              and the shared border block's factor rows
+#     <path>/shard_0000.npz    one shard's factor rows (global columns)
+#     ...
+#
+# Large arrays are stored uncompressed so loading memory-maps them member
+# by member (the same fast path as the single-file format), and shard
+# files are only *opened* when a query first touches their shard — the
+# lazy half of scatter-gather serving.
+
+#: Members of global.npz worth memory-mapping.
+_SHARDED_GLOBAL_MMAP = frozenset(
+    {
+        "order",
+        "diag",
+        "cluster_means",
+        "border_data",
+        "border_indices",
+        "border_indptr",
+    }
+)
+#: Members of a shard file worth memory-mapping.
+_SHARD_MMAP = frozenset({"data", "indices", "indptr"})
+
+
+def _write_npz_atomic(path: str, payload: dict) -> None:
+    """Write an uncompressed ``.npz`` via temp file + atomic rename."""
+    _atomic_write(path, lambda stream: np.savez(stream, **payload))
+
+
+def save_sharded_index(index, path: "str | os.PathLike") -> None:
+    """Write a :class:`repro.core.ShardedMogulIndex` directory at ``path``.
+
+    Creates the directory if needed; every file is written via temp +
+    atomic rename so a crashed save never leaves a half-written member
+    under a valid manifest (the manifest is written last).
+    """
+    target = os.fspath(path)
+    os.makedirs(target, exist_ok=True)
+    perm = index.permutation
+    starts = np.asarray(
+        [sl.start for sl in perm.cluster_slices] + [perm.n_nodes], dtype=np.int64
+    )
+    border_rows = index.border_rows.tocsr()
+    _write_npz_atomic(
+        os.path.join(target, "global.npz"),
+        dict(
+            order=perm.order,
+            cluster_starts=starts,
+            diag=index.diag,
+            cluster_means=index.cluster_means,
+            border_data=border_rows.data,
+            border_indices=np.asarray(border_rows.indices, dtype=np.int64),
+            border_indptr=np.asarray(border_rows.indptr, dtype=np.int64),
+        ),
+    )
+    shard_files: list[str] = []
+    shard_nnz: list[int] = []
+    for shard_id in range(index.n_shards):
+        state = index.shard_state(shard_id)
+        rows = state.rows.tocsr()
+        name = f"shard_{shard_id:04d}.npz"
+        _write_npz_atomic(
+            os.path.join(target, name),
+            dict(
+                data=rows.data,
+                indices=np.asarray(rows.indices, dtype=np.int64),
+                indptr=np.asarray(rows.indptr, dtype=np.int64),
+            ),
+        )
+        shard_files.append(name)
+        shard_nnz.append(int(rows.nnz))
+    manifest = {
+        "format_version": SHARDED_FORMAT_VERSION,
+        "kind": SHARDED_KIND,
+        "n_nodes": int(perm.n_nodes),
+        "alpha": float(index.alpha),
+        "factorization": index.factorization,
+        "pivot_perturbations": int(index.pivot_perturbations),
+        "layout": index.layout.to_dict(),
+        "shard_files": shard_files,
+        "shard_nnz": shard_nnz,
+        "border_nnz": int(border_rows.nnz),
+        "profile": (
+            None if index.profile is None else _profile_payload(index.profile)
+        ),
+    }
+    _atomic_write(
+        os.path.join(target, MANIFEST_NAME),
+        lambda stream: stream.write(
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+        ),
+    )
+
+
+def _check_row_block_csr(
+    data, indices, indptr, n_rows: int, n_cols: int, row_offset: int, what: str
+) -> None:
+    """Validate a stored strict-lower row block before reconstruction."""
+    if data.ndim != 1 or indices.ndim != 1 or indptr.ndim != 1:
+        raise ValueError(f"corrupt index: {what} CSR arrays must be 1-D")
+    if indptr.shape[0] != n_rows + 1:
+        raise ValueError(
+            f"corrupt index: {what} indptr has {indptr.shape[0]} entries, "
+            f"expected {n_rows + 1}"
+        )
+    indptr64 = np.asarray(indptr, dtype=np.int64)
+    if int(indptr64[0]) != 0 or np.any(np.diff(indptr64) < 0):
+        raise ValueError(f"corrupt index: {what} indptr is not monotonic from 0")
+    nnz = int(indptr64[-1])
+    if data.shape[0] != nnz or indices.shape[0] != nnz:
+        raise ValueError(
+            f"corrupt index: {what} has {data.shape[0]} values / "
+            f"{indices.shape[0]} column indices but indptr declares {nnz}"
+        )
+    if nnz:
+        indices64 = np.asarray(indices, dtype=np.int64)
+        if int(indices64.min()) < 0 or int(indices64.max()) >= n_cols:
+            raise ValueError(
+                f"corrupt index: {what} column indices outside [0, {n_cols})"
+            )
+        entry_rows = row_offset + np.repeat(
+            np.arange(n_rows, dtype=np.int64), np.diff(indptr64)
+        )
+        if np.any(indices64 >= entry_rows):
+            raise ValueError(
+                f"corrupt index: {what} entries on or above the diagonal"
+            )
+
+
+def _reconstruct_permutation(order: np.ndarray, starts: np.ndarray):
+    """Rebuild a :class:`repro.core.Permutation` from its stored arrays."""
+    from repro.core.permutation import Permutation
+
+    order = np.asarray(order, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    n = order.shape[0]
+    if order.ndim != 1 or n == 0:
+        raise ValueError("corrupt index: node order must be 1-D, non-empty")
+    if not np.array_equal(np.sort(order), np.arange(n, dtype=np.int64)):
+        raise ValueError(
+            f"corrupt index: node order is not a permutation of 0..{n - 1}"
+        )
+    if (
+        starts.ndim != 1
+        or starts.size < 2
+        or starts[0] != 0
+        or starts[-1] != n
+        or np.any(np.diff(starts) < 0)
+    ):
+        raise ValueError("corrupt index: bad cluster boundaries")
+    slices = tuple(slice(int(a), int(b)) for a, b in zip(starts[:-1], starts[1:]))
+    cluster_of_position = np.empty(n, dtype=np.int64)
+    for cid, sl in enumerate(slices):
+        cluster_of_position[sl] = cid
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n, dtype=np.int64)
+    return Permutation(
+        order=order,
+        inverse=inverse,
+        cluster_slices=slices,
+        cluster_of_position=cluster_of_position,
+    )
+
+
+def load_sharded_index(path: "str | os.PathLike", lazy: bool = True):
+    """Read a sharded index directory written by :func:`save_sharded_index`.
+
+    With ``lazy=True`` (default) each shard's factor rows are opened,
+    validated and packed only when a query first touches the shard; the
+    manifest and the shared global/border state load eagerly.  Large
+    arrays arrive as read-only memory maps when stored uncompressed, and
+    any fallback to copying zip reads is recorded on the returned
+    profile's ``load_warnings``.
+    """
+    from repro.core.profile import BuildProfile
+    from repro.core.sharded import ShardLayout, ShardedMogulIndex
+
+    load_started = time.perf_counter()
+    target = os.fspath(path)
+    manifest_path = os.path.join(target, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as stream:
+            manifest = json.load(stream)
+    except FileNotFoundError:
+        raise ValueError(
+            f"not a sharded Mogul index ({target!r} has no {MANIFEST_NAME})"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"corrupt sharded index: unreadable manifest ({error})"
+        ) from None
+    if manifest.get("kind") != SHARDED_KIND:
+        raise ValueError(
+            f"not a sharded Mogul index (manifest kind {manifest.get('kind')!r})"
+        )
+    version = int(manifest.get("format_version", -1))
+    if version != SHARDED_FORMAT_VERSION:
+        raise ValueError(
+            f"sharded index has format version {version}, this library "
+            f"reads version {SHARDED_FORMAT_VERSION}"
+        )
+    factorization = str(manifest.get("factorization"))
+    if factorization not in ("incomplete", "complete"):
+        raise ValueError(
+            f"corrupt sharded index: unknown factorization {factorization!r}"
+        )
+    alpha = float(manifest.get("alpha", 0.0))
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"corrupt sharded index: alpha {alpha} outside (0, 1)")
+    layout = ShardLayout.from_dict(manifest["layout"])
+    shard_files = [str(name) for name in manifest["shard_files"]]
+    if len(shard_files) != layout.n_shards:
+        raise ValueError(
+            f"corrupt sharded index: {len(shard_files)} shard files for "
+            f"{layout.n_shards} shards"
+        )
+    shard_nnz = [int(v) for v in manifest.get("shard_nnz", [])]
+    if len(shard_nnz) != len(shard_files):
+        shard_nnz = None
+
+    profile = None
+    if manifest.get("profile") is not None:
+        try:
+            profile = BuildProfile.from_dict(manifest["profile"])
+        except (ValueError, TypeError):
+            profile = None
+    if profile is None:
+        profile = BuildProfile(n_shards=layout.n_shards)
+
+    global_path = os.path.join(target, "global.npz")
+    mapped = _mmap_stored_members(global_path, _SHARDED_GLOBAL_MMAP)
+    with np.load(global_path, allow_pickle=False) as archive:
+        required = (
+            "order",
+            "cluster_starts",
+            "diag",
+            "cluster_means",
+            "border_data",
+            "border_indices",
+            "border_indptr",
+        )
+        missing = [key for key in required if key not in archive]
+        if missing:
+            raise ValueError(
+                f"corrupt sharded index: global.npz missing keys {missing}"
+            )
+        unmapped = sorted(
+            key
+            for key in _SHARDED_GLOBAL_MMAP
+            if key in archive and key not in mapped
+        )
+
+        def fetch(key: str) -> np.ndarray:
+            return mapped[key] if key in mapped else archive[key]
+
+        permutation = _reconstruct_permutation(
+            fetch("order"), archive["cluster_starts"]
+        )
+        n = permutation.n_nodes
+        if int(manifest.get("n_nodes", -1)) != n:
+            raise ValueError(
+                "corrupt sharded index: manifest node count disagrees with "
+                "global.npz"
+            )
+        border_start = permutation.border_slice.start
+        n_border = n - border_start
+        diag = np.asarray(fetch("diag"), dtype=np.float64)
+        if diag.shape != (n,):
+            raise ValueError(
+                f"corrupt sharded index: diagonal has shape {diag.shape}, "
+                f"expected ({n},)"
+            )
+        means = np.asarray(fetch("cluster_means"), dtype=np.float64)
+        if means.ndim != 2 or means.shape[0] != permutation.n_clusters:
+            raise ValueError(
+                f"corrupt sharded index: cluster_means has shape "
+                f"{means.shape}, expected ({permutation.n_clusters}, n_dims)"
+            )
+        border_data = fetch("border_data")
+        border_indices = fetch("border_indices")
+        border_indptr = fetch("border_indptr")
+        _check_row_block_csr(
+            border_data,
+            border_indices,
+            border_indptr,
+            n_border,
+            n,
+            border_start,
+            "border rows",
+        )
+        border_rows = sp.csr_matrix(
+            (
+                np.asarray(border_data, dtype=np.float64),
+                np.asarray(border_indices, dtype=np.int64),
+                np.asarray(border_indptr, dtype=np.int64),
+            ),
+            shape=(n_border, n),
+        )
+    if unmapped:
+        message = (
+            "memory-map fallback: global members "
+            + ", ".join(unmapped)
+            + " were read through the zip reader (compressed or unmappable)"
+        )
+        logger.warning("%s: %s", target, message)
+        profile.load_warnings.append(message)
+
+    # Validate the layout against the permutation before trusting spans.
+    expected_spans = [
+        (permutation.cluster_slices[lo].start, permutation.cluster_slices[hi - 1].stop)
+        for lo, hi in layout.cluster_ranges
+    ]
+    if list(layout.spans) != expected_spans or expected_spans[-1][1] != border_start:
+        raise ValueError(
+            "corrupt sharded index: shard layout disagrees with cluster "
+            "boundaries"
+        )
+
+    def make_loader(shard_id: int, file_name: str):
+        span = layout.spans[shard_id]
+
+        def load_rows() -> sp.csr_matrix:
+            shard_path = os.path.join(target, file_name)
+            shard_mapped = _mmap_stored_members(shard_path, _SHARD_MMAP)
+            with np.load(shard_path, allow_pickle=False) as shard_archive:
+                for key in ("data", "indices", "indptr"):
+                    if key not in shard_archive:
+                        raise ValueError(
+                            f"corrupt sharded index: {file_name} missing {key!r}"
+                        )
+                shard_unmapped = sorted(
+                    key
+                    for key in _SHARD_MMAP
+                    if key in shard_archive and key not in shard_mapped
+                )
+
+                def fetch_shard(key: str) -> np.ndarray:
+                    return (
+                        shard_mapped[key]
+                        if key in shard_mapped
+                        else shard_archive[key]
+                    )
+
+                data = fetch_shard("data")
+                indices = fetch_shard("indices")
+                indptr = fetch_shard("indptr")
+                m = span[1] - span[0]
+                _check_row_block_csr(
+                    data, indices, indptr, m, n, span[0], file_name
+                )
+                rows = sp.csr_matrix(
+                    (
+                        np.asarray(data, dtype=np.float64),
+                        np.asarray(indices, dtype=np.int64),
+                        np.asarray(indptr, dtype=np.int64),
+                    ),
+                    shape=(m, n),
+                )
+            if shard_unmapped:
+                message = (
+                    f"memory-map fallback: {file_name} members "
+                    + ", ".join(shard_unmapped)
+                    + " were read through the zip reader"
+                )
+                logger.warning("%s: %s", target, message)
+                profile.load_warnings.append(message)
+            return rows
+
+        return load_rows
+
+    sources = [
+        make_loader(shard_id, name) for shard_id, name in enumerate(shard_files)
+    ]
+    members = tuple(
+        permutation.order[sl] for sl in permutation.cluster_slices
+    )
+    index = ShardedMogulIndex(
+        permutation=permutation,
+        alpha=alpha,
+        factorization=factorization,
+        layout=layout,
+        diag=diag,
+        border_rows=border_rows,
+        cluster_means=means,
+        cluster_members=members,
+        pivot_perturbations=int(manifest.get("pivot_perturbations", 0)),
+        profile=profile,
+        shard_sources=sources,
+        shard_nnz=shard_nnz,
+    )
+    if not lazy:
+        for shard_id in range(index.n_shards):
+            index.shard_state(shard_id)
+    profile.load_seconds = time.perf_counter() - load_started
+    return index
+
+
+def is_sharded_index_path(path: "str | os.PathLike") -> bool:
+    """``True`` when ``path`` looks like a sharded index directory."""
+    target = os.fspath(path)
+    return os.path.isdir(target) and os.path.isfile(
+        os.path.join(target, MANIFEST_NAME)
+    )
+
+
+def load_any_index(path: "str | os.PathLike"):
+    """Load whichever index artifact lives at ``path``.
+
+    Dispatches on the on-disk shape: a directory with a manifest loads as
+    a :class:`repro.core.ShardedMogulIndex`, anything else through the
+    legacy single-file :func:`load_index` — the one entry point the CLI
+    and service use, so sharded and unsharded artifacts stay
+    interchangeable.
+    """
+    if is_sharded_index_path(path):
+        return load_sharded_index(path)
+    if os.path.isdir(os.fspath(path)):
+        raise ValueError(
+            f"{os.fspath(path)!r} is a directory without a {MANIFEST_NAME}; "
+            "not an index artifact"
+        )
+    return load_index(path)
 
 
 def _check_csr_arrays(data, indices, indptr, n: int) -> None:

@@ -1,0 +1,1465 @@
+"""Two-level sharded Mogul: hierarchical multi-shard index + scatter-gather search.
+
+The paper's single index already has a two-level idea inside it: interior
+clusters that never couple to each other, plus one border cluster that
+couples to everything (Lemma 3).  This module lifts that exact scheme one
+level up so databases larger than one factorization budget can be built
+and served:
+
+* **Shards** are contiguous groups of Louvain communities, balanced by
+  node count (:func:`plan_shards`).  A shard owns its clusters' factor
+  rows, packed per-cluster solvers, border couplings and bound tables —
+  everything needed to answer "which of *my* clusters can contain a
+  top-k answer, and what are their scores".
+* **The top-level border block is shared**: the permutation's border
+  cluster (every node with a cross-cluster — hence every node with a
+  cross-shard — edge) is factored once and owned by the router, exactly
+  as the paper's border cluster is owned by the single index.  Folding
+  the cut edges into this shared block is what keeps per-query answers
+  *exact*: the factorization is the same global :math:`LDL^T`, merely
+  partitioned, so every score a shard computes is bitwise identical to
+  the unsharded engine's.
+* **Scatter-gather search** (:func:`scatter_gather_search`): the router
+  runs the seed-cluster forward pass and the shared border solves, then
+  hands each shard the border scores plus its current top-k threshold;
+  shards scan their own clusters with bound pruning and return local
+  frontiers; the router merges them (:mod:`repro.core.topk`).  Answers —
+  indices, scores and tie-breaks — equal the unsharded engine's because
+  every candidate's score is computed by the same packed solves and the
+  merge applies the same total order; only the *pruning trajectory*
+  (hence :class:`SearchStats`) may differ, since each shard's threshold
+  evolves locally.
+
+* **Shard-parallel builds**: interior factor row spans are mutually
+  independent, so :meth:`ShardedMogulIndex.build` farms one span per
+  shard to worker *processes* (the pure-Python numeric sweep holds the
+  GIL, so threads cannot buy wall-clock) and factors the shared border
+  from their results — bitwise identical to the single-process build
+  (see :func:`repro.linalg.ldl.factor_row_span`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.clustering.louvain import louvain
+from repro.core.batch import BatchQuery, BatchStats, _offer_border_batch
+from repro.core.bounds import BoundsTable, ClusterBoundData
+from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
+from repro.core.permutation import ClusterFn, Permutation, build_permutation
+from repro.core.profile import BuildProfile
+from repro.core.search import SearchStats, TopKAccumulator
+from repro.core.solver import _csr_column_range, _spmm
+from repro.core.topk import merge_answer_pairs, sorted_result
+from repro.graph.adjacency import KnnGraph
+from repro.linalg.ldl import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    LDLFactors,
+    complete_ldl,
+    factor_border_rows,
+    factor_row_span,
+    global_pivot_floor,
+    incomplete_ldl,
+    symbolic_pattern,
+)
+from repro.linalg.packed import PackedUnitLower
+from repro.ranking.base import (
+    DEFAULT_ALPHA,
+    Ranker,
+    TopKResult,
+    normalize_seed_weights,
+)
+from repro.ranking.normalize import ranking_matrix
+from repro.utils.timer import Timer
+from repro.utils.validation import check_alpha, check_jobs, check_positive_int
+
+#: How the shard-parallel build executes its per-shard span workers.
+PARALLEL_MODES = ("auto", "process", "serial")
+
+
+# -- shard planning --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardLayout:
+    """Assignment of interior clusters to contiguous, balanced shards.
+
+    Attributes
+    ----------
+    cluster_ranges:
+        Per shard, the half-open range ``[lo, hi)`` of *global interior
+        cluster ids* it owns (ranges partition ``[0, n_interior)``).
+    spans:
+        Per shard, the matching contiguous position span ``[start, stop)``
+        in the global permutation (spans partition ``[0, border_start)``).
+    """
+
+    cluster_ranges: tuple[tuple[int, int], ...]
+    spans: tuple[tuple[int, int], ...]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.spans)
+
+    def shard_of_cluster(self, cluster_id: int) -> int:
+        """Shard owning an interior cluster id."""
+        for shard_id, (lo, hi) in enumerate(self.cluster_ranges):
+            if lo <= cluster_id < hi:
+                return shard_id
+        raise ValueError(f"cluster {cluster_id} is not an interior cluster")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for the manifest)."""
+        return {
+            "cluster_ranges": [list(r) for r in self.cluster_ranges],
+            "spans": [list(s) for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardLayout":
+        return cls(
+            cluster_ranges=tuple(
+                (int(a), int(b)) for a, b in payload["cluster_ranges"]
+            ),
+            spans=tuple((int(a), int(b)) for a, b in payload["spans"]),
+        )
+
+
+def plan_shards(
+    cluster_slices: tuple[slice, ...], n_shards: int
+) -> ShardLayout:
+    """Group interior clusters into contiguous shards balanced by node count.
+
+    Cut points sit at the cluster boundaries nearest the ideal equal-size
+    positions, never splitting a cluster (a cluster is the unit of both
+    factorization independence and bound pruning).  ``n_shards`` is
+    clamped to the interior cluster count; the result is deterministic
+    for a given permutation.
+    """
+    n_shards = check_positive_int(n_shards, "n_shards")
+    n_interior = len(cluster_slices) - 1
+    if n_interior <= 0:
+        raise ValueError("cannot shard a permutation with no interior clusters")
+    n_shards = min(n_shards, n_interior)
+    stops = np.asarray([sl.stop for sl in cluster_slices[:n_interior]])
+    total = int(stops[-1])
+    cuts: list[int] = []  # first cluster id of shards 1..S-1
+    previous = 0
+    for i in range(1, n_shards):
+        target = round(total * i / n_shards)
+        j = int(np.argmin(np.abs(stops - target))) + 1
+        j = max(j, previous + 1)
+        j = min(j, n_interior - (n_shards - i))
+        cuts.append(j)
+        previous = j
+    edges = [0] + cuts + [n_interior]
+    cluster_ranges = tuple(
+        (edges[i], edges[i + 1]) for i in range(len(edges) - 1)
+    )
+    spans = tuple(
+        (cluster_slices[lo].start, cluster_slices[hi - 1].stop)
+        for lo, hi in cluster_ranges
+    )
+    return ShardLayout(cluster_ranges=cluster_ranges, spans=spans)
+
+
+# -- per-shard state -------------------------------------------------------
+
+
+class ShardState:
+    """One shard's query-time state: packed solvers, couplings, bounds.
+
+    Mirrors the per-cluster machinery of :class:`repro.core.ClusterSolver`
+    restricted to the shard's clusters; the shared border block lives on
+    the :class:`ShardedMogulIndex`, not here.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        span: tuple[int, int],
+        first_cluster: int,
+        cluster_slices: tuple[slice, ...],
+        blocks: list[PackedUnitLower],
+        couplings: list[sp.csr_matrix],
+        bounds: tuple[ClusterBoundData, ...],
+        bounds_table: BoundsTable,
+        rows: sp.csr_matrix,
+        diag: np.ndarray,
+    ):
+        self.shard_id = shard_id
+        self.span = span
+        self.first_cluster = first_cluster
+        self.cluster_slices = cluster_slices
+        self.blocks = blocks
+        self.couplings = couplings
+        self.bounds = bounds
+        self.bounds_table = bounds_table
+        #: The shard's factor rows (strict lower of L, global columns).
+        self.rows = rows
+        self._diag = diag
+        self.sizes = np.asarray(
+            [sl.stop - sl.start for sl in cluster_slices], dtype=np.int64
+        )
+
+    @property
+    def n_clusters(self) -> int:
+        """Interior clusters owned by this shard."""
+        return len(self.cluster_slices)
+
+    @property
+    def n_nodes(self) -> int:
+        """Positions covered by this shard's span."""
+        return self.span[1] - self.span[0]
+
+    @property
+    def nnz(self) -> int:
+        """Factor non-zeros in this shard's rows."""
+        return int(self.rows.nnz)
+
+    def forward_seed_block(
+        self,
+        local_cid: int,
+        q_mat: np.ndarray,
+        z: np.ndarray,
+        y: np.ndarray,
+        cols: np.ndarray | None = None,
+    ) -> None:
+        """Forward-substitute one owned seed cluster (Lemma 4 per column).
+
+        Identical arithmetic to
+        :meth:`repro.core.ClusterSolver.forward_seed_block`.
+        """
+        sl = self.cluster_slices[local_cid]
+        block = self.blocks[local_cid]
+        d = self._diag[sl]
+        if cols is None:
+            z[sl] = block.solve_lower(q_mat[sl])
+            y[sl] = z[sl] / (d if q_mat.ndim == 1 else d[:, None])
+        else:
+            z_cols = block.solve_lower(q_mat[sl.start : sl.stop, cols])
+            z[sl.start : sl.stop, cols] = z_cols
+            y[sl.start : sl.stop, cols] = z_cols / d[:, None]
+
+    def back_cluster(
+        self,
+        local_cid: int,
+        y: np.ndarray,
+        x: np.ndarray,
+        border_start: int,
+        cols: np.ndarray | None = None,
+    ) -> None:
+        """Back-substitute one owned cluster's scores into ``x`` (Lemma 5).
+
+        ``x`` must already hold valid border scores.  Identical arithmetic
+        to :meth:`repro.core.ClusterSolver.back_cluster`.
+        """
+        sl = self.cluster_slices[local_cid]
+        block = self.blocks[local_cid]
+        coupling = self.couplings[local_cid]
+        if cols is None:
+            rhs = y[sl] - _spmm(coupling, x[border_start:])
+            x[sl] = block.solve_upper(rhs)
+        else:
+            rhs = y[sl.start : sl.stop, cols] - _spmm(
+                coupling, x[border_start:, cols]
+            )
+            x[sl.start : sl.stop, cols] = block.solve_upper(rhs)
+
+
+def _pack_cluster_blocks(
+    rows: sp.csr_matrix,
+    span_start: int,
+    cluster_slices: tuple[slice, ...],
+    use_superlu: bool | None = None,
+) -> list[PackedUnitLower]:
+    """Pack the diagonal block of every cluster in a shard's factor rows.
+
+    ``rows`` holds the shard's rows with *global* columns; interior rows
+    may only reference their own cluster's columns (Lemma 3), which is
+    verified per cluster.
+    """
+    indptr, indices, data = rows.indptr, rows.indices, rows.data
+    blocks: list[PackedUnitLower] = []
+    for sl in cluster_slices:
+        lo, hi = sl.start - span_start, sl.stop - span_start
+        a, b = int(indptr[lo]), int(indptr[hi])
+        cols = indices[a:b]
+        if cols.size and int(cols.min()) < sl.start:
+            raise ValueError(
+                f"cluster rows [{sl.start}, {sl.stop}) reference earlier "
+                "columns; factors do not match this permutation/layout"
+            )
+        block = sp.csr_matrix(
+            (data[a:b], cols - sl.start, indptr[lo : hi + 1] - a),
+            shape=(sl.stop - sl.start, sl.stop - sl.start),
+        )
+        blocks.append(
+            PackedUnitLower.from_strict_lower_trusted(
+                block, use_superlu=use_superlu
+            )
+        )
+    return blocks
+
+
+def _carve_shard_state(
+    shard_id: int,
+    layout: ShardLayout,
+    permutation: Permutation,
+    rows: sp.csr_matrix,
+    border_rows: sp.csr_matrix,
+    diag: np.ndarray,
+    prepacked_blocks: list[PackedUnitLower] | None = None,
+    use_superlu: bool | None = None,
+) -> ShardState:
+    """Derive one shard's query-time state from its factor rows.
+
+    ``border_rows`` are the shared border block's rows of ``L`` (global
+    columns) — the source of both the shard's back-substitution couplings
+    and its bound-table column maxima, exactly the quantities
+    :func:`repro.core.precompute_cluster_bounds` reads from ``U``.
+    """
+    span = layout.spans[shard_id]
+    c_lo, c_hi = layout.cluster_ranges[shard_id]
+    cluster_slices = permutation.cluster_slices[c_lo:c_hi]
+    border_start = permutation.border_slice.start
+    n = permutation.n_nodes
+    n_border = n - border_start
+
+    blocks = (
+        prepacked_blocks
+        if prepacked_blocks is not None
+        else _pack_cluster_blocks(rows, span[0], cluster_slices, use_superlu)
+    )
+
+    couplings: list[sp.csr_matrix] = []
+    bounds: list[ClusterBoundData] = []
+    row_indptr = rows.indptr
+    for sl in cluster_slices:
+        # U[cluster, border] is the transpose of the border rows' columns
+        # over the cluster — same floats, same per-row (ascending border
+        # column) order as carving U directly, so the coupling SpMVs are
+        # bitwise identical to the unsharded solver's.
+        bcols = _csr_column_range(
+            border_rows, 0, n_border, sl.start, sl.stop
+        )
+        coupling = bcols.T.tocsr()
+        coupling.sort_indices()
+        couplings.append(coupling)
+
+        # Bound ingredients (Definitions 1-2): the in-block maxima come
+        # from the shard's own rows (|U| block entries = |L| block entries
+        # transposed), the border column maxima from ``bcols`` row maxima
+        # — value-identical to the global precompute_cluster_bounds.
+        lo = sl.start - span[0]
+        hi = sl.stop - span[0]
+        block_data = rows.data[int(row_indptr[lo]) : int(row_indptr[hi])]
+        internal_max = float(np.max(np.abs(block_data))) if block_data.size else 0.0
+        counts = np.diff(bcols.indptr)
+        nonempty = np.flatnonzero(counts)
+        if nonempty.size:
+            maxima = np.maximum.reduceat(
+                np.abs(bcols.data), bcols.indptr[nonempty]
+            )
+            keep = maxima > 0.0
+            border_cols = border_start + nonempty[keep].astype(np.int64)
+            border_maxima = maxima[keep]
+        else:
+            border_cols = np.empty(0, dtype=np.int64)
+            border_maxima = np.empty(0, dtype=np.float64)
+        bounds.append(
+            ClusterBoundData(
+                border_cols=border_cols,
+                border_maxima=border_maxima,
+                internal_max=internal_max,
+                size=sl.stop - sl.start,
+            )
+        )
+
+    bounds_tuple = tuple(bounds)
+    return ShardState(
+        shard_id=shard_id,
+        span=span,
+        first_cluster=c_lo,
+        cluster_slices=cluster_slices,
+        blocks=blocks,
+        couplings=couplings,
+        bounds=bounds_tuple,
+        bounds_table=BoundsTable.from_bounds(bounds_tuple, border_start, n),
+        rows=rows,
+        diag=diag,
+    )
+
+
+# -- shard-parallel factorization ------------------------------------------
+
+
+def _shard_factor_worker(payload: tuple) -> dict:
+    """Factor one shard's row span and pack its cluster blocks.
+
+    Module-level so worker processes can import it; everything in
+    ``payload`` and the result pickles.
+    """
+    (
+        pat_indptr,
+        pat_indices,
+        wl_indptr,
+        wl_indices,
+        wl_data,
+        w_diag,
+        floor,
+        local_cluster_spans,
+        use_superlu,
+    ) = payload
+    started = time.perf_counter()
+    span = factor_row_span(
+        pat_indptr, pat_indices, wl_indptr, wl_indices, wl_data, w_diag, floor
+    )
+    m = int(w_diag.shape[0])
+    local = sp.csr_matrix(
+        (span.values, pat_indices, pat_indptr), shape=(m, m)
+    )
+    blocks = _pack_cluster_blocks(
+        local,
+        0,
+        tuple(slice(a, b) for a, b in local_cluster_spans),
+        use_superlu,
+    )
+    return {
+        "values": span.values,
+        "scaled": span.scaled,
+        "diag": span.diag,
+        "perturbations": span.perturbations,
+        "blocks": blocks,
+        # The shard's own compute cost — the per-shard term of the build
+        # critical path (on a time-shared single core this measures the
+        # shard's *work*, which is what a per-shard worker fleet pays).
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def _shard_payloads(
+    w_permuted: sp.csr_matrix,
+    pat_indptr: np.ndarray,
+    pat_indices: np.ndarray,
+    layout: ShardLayout,
+    permutation: Permutation,
+    floor: float,
+    use_superlu: bool | None,
+) -> list[tuple]:
+    """Build one picklable worker payload per shard (local coordinates)."""
+    lower_w = sp.tril(w_permuted, k=-1, format="csr")
+    lower_w.sort_indices()
+    diag_w = w_permuted.diagonal()
+    payloads = []
+    for shard_id, (rs, re) in enumerate(layout.spans):
+        a, b = int(pat_indptr[rs]), int(pat_indptr[re])
+        wl_a, wl_b = int(lower_w.indptr[rs]), int(lower_w.indptr[re])
+        c_lo, c_hi = layout.cluster_ranges[shard_id]
+        payloads.append(
+            (
+                pat_indptr[rs : re + 1] - a,
+                pat_indices[a:b] - rs,
+                lower_w.indptr[rs : re + 1] - wl_a,
+                lower_w.indices[wl_a:wl_b] - rs,
+                lower_w.data[wl_a:wl_b],
+                diag_w[rs:re],
+                floor,
+                [
+                    (sl.start - rs, sl.stop - rs)
+                    for sl in permutation.cluster_slices[c_lo:c_hi]
+                ],
+                use_superlu,
+            )
+        )
+    return payloads
+
+
+def _run_shard_workers(
+    payloads: list[tuple], jobs: int, parallel: str
+) -> tuple[list[dict], str]:
+    """Execute the span workers, preferring processes; returns (results, mode).
+
+    Falls back to in-process execution when the platform refuses a
+    process pool — results are bitwise identical either way, only the
+    wall-clock differs.
+    """
+    want_processes = (
+        parallel in ("auto", "process") and jobs > 1 and len(payloads) > 1
+    )
+    if want_processes:
+        try:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            workers = min(jobs, len(payloads))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                return list(pool.map(_shard_factor_worker, payloads)), "process"
+        except Exception:
+            if parallel == "process":
+                raise
+            # "auto" degrades to the serial path (sandboxes, spawn-only
+            # platforms without __main__ guards, ...).
+    return [_shard_factor_worker(payload) for payload in payloads], "serial"
+
+
+# -- the sharded index -----------------------------------------------------
+
+
+class ShardedMogulIndex:
+    """A Mogul index partitioned into shards under a shared border block.
+
+    The factorization is the *same* global :math:`LDL^T` the unsharded
+    :class:`repro.core.MogulIndex` would build (bitwise, for a given
+    backend) — sharding partitions its rows and the derived query-time
+    state, it never changes the math.  Construction paths:
+
+    * :meth:`build` — from a graph, with shard-parallel factorization.
+    * :meth:`from_factors` — carve shards out of an existing
+      factorization (equivalence tests, reference backend).
+    * :meth:`load` / :func:`repro.core.serialize.load_sharded_index` —
+      from the directory layout, with lazy per-shard materialisation.
+
+    Shard states materialise on first touch (:meth:`shard_state`);
+    a loaded index only pays for the shards its queries visit.
+    """
+
+    def __init__(
+        self,
+        permutation: Permutation,
+        alpha: float,
+        factorization: str,
+        layout: ShardLayout,
+        diag: np.ndarray,
+        border_rows: sp.csr_matrix,
+        cluster_means: np.ndarray,
+        cluster_members: tuple[np.ndarray, ...],
+        pivot_perturbations: int = 0,
+        profile: BuildProfile | None = None,
+        shard_states: list[ShardState | None] | None = None,
+        shard_sources=None,
+        shard_nnz: list[int] | None = None,
+        factors: LDLFactors | None = None,
+        use_superlu: bool | None = None,
+    ):
+        self.permutation = permutation
+        self.alpha = alpha
+        self.factorization = factorization
+        self.layout = layout
+        self.diag = np.asarray(diag, dtype=np.float64)
+        self.border_rows = border_rows
+        self.cluster_means = cluster_means
+        self.cluster_members = cluster_members
+        self.pivot_perturbations = int(pivot_perturbations)
+        self.profile = profile
+        self._use_superlu = use_superlu
+        border_start = permutation.border_slice.start
+        n = permutation.n_nodes
+        #: Shared top-level border block: its diagonal factor block ...
+        self.border_block = PackedUnitLower.from_strict_lower_trusted(
+            _csr_column_range(
+                border_rows, 0, n - border_start, border_start, n
+            ),
+            use_superlu=use_superlu,
+        )
+        #: ... and its coupling rows to every interior column (consumed
+        #: as one SpMV per query batch, shared by all shards).
+        self.border_left = _csr_column_range(
+            border_rows, 0, n - border_start, 0, border_start
+        )
+        n_shards = layout.n_shards
+        self._states: list[ShardState | None] = (
+            list(shard_states) if shard_states is not None else [None] * n_shards
+        )
+        if len(self._states) != n_shards:
+            raise ValueError(
+                f"{len(self._states)} shard states for {n_shards} shards"
+            )
+        self._sources = shard_sources  # per-shard () -> rows csr, or None
+        self._shard_nnz = shard_nnz
+        self._factors = factors
+        self._full_block: PackedUnitLower | None = None
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of indexed nodes."""
+        return self.permutation.n_nodes
+
+    @property
+    def n_clusters(self) -> int:
+        """Cluster count including the border cluster."""
+        return self.permutation.n_clusters
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self.layout.n_shards
+
+    @property
+    def border_size(self) -> int:
+        """Nodes in the shared border block."""
+        border = self.permutation.border_slice
+        return border.stop - border.start
+
+    @property
+    def factor_nnz(self) -> int:
+        """Non-zeros in the strict lower triangle of the global factor."""
+        return self.shard_nnz_total + int(self.border_rows.nnz)
+
+    @property
+    def shard_nnz_total(self) -> int:
+        """Factor non-zeros across all shard rows (border excluded)."""
+        if self._shard_nnz is not None:
+            return int(sum(self._shard_nnz))
+        return int(
+            sum(self.shard_state(s).nnz for s in range(self.n_shards))
+        )
+
+    def shard_nnz(self, shard_id: int) -> int:
+        """Factor non-zeros in one shard's rows."""
+        if self._shard_nnz is not None:
+            return int(self._shard_nnz[shard_id])
+        return self.shard_state(shard_id).nnz
+
+    @property
+    def shards_loaded(self) -> int:
+        """Shards whose state is materialised."""
+        return sum(1 for state in self._states if state is not None)
+
+    # -- shard access ----------------------------------------------------
+
+    def shard_state(self, shard_id: int) -> ShardState:
+        """The shard's query-time state, materialised on first touch."""
+        state = self._states[shard_id]
+        if state is None:
+            if self._sources is None:
+                raise RuntimeError(
+                    f"shard {shard_id} has no state and no source to load it"
+                )
+            rows = self._sources[shard_id]()
+            state = _carve_shard_state(
+                shard_id,
+                self.layout,
+                self.permutation,
+                rows,
+                self.border_rows,
+                self.diag,
+                use_superlu=self._use_superlu,
+            )
+            self._states[shard_id] = state
+        return state
+
+    def shard_of_node(self, node: int) -> int:
+        """Shard owning an original node id (-1 for border nodes)."""
+        position = int(self.permutation.inverse[node])
+        if position >= self.permutation.border_slice.start:
+            return -1
+        cid = int(self.permutation.cluster_of_position[position])
+        return self.layout.shard_of_cluster(cid)
+
+    # -- whole-factor views ----------------------------------------------
+
+    def assemble_factors(self) -> LDLFactors:
+        """The global :math:`LDL^T` factors (assembled from the shards).
+
+        Bitwise identical to what the unsharded build produces with the
+        same backend.  Cached; loaded indexes pay one concatenation.
+        """
+        if self._factors is None:
+            parts = [self.shard_state(s).rows for s in range(self.n_shards)]
+            parts.append(self.border_rows)
+            n = self.n_nodes
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            cursor, offset = 0, 0
+            data = np.concatenate([np.asarray(p.data) for p in parts])
+            indices = np.concatenate(
+                [np.asarray(p.indices, dtype=np.int64) for p in parts]
+            )
+            for part in parts:
+                rows = part.shape[0]
+                indptr[cursor + 1 : cursor + rows + 1] = (
+                    np.asarray(part.indptr[1:], dtype=np.int64) + offset
+                )
+                cursor += rows
+                offset += int(part.nnz)
+            lower = sp.csr_matrix((data, indices, indptr), shape=(n, n))
+            self._factors = LDLFactors(
+                lower=lower,
+                upper=lower.T.tocsr(),
+                diag=self.diag,
+                pivot_perturbations=self.pivot_perturbations,
+            )
+        return self._factors
+
+    def solve_full(self, q_vec: np.ndarray) -> np.ndarray:
+        """Full :math:`LDL^T x = q` solve over all rows (off the hot path).
+
+        Backs ``scores`` / ``scores_for_vector`` on the sharded ranker;
+        the whole-factor packed solver is built lazily on first use.
+        """
+        if self._full_block is None:
+            self._full_block = PackedUnitLower.from_strict_lower_trusted(
+                self.assemble_factors().lower.tocsr(),
+                use_superlu=self._use_superlu,
+            )
+        z = self._full_block.solve_lower(np.asarray(q_vec, dtype=np.float64))
+        y = z / (self.diag if z.ndim == 1 else self.diag[:, None])
+        return self._full_block.solve_upper(y)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: KnnGraph,
+        n_shards: int,
+        alpha: float = DEFAULT_ALPHA,
+        factorization: str = "incomplete",
+        cluster_labels: np.ndarray | None = None,
+        clusterer: ClusterFn = louvain,
+        fill_level: int = 0,
+        jobs: int = 1,
+        factor_backend: str = DEFAULT_BACKEND,
+        parallel: str = "auto",
+    ) -> "ShardedMogulIndex":
+        """Precompute the sharded index for a graph.
+
+        The clustering, permutation and ranking matrix are global and
+        identical to :meth:`repro.core.MogulIndex.build`; the
+        factorization then runs as one independent span per shard —
+        in worker *processes* when ``jobs > 1`` (``parallel="auto"``;
+        ``"serial"`` forces in-process, ``"process"`` raises when a pool
+        cannot be created) — followed by the shared border rows.  Every
+        (S, jobs, parallel) combination produces a bitwise-identical
+        index; only build wall-clock changes.
+
+        ``factor_backend="reference"`` keeps the original global
+        dict-of-rows factorization (no shard parallelism) and carves the
+        shard states from its result.
+        """
+        alpha = check_alpha(alpha)
+        if factorization not in ("incomplete", "complete"):
+            raise ValueError(
+                f"factorization must be 'incomplete' or 'complete', got {factorization!r}"
+            )
+        if fill_level and factorization == "complete":
+            raise ValueError("fill_level only applies to the incomplete factorization")
+        if factor_backend not in BACKENDS:
+            raise ValueError(
+                f"factor_backend must be one of {BACKENDS}, got {factor_backend!r}"
+            )
+        if parallel not in PARALLEL_MODES:
+            raise ValueError(
+                f"parallel must be one of {PARALLEL_MODES}, got {parallel!r}"
+            )
+        jobs = check_jobs(jobs)
+        profile = BuildProfile(
+            factor_backend=factor_backend, jobs=jobs, n_shards=n_shards
+        )
+        stages = profile.stages
+
+        started = time.perf_counter()
+        if cluster_labels is None:
+            from repro.core.index import _run_clusterer
+
+            cluster_labels = _run_clusterer(clusterer, graph.adjacency, jobs)
+            stages["clustering"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        permutation = build_permutation(
+            graph.adjacency, cluster_labels=cluster_labels
+        )
+        layout = plan_shards(permutation.cluster_slices, n_shards)
+        stages["permutation"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        w_permuted = permutation.permute_matrix(
+            ranking_matrix(graph.adjacency, alpha)
+        )
+        stages["ranking_matrix"] = time.perf_counter() - started
+
+        border_start = permutation.border_slice.start
+        n = permutation.n_nodes
+        started = time.perf_counter()
+        prepacked: list[list[PackedUnitLower]] | None = None
+        if factor_backend == "reference":
+            if factorization == "incomplete":
+                factors = incomplete_ldl(
+                    w_permuted, fill_level=fill_level, backend="reference"
+                )
+            else:
+                factors = complete_ldl(w_permuted, backend="reference")
+        else:
+            pat_indptr, pat_indices = symbolic_pattern(
+                w_permuted, factorization, fill_level
+            )
+            floor = global_pivot_floor(w_permuted)
+            payloads = _shard_payloads(
+                w_permuted, pat_indptr, pat_indices, layout, permutation,
+                floor, None,
+            )
+            results, mode = _run_shard_workers(payloads, jobs, parallel)
+            profile.shard_parallel_mode = mode
+            profile.shard_seconds = [float(r["seconds"]) for r in results]
+            interior_values = np.concatenate([r["values"] for r in results])
+            interior_scaled = np.concatenate([r["scaled"] for r in results])
+            interior_diag = np.concatenate([r["diag"] for r in results])
+            border_values, border_diag, border_perturb = factor_border_rows(
+                w_permuted, pat_indptr, pat_indices, border_start,
+                interior_diag, interior_scaled, floor,
+            )
+            data = np.concatenate([interior_values, border_values])
+            diag = np.concatenate([interior_diag, border_diag])
+            lower = sp.csr_matrix(
+                (data, pat_indices.copy(), pat_indptr.copy()), shape=(n, n)
+            )
+            factors = LDLFactors(
+                lower=lower,
+                upper=lower.T.tocsr(),
+                diag=diag,
+                pivot_perturbations=border_perturb
+                + sum(r["perturbations"] for r in results),
+            )
+            prepacked = [r["blocks"] for r in results]
+        stages["factorization"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        index = cls.from_factors(
+            permutation,
+            factors,
+            alpha=alpha,
+            factorization=factorization,
+            layout=layout,
+            graph=graph,
+            profile=profile,
+            prepacked_blocks=prepacked,
+        )
+        stages["shard_state"] = time.perf_counter() - started
+
+        strict_lower_w = (
+            w_permuted.nnz - int(np.count_nonzero(w_permuted.diagonal()))
+        ) // 2
+        profile.n_nodes = n
+        profile.n_clusters = permutation.n_clusters
+        profile.border_size = n - border_start
+        profile.w_nnz = int(w_permuted.nnz)
+        profile.factor_nnz = int(factors.nnz)
+        profile.fill_ratio = (
+            factors.nnz / strict_lower_w if strict_lower_w else 0.0
+        )
+        return index
+
+    @classmethod
+    def from_factors(
+        cls,
+        permutation: Permutation,
+        factors: LDLFactors,
+        alpha: float,
+        factorization: str,
+        layout: ShardLayout | None = None,
+        n_shards: int | None = None,
+        graph: KnnGraph | None = None,
+        cluster_means: np.ndarray | None = None,
+        cluster_members: tuple[np.ndarray, ...] | None = None,
+        profile: BuildProfile | None = None,
+        prepacked_blocks: list[list[PackedUnitLower]] | None = None,
+        use_superlu: bool | None = None,
+    ) -> "ShardedMogulIndex":
+        """Carve a sharded index out of an existing global factorization.
+
+        Either ``layout`` or ``n_shards`` selects the partition; cluster
+        means/members come from ``graph`` when not given directly.
+        """
+        if layout is None:
+            if n_shards is None:
+                raise ValueError("provide layout or n_shards")
+            layout = plan_shards(permutation.cluster_slices, n_shards)
+        lower = factors.lower.tocsr()
+        lower.sort_indices()
+        n = permutation.n_nodes
+        border_start = permutation.border_slice.start
+        indptr = np.asarray(lower.indptr, dtype=np.int64)
+
+        def row_slice(rs: int, re: int) -> sp.csr_matrix:
+            a, b = int(indptr[rs]), int(indptr[re])
+            return sp.csr_matrix(
+                (lower.data[a:b], lower.indices[a:b], indptr[rs : re + 1] - a),
+                shape=(re - rs, n),
+            )
+
+        border_rows = row_slice(border_start, n)
+        diag = np.asarray(factors.diag, dtype=np.float64)
+
+        if cluster_members is None or cluster_means is None:
+            if graph is None:
+                raise ValueError(
+                    "provide graph or (cluster_means, cluster_members)"
+                )
+            members_list: list[np.ndarray] = []
+            means = np.zeros(
+                (permutation.n_clusters, graph.features.shape[1]),
+                dtype=np.float64,
+            )
+            for cid, sl in enumerate(permutation.cluster_slices):
+                nodes = permutation.order[sl]
+                members_list.append(nodes)
+                if nodes.size:
+                    means[cid] = graph.features[nodes].mean(axis=0)
+            cluster_members = tuple(members_list)
+            cluster_means = means
+
+        states: list[ShardState] = []
+        carve_seconds: list[float] = []
+        for shard_id, (rs, re) in enumerate(layout.spans):
+            carve_started = time.perf_counter()
+            states.append(
+                _carve_shard_state(
+                    shard_id,
+                    layout,
+                    permutation,
+                    row_slice(rs, re),
+                    border_rows,
+                    diag,
+                    prepacked_blocks=(
+                        prepacked_blocks[shard_id]
+                        if prepacked_blocks is not None
+                        else None
+                    ),
+                    use_superlu=use_superlu,
+                )
+            )
+            carve_seconds.append(time.perf_counter() - carve_started)
+        if profile is not None:
+            profile.shard_seconds = [
+                base + carve
+                for base, carve in zip(
+                    profile.shard_seconds or [0.0] * len(carve_seconds),
+                    carve_seconds,
+                )
+            ]
+        return cls(
+            permutation=permutation,
+            alpha=alpha,
+            factorization=factorization,
+            layout=layout,
+            diag=diag,
+            border_rows=border_rows,
+            cluster_means=cluster_means,
+            cluster_members=cluster_members,
+            pivot_perturbations=factors.pivot_perturbations,
+            profile=profile,
+            shard_states=states,
+            shard_nnz=[state.nnz for state in states],
+            factors=factors,
+            use_superlu=use_superlu,
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist to the sharded directory layout (manifest + per-shard npz)."""
+        from repro.core.serialize import save_sharded_index
+
+        save_sharded_index(self, path)
+
+    @classmethod
+    def load(cls, path, lazy: bool = True) -> "ShardedMogulIndex":
+        """Restore an index saved with :meth:`save`."""
+        from repro.core.serialize import load_sharded_index
+
+        return load_sharded_index(path, lazy=lazy)
+
+
+# -- scatter-gather search -------------------------------------------------
+
+
+def scatter_gather_search(
+    index: ShardedMogulIndex,
+    queries,
+    k: int,
+    use_pruning: bool = True,
+    cluster_order: str = "index",
+) -> tuple[list[list[tuple[int, float]]], BatchStats, list[SearchStats]]:
+    """Answer a batch of queries across the shards, merging local top-k.
+
+    The router performs the seed-cluster forward substitutions (each on
+    its owning shard's packed blocks), the shared border solves and the
+    seed/border frontier; every shard then scans its own clusters with
+    bound pruning against the router's threshold and returns a local
+    frontier; the merge takes the global top-k under the canonical
+    (score desc, position asc) order.  Answers are identical to the
+    unsharded engine's — scores come from the same factor via the same
+    packed solves, pruning is conservative under any threshold schedule,
+    and the merge order matches the heap's.
+
+    Returns ``(answers, per-query stats, per-shard aggregate stats)``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if cluster_order not in ("index", "bound_desc"):
+        raise ValueError(f"unknown cluster_order {cluster_order!r}")
+    n_queries = len(queries)
+    n_shards = index.n_shards
+    if n_queries == 0:
+        return [], BatchStats(per_query=()), [SearchStats() for _ in range(n_shards)]
+    perm = index.permutation
+    n = perm.n_nodes
+    border = perm.border_slice
+    border_start = border.start
+    border_id = perm.border_cluster
+    diag = index.diag
+    layout = index.layout
+
+    q_mat = np.zeros((n, n_queries), dtype=np.float64)
+    seed_cluster_sets: list[set[int]] = []
+    for j, query in enumerate(queries):
+        positions = np.asarray(query.seed_positions, dtype=np.int64)
+        q_mat[positions, j] = np.asarray(query.seed_weights, dtype=np.float64)
+        seed_cluster_sets.append(
+            {int(perm.cluster_of_position[int(p)]) for p in positions}
+        )
+
+    stats = [
+        SearchStats(clusters_total=perm.n_clusters) for _ in range(n_queries)
+    ]
+
+    # Stage 1 — forward substitution: each seeded cluster on its owning
+    # shard (for the columns seeded there), then the shared border with
+    # one coupling SpMM over every interior column.
+    seeded_columns: dict[int, list[int]] = {}
+    for j, seeds in enumerate(seed_cluster_sets):
+        for cid in seeds:
+            if cid != border_id:
+                seeded_columns.setdefault(cid, []).append(j)
+    z_mat = np.zeros((n, n_queries), dtype=np.float64)
+    y_mat = np.zeros((n, n_queries), dtype=np.float64)
+    for cid in sorted(seeded_columns):
+        shard = index.shard_state(layout.shard_of_cluster(cid))
+        cols = np.asarray(seeded_columns[cid], dtype=np.int64)
+        shard.forward_seed_block(
+            cid - shard.first_cluster, q_mat, z_mat, y_mat, cols=cols
+        )
+    rhs = q_mat[border_start:] - _spmm(index.border_left, z_mat[:border_start])
+    z_border = index.border_block.solve_lower(rhs)
+    y_mat[border_start:] = z_border / diag[border_start:][:, None]
+
+    # Stage 2 — border scores for every query (shared block), then each
+    # seeded cluster's scores on its shard; build the router frontiers.
+    x_mat = np.zeros((n, n_queries), dtype=np.float64)
+    x_mat[border_start:] = index.border_block.solve_upper(y_mat[border_start:])
+    for cid in sorted(seeded_columns):
+        shard = index.shard_state(layout.shard_of_cluster(cid))
+        cols = np.asarray(seeded_columns[cid], dtype=np.int64)
+        shard.back_cluster(
+            cid - shard.first_cluster, y_mat, x_mat, border_start, cols=cols
+        )
+    router_accs = [
+        TopKAccumulator(k, n, query.exclude_positions) for query in queries
+    ]
+    scored_sets: list[set[int]] = []
+    for j, seeds in enumerate(seed_cluster_sets):
+        scored = seeds | {border_id}
+        scored_sets.append(scored)
+        column = x_mat[:, j]
+        for cid in sorted(scored):
+            if cid == border_id:
+                continue  # the border frontier is built batch-wide below
+            sl = perm.cluster_slices[cid]
+            stats[j].nodes_scored += sl.stop - sl.start
+            router_accs[j].offer_block(column, sl.start, sl.stop)
+        stats[j].nodes_scored += border.stop - border.start
+        stats[j].clusters_scored = len(scored)
+    _offer_border_batch(x_mat, border, router_accs, queries, k)
+    initial_thresholds = np.asarray(
+        [acc.threshold for acc in router_accs], dtype=np.float64
+    )
+
+    # Stage 3 — scatter: every shard scans its clusters against its own
+    # frontier, seeded at the router threshold (a valid lower bound on
+    # the global k-th best, so shard-local pruning stays exact).
+    x_border_abs = np.abs(x_mat[border_start:, :])
+    shard_answer_lists: list[list[list[tuple[int, float]]]] = []
+    shard_totals: list[SearchStats] = []
+    for shard_id in range(n_shards):
+        shard = index.shard_state(shard_id)
+        n_local = shard.n_clusters
+        first = shard.first_cluster
+        accs = [
+            TopKAccumulator(
+                k,
+                n,
+                query.exclude_positions,
+                initial_threshold=initial_thresholds[j],
+            )
+            for j, query in enumerate(queries)
+        ]
+        shard_stats = SearchStats(clusters_total=n_local * n_queries)
+        eligible = np.ones((n_local, n_queries), dtype=bool)
+        for j, scored in enumerate(scored_sets):
+            for cid in scored:
+                if cid != border_id and first <= cid < first + n_local:
+                    eligible[cid - first, j] = False
+        eligible_counts = eligible.sum(axis=0)
+        for j in range(n_queries):
+            stats[j].bound_evaluations += int(eligible_counts[j])
+        shard_stats.bound_evaluations = int(eligible_counts.sum())
+
+        pruned_clusters = np.zeros(n_queries, dtype=np.int64)
+        pruned_nodes = np.zeros(n_queries, dtype=np.int64)
+        scored_clusters = np.zeros(n_queries, dtype=np.int64)
+        scored_nodes = np.zeros(n_queries, dtype=np.int64)
+        sizes = shard.sizes
+
+        if not use_pruning:
+            scan = list(range(n_local))
+            estimates = None
+        else:
+            estimates = shard.bounds_table.estimate_all(x_border_abs)
+            thresholds = np.asarray([acc.threshold for acc in accs])
+            may_need = eligible & (estimates >= thresholds)
+            visit_mask = may_need.any(axis=1)
+            skipped = ~visit_mask
+            if np.any(skipped):
+                pruned_clusters += eligible[skipped].sum(axis=0)
+                pruned_nodes += sizes[skipped] @ eligible[skipped]
+            scan = [lc for lc in range(n_local) if visit_mask[lc]]
+            if cluster_order == "bound_desc":
+                scan.sort(key=lambda lc: -float(estimates[lc].max()))
+
+        for lc in scan:
+            row_eligible = eligible[lc]
+            sl = shard.cluster_slices[lc]
+            size = sl.stop - sl.start
+            if use_pruning:
+                pruned = row_eligible & (estimates[lc] < thresholds)
+                pruned_count = int(np.count_nonzero(pruned))
+                if pruned_count:
+                    pruned_clusters[pruned] += 1
+                    pruned_nodes[pruned] += size
+                if pruned_count == int(np.count_nonzero(row_eligible)):
+                    continue
+                active = np.flatnonzero(row_eligible & ~pruned)
+            else:
+                active = np.flatnonzero(row_eligible)
+                if active.size == 0:
+                    continue
+            cols = None if active.size == n_queries else active
+            shard.back_cluster(lc, y_mat, x_mat, border_start, cols=cols)
+            block_maxima = (
+                x_mat[sl.start : sl.stop, active].max(axis=0)
+                if size
+                else np.zeros(active.size)
+            )
+            for idx, j in enumerate(active):
+                scored_clusters[j] += 1
+                scored_nodes[j] += size
+                acc = accs[j]
+                if block_maxima[idx] >= acc.threshold:
+                    acc.offer_block(x_mat[:, j], sl.start, sl.stop)
+                    if use_pruning:
+                        thresholds[j] = acc.threshold
+
+        for j in range(n_queries):
+            stats[j].clusters_pruned += int(pruned_clusters[j])
+            stats[j].pruned_nodes += int(pruned_nodes[j])
+            stats[j].clusters_scored += int(scored_clusters[j])
+            stats[j].nodes_scored += int(scored_nodes[j])
+        shard_stats.clusters_pruned = int(pruned_clusters.sum())
+        shard_stats.pruned_nodes = int(pruned_nodes.sum())
+        shard_stats.clusters_scored = int(scored_clusters.sum())
+        shard_stats.nodes_scored = int(scored_nodes.sum())
+        shard_totals.append(shard_stats)
+        shard_answer_lists.append([acc.collect() for acc in accs])
+
+    # Gather — merge the disjoint frontiers under the canonical order.
+    answers = [
+        merge_answer_pairs(
+            [router_accs[j].collect()]
+            + [shard_answer_lists[s][j] for s in range(n_shards)],
+            k,
+        )
+        for j in range(n_queries)
+    ]
+    for j in range(n_queries):
+        stats[j].extra["n_shards"] = n_shards
+    return answers, BatchStats(per_query=tuple(stats)), shard_totals
+
+
+# -- the sharded engine ----------------------------------------------------
+
+
+class ShardedMogulRanker(Ranker):
+    """Top-k Manifold Ranking served by the sharded index.
+
+    Implements the same :class:`repro.core.engine.Engine` surface as
+    :class:`repro.core.MogulRanker` — single, multi-seed, batched and
+    out-of-sample queries — routing each through the scatter-gather
+    engine.  Answers are identical to the unsharded engine for every
+    entry point; ``last_shard_stats`` additionally exposes the per-shard
+    aggregate pruning counters of the most recent call.
+    """
+
+    def __init__(
+        self,
+        graph: KnnGraph,
+        n_shards: int,
+        alpha: float = DEFAULT_ALPHA,
+        exact: bool = False,
+        cluster_labels: np.ndarray | None = None,
+        clusterer: ClusterFn = louvain,
+        fill_level: int = 0,
+        use_pruning: bool = True,
+        cluster_order: str = "index",
+        jobs: int = 1,
+        factor_backend: str = DEFAULT_BACKEND,
+        parallel: str = "auto",
+    ):
+        super().__init__(graph, alpha)
+        index = ShardedMogulIndex.build(
+            graph,
+            n_shards,
+            alpha=self.alpha,
+            factorization="complete" if exact else "incomplete",
+            cluster_labels=cluster_labels,
+            clusterer=clusterer,
+            fill_level=0 if exact else fill_level,
+            jobs=jobs,
+            factor_backend=factor_backend,
+            parallel=parallel,
+        )
+        self._init_from_index(index, use_pruning, cluster_order)
+
+    @classmethod
+    def from_index(
+        cls,
+        graph: KnnGraph,
+        index: ShardedMogulIndex,
+        use_pruning: bool = True,
+        cluster_order: str = "index",
+    ) -> "ShardedMogulRanker":
+        """Attach a prebuilt (e.g. loaded) sharded index to a feature graph."""
+        if graph.n_nodes != index.n_nodes:
+            raise ValueError(
+                f"graph has {graph.n_nodes} nodes but the index covers "
+                f"{index.n_nodes}"
+            )
+        if graph.features.shape[1] != index.cluster_means.shape[1]:
+            raise ValueError(
+                f"graph features have dimension {graph.features.shape[1]} but "
+                f"the index was built on dimension {index.cluster_means.shape[1]}"
+            )
+        ranker = cls.__new__(cls)
+        Ranker.__init__(ranker, graph, index.alpha)
+        ranker._init_from_index(index, use_pruning, cluster_order)
+        return ranker
+
+    def _init_from_index(
+        self, index: ShardedMogulIndex, use_pruning: bool, cluster_order: str
+    ) -> None:
+        self.index = index
+        self.exact = index.factorization == "complete"
+        self.name = (
+            f"Sharded{'MogulE' if self.exact else 'Mogul'}"
+            f"(S={index.n_shards})"
+        )
+        self.use_pruning = use_pruning
+        self.cluster_order = cluster_order
+        #: :class:`SearchStats` of the most recent single-query call.
+        self.last_stats: SearchStats | None = None
+        #: :class:`BatchStats` of the most recent batched call.
+        self.last_batch_stats: BatchStats | None = None
+        #: Per-shard aggregate stats of the most recent engine call.
+        self.last_shard_stats: list[SearchStats] | None = None
+        #: Wall-clock breakdown of the most recent out-of-sample query.
+        self.last_breakdown: dict[str, float] | None = None
+
+    # -- scoring ----------------------------------------------------------
+
+    def scores(self, query: int) -> np.ndarray:
+        """Full (approximate) score vector via the whole-factor solve."""
+        self._check_query(query)
+        perm = self.index.permutation
+        q_vec = np.zeros(self.n_nodes, dtype=np.float64)
+        q_vec[perm.inverse[query]] = 1.0 - self.alpha
+        return perm.unpermute_vector(self.index.solve_full(q_vec))
+
+    def scores_for_vector(self, q: np.ndarray) -> np.ndarray:
+        """Approximate scores for an arbitrary query vector (one solve)."""
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (self.n_nodes,):
+            raise ValueError(f"q must have shape ({self.n_nodes},), got {q.shape}")
+        perm = self.index.permutation
+        q_permuted = (1.0 - self.alpha) * perm.permute_vector(q)
+        return perm.unpermute_vector(self.index.solve_full(q_permuted))
+
+    # -- engine entry points ----------------------------------------------
+
+    def top_k(self, query: int, k: int, exclude_query: bool = True) -> TopKResult:
+        """Bound-pruned top-k for an in-database query, scatter-gathered."""
+        k = check_positive_int(k, "k")
+        self._check_query(query)
+        position = int(self.index.permutation.inverse[query])
+        batch = [
+            BatchQuery(
+                seed_positions=np.asarray([position]),
+                seed_weights=np.asarray([1.0 - self.alpha]),
+                exclude_positions=(position,) if exclude_query else (),
+            )
+        ]
+        return self._run(batch, k, single=True)[0]
+
+    def top_k_multi(
+        self,
+        queries,
+        k: int,
+        weights: np.ndarray | None = None,
+        exclude_queries: bool = True,
+    ) -> TopKResult:
+        """Multi-seed top-k with the native scatter-gather search."""
+        k = check_positive_int(k, "k")
+        seeds = np.asarray(queries, dtype=np.int64)
+        if seeds.ndim != 1 or seeds.size == 0:
+            raise ValueError("queries must be a non-empty 1-D sequence of node ids")
+        if np.unique(seeds).size != seeds.size:
+            raise ValueError("queries contains duplicate node ids")
+        for node in seeds:
+            self._check_query(int(node))
+        weights = normalize_seed_weights(weights, seeds.size)
+        positions = self.index.permutation.inverse[seeds]
+        batch = [
+            BatchQuery(
+                seed_positions=positions,
+                seed_weights=(1.0 - self.alpha) * weights,
+                exclude_positions=tuple(int(p) for p in positions)
+                if exclude_queries
+                else (),
+            )
+        ]
+        return self._run(batch, k, single=True)[0]
+
+    def top_k_batch(
+        self, queries, k: int, exclude_query: bool = True
+    ) -> list[TopKResult]:
+        """Independent single-node queries in one scatter-gather pass."""
+        k = check_positive_int(k, "k")
+        nodes = self._check_batch_queries(queries)
+        perm = self.index.permutation
+        batch = []
+        for node in nodes:
+            position = int(perm.inverse[node])
+            batch.append(
+                BatchQuery(
+                    seed_positions=np.asarray([position]),
+                    seed_weights=np.asarray([1.0 - self.alpha]),
+                    exclude_positions=(position,) if exclude_query else (),
+                )
+            )
+        return self._run(batch, k)
+
+    def top_k_out_of_sample(
+        self, feature: np.ndarray, k: int, n_probe: int = 1
+    ) -> TopKResult:
+        """§4.6.2 out-of-sample top-k, routed through the owning shard(s)."""
+        k = check_positive_int(k, "k")
+        feature = np.asarray(feature, dtype=np.float64)
+        if feature.shape != (self.graph.features.shape[1],):
+            raise ValueError(
+                f"feature must have shape ({self.graph.features.shape[1]},), "
+                f"got {feature.shape}"
+            )
+        nn_timer = Timer()
+        with nn_timer:
+            seeds = build_query_seeds(
+                feature,
+                self.index.cluster_means,
+                self.index.cluster_members,
+                self.graph.features,
+                n_neighbors=self.graph.k,
+                sigma=self.graph.sigma,
+                n_probe=n_probe,
+            )
+        perm = self.index.permutation
+        search_timer = Timer()
+        with search_timer:
+            batch = [
+                BatchQuery(
+                    seed_positions=perm.inverse[seeds.nodes],
+                    seed_weights=(1.0 - self.alpha) * seeds.weights,
+                )
+            ]
+            result = self._run(batch, k, single=True)[0]
+        self.last_breakdown = {
+            "nearest_neighbor": nn_timer.elapsed,
+            "top_k": search_timer.elapsed,
+            "overall": nn_timer.elapsed + search_timer.elapsed,
+        }
+        return result
+
+    def top_k_out_of_sample_batch(
+        self, features: np.ndarray, k: int, n_probe: int = 1
+    ) -> list[TopKResult]:
+        """Batched out-of-sample queries through the scatter-gather engine."""
+        k = check_positive_int(k, "k")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.graph.features.shape[1]:
+            raise ValueError(
+                f"features must have shape (b, {self.graph.features.shape[1]}), "
+                f"got {features.shape}"
+            )
+        seeds_list = build_query_seeds_batch(
+            features,
+            self.index.cluster_means,
+            self.index.cluster_members,
+            self.graph.features,
+            n_neighbors=self.graph.k,
+            sigma=self.graph.sigma,
+            n_probe=n_probe,
+        )
+        perm = self.index.permutation
+        batch = [
+            BatchQuery(
+                seed_positions=perm.inverse[seeds.nodes],
+                seed_weights=(1.0 - self.alpha) * seeds.weights,
+            )
+            for seeds in seeds_list
+        ]
+        return self._run(batch, k)
+
+    # -- internals --------------------------------------------------------
+
+    def _run(
+        self, batch: list[BatchQuery], k: int, single: bool = False
+    ) -> list[TopKResult]:
+        answers, batch_stats, shard_stats = scatter_gather_search(
+            self.index,
+            batch,
+            k,
+            use_pruning=self.use_pruning,
+            cluster_order=self.cluster_order,
+        )
+        self.last_shard_stats = shard_stats
+        if single:
+            self.last_stats = batch_stats.per_query[0]
+        else:
+            self.last_batch_stats = batch_stats
+        order = self.index.permutation.order
+        results = []
+        for pairs in answers:
+            ids = np.asarray([order[pos] for pos, _ in pairs], dtype=np.int64)
+            scores = np.asarray([score for _, score in pairs], dtype=np.float64)
+            results.append(sorted_result(ids, scores))
+        return results

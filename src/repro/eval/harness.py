@@ -56,6 +56,34 @@ def iter_batches(queries: Sequence[int], batch_size: int):
         yield queries[start : start + batch_size]
 
 
+def time_engine_queries(
+    engine,
+    queries: Sequence[int],
+    k: int,
+    batch_size: int = 1,
+    warmup: int = 1,
+) -> float:
+    """Mean seconds/query for any :class:`repro.core.engine.Engine`.
+
+    The engine-level convenience over :func:`time_queries` /
+    :func:`time_query_batches`: ``batch_size == 1`` times sequential
+    ``top_k`` calls, larger values time ``top_k_batch`` slices — the two
+    regimes every engine (single-index or sharded) must serve with
+    identical answers, measured the same way so QPS numbers stay
+    comparable across engines and batch sizes.
+    """
+    if batch_size <= 1:
+        return time_queries(
+            lambda query: engine.top_k(int(query), k), queries, warmup=warmup
+        )
+    return time_query_batches(
+        lambda batch: engine.top_k_batch(batch, k),
+        queries,
+        batch_size,
+        warmup=warmup,
+    )
+
+
 def time_query_batches(
     run_batch: Callable[[list[int]], object],
     queries: Sequence[int],

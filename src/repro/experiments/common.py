@@ -50,6 +50,11 @@ class ExperimentConfig:
     factor_backend:
         LDL^T implementation for every index the experiments build
         (``"csr"`` or ``"reference"``, see :mod:`repro.linalg.ldl`).
+    n_shards:
+        Shard count for the Mogul engine the experiment drivers build
+        through :func:`build_engine` (1 = the single-index engine;
+        answers are identical for any value, so accuracy experiments
+        may shard freely for build speed).
     """
 
     scale: float = 1.0
@@ -64,12 +69,33 @@ class ExperimentConfig:
     mogul_k_values: tuple[int, ...] = (5, 10, 15, 20)
     jobs: int = 1
     factor_backend: str = "csr"
+    n_shards: int = 1
     extra: dict = field(default_factory=dict)
 
 
 def build_kwargs(config: ExperimentConfig) -> dict:
     """Build-time knobs forwarded to every Mogul index construction."""
     return {"jobs": config.jobs, "factor_backend": config.factor_backend}
+
+
+def build_engine(graph: KnnGraph, config: ExperimentConfig, **kwargs):
+    """Build the Mogul :class:`repro.core.engine.Engine` a config asks for.
+
+    Returns a :class:`repro.core.MogulRanker` (``n_shards == 1``) or a
+    :class:`repro.core.ShardedMogulRanker`; callers program against the
+    engine interface and never branch on the concrete type.  ``kwargs``
+    (``exact=``, ``alpha=`` overrides, ...) pass through to the
+    constructor.
+    """
+    kwargs.setdefault("alpha", config.alpha)
+    kwargs.update(build_kwargs(config))
+    if config.n_shards > 1:
+        from repro.core.sharded import ShardedMogulRanker
+
+        return ShardedMogulRanker(graph, config.n_shards, **kwargs)
+    from repro.core.index import MogulRanker
+
+    return MogulRanker(graph, **kwargs)
 
 
 def get_dataset(name: str, config: ExperimentConfig) -> Dataset:

@@ -18,9 +18,8 @@ import time
 import numpy as np
 
 from repro.baselines.emr import EMRRanker
-from repro.core.index import MogulRanker
 from repro.eval.harness import ExperimentTable, sample_queries, time_queries
-from repro.experiments.common import ExperimentConfig, build_kwargs
+from repro.experiments.common import ExperimentConfig, build_engine
 from repro.datasets.registry import load_dataset
 from repro.ranking.exact import ExactRanker
 from repro.ranking.iterative import IterativeRanker
@@ -55,7 +54,9 @@ def run(config: ExperimentConfig | None = None) -> list[ExperimentTable]:
         queries = sample_queries(graph.n_nodes, config.n_queries, seed=config.seed)
 
         started = time.perf_counter()
-        mogul = MogulRanker(graph, alpha=config.alpha, **build_kwargs(config))
+        # Built through the engine factory: config.n_shards > 1 runs the
+        # same sweep on the sharded engine (identical answers by design).
+        mogul = build_engine(graph, config)
         mogul_build = time.perf_counter() - started
         started = time.perf_counter()
         emr = EMRRanker(graph, alpha=config.alpha, n_anchors=config.emr_anchors)

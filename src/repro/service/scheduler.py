@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.search import SearchStats
+from repro.core.topk import truncate_result
 from repro.ranking.base import TopKResult
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
@@ -79,9 +80,11 @@ class MicroBatchScheduler:
     Parameters
     ----------
     ranker:
-        A :class:`repro.core.MogulRanker` (or anything with the same
-        ``top_k`` / ``top_k_batch`` / ``top_k_out_of_sample`` /
-        ``top_k_out_of_sample_batch`` surface).
+        Any :class:`repro.core.engine.Engine` — the single-index
+        :class:`repro.core.MogulRanker` or the sharded
+        :class:`repro.core.ShardedMogulRanker`; the scheduler only uses
+        the protocol surface (``top_k`` / ``top_k_batch`` /
+        ``top_k_out_of_sample`` / ``top_k_out_of_sample_batch``).
     max_batch_size:
         Upper bound on queries per engine dispatch.  1 disables
         coalescing entirely — the per-request baseline.
@@ -376,11 +379,5 @@ class MicroBatchScheduler:
 
 
 def _truncate(result: TopKResult, k: int) -> TopKResult:
-    """The top-k prefix of a top-K answer (K >= k).
-
-    Answers are sorted by (score desc, id asc) — a total order — so the
-    prefix equals the answer a direct ``top_k(k)`` call returns.
-    """
-    if len(result) <= k:
-        return result
-    return TopKResult(indices=result.indices[:k], scores=result.scores[:k])
+    """The top-k prefix of a top-K answer (see :mod:`repro.core.topk`)."""
+    return truncate_result(result, k)

@@ -281,11 +281,24 @@ class RetrievalServer:
                 "n_clusters": index.n_clusters,
                 "alpha": index.alpha,
                 "factorization": index.factorization,
-                "factor_nnz": int(index.factors.nnz),
+                "factor_nnz": int(index.factor_nnz),
             },
             "scheduler": self.scheduler.snapshot(),
             "engine_totals": self.metrics.snapshot()["engine"],
         }
+        layout = getattr(index, "layout", None)
+        if layout is not None:
+            # Sharded engine: surface the two-level hierarchy so /stats
+            # shows what the scatter-gather router is fanning out over.
+            payload["index"]["shards"] = {
+                "n_shards": index.n_shards,
+                "loaded": index.shards_loaded,
+                "border_size": index.border_size,
+                "spans": [list(span) for span in layout.spans],
+                "nnz": [
+                    index.shard_nnz(s) for s in range(index.n_shards)
+                ],
+            }
         if index.profile is not None:
             # Per-stage build cost and, for a loaded index, the measured
             # startup (load) time — the precompute side of the story.

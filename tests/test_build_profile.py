@@ -127,3 +127,33 @@ class TestPersistence:
             actual = loaded_ranker.top_k(query, 10)
             assert np.array_equal(expected.indices, actual.indices)
             assert np.array_equal(expected.scores, actual.scores)
+
+
+class TestCriticalPath:
+    def test_serial_decomposition(self):
+        from repro.core.profile import BuildProfile
+
+        profile = BuildProfile(
+            stages={"shared": 1.0, "factorization": 4.0},
+            shard_seconds=[1.0, 1.0, 1.0, 1.0],
+        )
+        assert profile.critical_path_seconds == pytest.approx(2.0)
+
+    def test_process_mode_returns_wall_clock(self):
+        from repro.core.profile import BuildProfile
+
+        # A process build already overlapped the shards: its stage total
+        # is the realized wall-clock, and per-worker times (possibly
+        # inflated by core time-sharing) must not be subtracted from it.
+        profile = BuildProfile(
+            stages={"factorization": 2.0},
+            shard_seconds=[1.8, 1.9, 1.8, 1.9],
+            shard_parallel_mode="process",
+        )
+        assert profile.critical_path_seconds == pytest.approx(2.0)
+
+    def test_unsharded_equals_total(self):
+        from repro.core.profile import BuildProfile
+
+        profile = BuildProfile(stages={"a": 1.0, "b": 2.0})
+        assert profile.critical_path_seconds == pytest.approx(3.0)

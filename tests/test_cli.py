@@ -330,3 +330,88 @@ class TestBuildJobsAndBackend:
                     "--factor-backend", "bogus", "--out", str(tmp_path / "x.npz"),
                 ]
             )
+
+
+class TestShardedCli:
+    @pytest.fixture(scope="class")
+    def flat_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-sharded") / "coil.idx.npz"
+        code = main(
+            ["build", "--dataset", "coil", "--scale", "0.2", "--out", str(path)]
+        )
+        assert code == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def sharded_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-sharded") / "coil.shards"
+        code = main(
+            [
+                "build", "--dataset", "coil", "--scale", "0.2",
+                "--shards", "2", "--jobs", "2", "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_build_writes_directory_layout(self, sharded_path):
+        assert (sharded_path / "manifest.json").is_file()
+        assert (sharded_path / "global.npz").is_file()
+        assert (sharded_path / "shard_0000.npz").is_file()
+        assert (sharded_path / "shard_0001.npz").is_file()
+
+    def test_info_prints_shard_layout(self, sharded_path, capsys):
+        code, out, _ = run_cli(capsys, "info", str(sharded_path))
+        assert code == 0
+        assert "shard layout:     2 shards" in out
+        assert "shard 0:" in out and "shard 1:" in out
+        assert "nnz=" in out
+
+    def test_info_degrades_on_legacy_npz(self, flat_path, capsys):
+        code, out, _ = run_cli(capsys, "info", str(flat_path))
+        assert code == 0
+        assert "1 shard (legacy single-file index)" in out
+
+    def test_info_verbose_degrades_on_sharded(self, sharded_path, capsys):
+        code, out, _ = run_cli(capsys, "info", "--verbose", str(sharded_path))
+        assert code == 0
+        assert "shard layout:" in out
+
+    def test_search_answers_match_flat_index(
+        self, flat_path, sharded_path, capsys
+    ):
+        import json as json_module
+
+        args = [
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "3", "--query", "17", "--batch", "-k", "5", "--json",
+        ]
+        code, flat_out, _ = run_cli(capsys, "search", str(flat_path), *args)
+        assert code == 0
+        code, sharded_out, _ = run_cli(
+            capsys, "search", str(sharded_path), *args
+        )
+        assert code == 0
+        flat_doc = json_module.loads(flat_out)
+        sharded_doc = json_module.loads(sharded_out)
+        assert len(flat_doc["results"]) == len(sharded_doc["results"])
+        for a, b in zip(flat_doc["results"], sharded_doc["results"]):
+            assert a["indices"] == b["indices"]
+            assert a["scores"] == b["scores"]
+
+    def test_search_single_on_sharded(self, sharded_path, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "search", str(sharded_path),
+            "--dataset", "coil", "--scale", "0.2",
+            "--query", "3", "-k", "4",
+        )
+        assert code == 0
+        assert out.count("node") >= 4
+
+    def test_info_on_directory_without_manifest(self, tmp_path, capsys):
+        bogus = tmp_path / "not-an-index"
+        bogus.mkdir()
+        code, _, err = run_cli(capsys, "info", str(bogus))
+        assert code == 2
+        assert "manifest" in err

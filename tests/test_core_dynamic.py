@@ -184,3 +184,63 @@ class TestPairRanking:
         )
         np.testing.assert_array_equal(result.indices, [3, 5, 9])
         np.testing.assert_allclose(result.scores, [0.5, 0.4, 0.4])
+
+
+class TestBatchedInterleaved:
+    """Batched answers must match sequential after any mutation burst.
+
+    Property-style sweep: random interleavings of inserts, deletes and
+    rebuilds, then `top_k_batch` over a mixed (indexed + pending) query
+    set, compared per-query against sequential `top_k` — on both the
+    single-index and the sharded base engine.
+    """
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_matches_sequential_after_mutations(self, n_shards, seed):
+        rng = np.random.default_rng(seed)
+        features, _ = three_cluster_features(per_cluster=30)
+        dynamic = DynamicMogulRanker(
+            features,
+            alpha=0.95,
+            auto_rebuild_fraction=None,
+            n_shards=n_shards,
+        )
+        live = set(range(dynamic.n_total))
+        for _ in range(25):
+            action = rng.random()
+            if action < 0.55:
+                base = features[int(rng.integers(0, features.shape[0]))]
+                new_id = dynamic.add(base + rng.normal(scale=0.05, size=8))
+                live.add(new_id)
+            elif action < 0.8 and len(live) > 10:
+                victim = int(rng.choice(sorted(live)))
+                dynamic.remove(victim)
+                live.discard(victim)
+            else:
+                dynamic.rebuild()
+        queries = rng.choice(sorted(live), size=12, replace=False)
+        batched = dynamic.top_k_batch(queries, 7)
+        for query, batch_answer in zip(queries, batched):
+            sequential = dynamic.top_k(int(query), 7)
+            np.testing.assert_array_equal(
+                batch_answer.indices, sequential.indices
+            )
+            np.testing.assert_array_equal(
+                batch_answer.scores, sequential.scores
+            )
+
+    def test_batch_rejects_tombstoned_query(self):
+        features, _ = three_cluster_features(per_cluster=20)
+        dynamic = DynamicMogulRanker(features, auto_rebuild_fraction=None)
+        dynamic.remove(3)
+        with pytest.raises(ValueError, match="removed"):
+            dynamic.top_k_batch([0, 3], 5)
+
+    def test_sharded_engine_exposed(self):
+        features, _ = three_cluster_features(per_cluster=20)
+        dynamic = DynamicMogulRanker(
+            features, auto_rebuild_fraction=None, n_shards=2
+        )
+        assert dynamic.engine.index.n_shards == 2
+        assert dynamic.top_k(0, 5).indices.shape[0] == 5

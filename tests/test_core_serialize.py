@@ -206,3 +206,59 @@ class TestValidation:
         narrow = build_knn_graph(bridged_graph.features[:, :3], k=4)
         with pytest.raises(ValueError, match="dimension"):
             MogulRanker.from_index(narrow, built_ranker.index)
+
+
+class TestMmapFallback:
+    """The mmap fast path must degrade *visibly*, never silently.
+
+    A compressed archive (or any archive whose members cannot be
+    memory-mapped) is read through the ordinary zip reader; the loader
+    records that on the profile's ``load_warnings`` so ``repro info`` and
+    ``/stats`` surface the degradation — and the loaded index must still
+    answer identically.
+    """
+
+    def test_compressed_archive_falls_back_with_warning(
+        self, built_ranker, tmp_path
+    ):
+        path = tmp_path / "compressed.npz"
+        save_index(built_ranker.index, path, compressed=True)
+        loaded = load_index(path)
+        assert loaded.profile is not None
+        assert loaded.profile.load_warnings
+        assert "memory-map fallback" in loaded.profile.load_warnings[0]
+        assert "lower_data" in loaded.profile.load_warnings[0]
+        restored = MogulRanker.from_index(built_ranker.graph, loaded)
+        for query in (0, 13, 55):
+            a = built_ranker.top_k(query, 6)
+            b = restored.top_k(query, 6)
+            np.testing.assert_array_equal(a.indices, b.indices)
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_uncompressed_archive_has_no_warning(self, built_ranker, tmp_path):
+        path = tmp_path / "plain.npz"
+        save_index(built_ranker.index, path)
+        loaded = load_index(path)
+        assert loaded.profile is not None
+        assert loaded.profile.load_warnings == []
+
+    def test_warning_survives_profile_roundtrip(self, built_ranker, tmp_path):
+        from repro.core.profile import BuildProfile
+
+        path = tmp_path / "compressed.npz"
+        save_index(built_ranker.index, path, compressed=True)
+        loaded = load_index(path)
+        clone = BuildProfile.from_json(loaded.profile.to_json())
+        assert clone.load_warnings == loaded.profile.load_warnings
+
+    def test_load_event_fields_not_persisted(self, built_ranker, tmp_path):
+        """Re-saving a loaded index must not replay old load warnings."""
+        first = tmp_path / "first.npz"
+        save_index(built_ranker.index, first, compressed=True)
+        loaded = load_index(first)
+        assert loaded.profile.load_warnings  # fallback happened
+        second = tmp_path / "second.npz"
+        save_index(loaded, second)  # uncompressed: mmap works
+        reloaded = load_index(second)
+        assert reloaded.profile.load_warnings == []
+        assert reloaded.profile.load_seconds is not None  # fresh measurement

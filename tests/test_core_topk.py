@@ -1,0 +1,68 @@
+"""Tests for the shared top-k ordering/merge utilities (repro.core.topk)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.topk import (
+    dedupe_ranked,
+    merge_answer_pairs,
+    rank_order,
+    sort_answer_pairs,
+    sorted_result,
+    truncate_result,
+)
+from repro.ranking.base import TopKResult
+
+
+class TestCanonicalOrder:
+    def test_score_desc_id_asc(self):
+        ids = np.asarray([5, 1, 9, 3])
+        scores = np.asarray([0.2, 0.9, 0.2, 0.9])
+        order = rank_order(ids, scores)
+        assert list(ids[order]) == [1, 3, 5, 9]
+
+    def test_sorted_result(self):
+        result = sorted_result([4, 2, 7], [0.1, 0.5, 0.5])
+        assert list(result.indices) == [2, 7, 4]
+        assert list(result.scores) == [0.5, 0.5, 0.1]
+
+    def test_sort_answer_pairs(self):
+        pairs = [(3, 0.5), (1, 0.5), (2, 0.9)]
+        assert sort_answer_pairs(pairs) == [(2, 0.9), (1, 0.5), (3, 0.5)]
+
+
+class TestMerge:
+    def test_merges_disjoint_lists(self):
+        merged = merge_answer_pairs(
+            [[(0, 0.9), (4, 0.1)], [(2, 0.5)], [(7, 0.9)]], 3
+        )
+        assert merged == [(0, 0.9), (7, 0.9), (2, 0.5)]
+
+    def test_short_inputs(self):
+        assert merge_answer_pairs([[], [(1, 0.3)]], 5) == [(1, 0.3)]
+        assert merge_answer_pairs([], 5) == []
+
+
+class TestTruncate:
+    def test_prefix(self):
+        result = TopKResult(
+            indices=np.asarray([1, 2, 3]), scores=np.asarray([0.9, 0.5, 0.1])
+        )
+        cut = truncate_result(result, 2)
+        assert list(cut.indices) == [1, 2]
+
+    def test_noop_when_short(self):
+        result = TopKResult(
+            indices=np.asarray([1]), scores=np.asarray([0.9])
+        )
+        assert truncate_result(result, 5) is result
+
+
+class TestDedupe:
+    def test_higher_score_wins(self):
+        result = dedupe_ranked(
+            np.asarray([3, 5, 3]), np.asarray([0.2, 0.4, 0.8])
+        )
+        assert list(result.indices) == [3, 5]
+        assert list(result.scores) == [0.8, 0.4]

@@ -205,3 +205,50 @@ class TestLoadGenerator:
             run_load_test(
                 port=background.port, total_requests=10, duration_seconds=1.0
             )
+
+
+class TestShardedServing:
+    """The HTTP service must serve a sharded engine transparently."""
+
+    @pytest.fixture(scope="class")
+    def sharded_ranker(self, bridged_graph):
+        from repro.core.sharded import ShardedMogulRanker
+
+        return ShardedMogulRanker(bridged_graph, 2)
+
+    @pytest.fixture(scope="class")
+    def sharded_background(self, sharded_ranker):
+        with BackgroundServer(
+            sharded_ranker, port=0, max_batch_size=16, max_wait_ms=1.0
+        ) as server:
+            yield server
+
+    @pytest.fixture()
+    def sharded_client(self, sharded_background):
+        with RetrievalClient(port=sharded_background.port) as connection:
+            yield connection
+
+    def test_search_matches_unsharded_engine(
+        self, sharded_client, ranker, sharded_ranker
+    ):
+        for query in (0, 7, 40):
+            served = sharded_client.search(query, k=6)
+            direct = ranker.top_k(query, 6)
+            assert served["indices"] == [int(i) for i in direct.indices]
+            np.testing.assert_allclose(
+                served["scores"], direct.scores, rtol=0, atol=0
+            )
+
+    def test_stats_expose_shard_layout(self, sharded_client, sharded_ranker):
+        stats = sharded_client.stats()
+        shards = stats["index"]["shards"]
+        assert shards["n_shards"] == 2
+        assert len(shards["spans"]) == 2
+        assert shards["border_size"] == sharded_ranker.index.border_size
+        assert stats["index"]["factor_nnz"] == sharded_ranker.index.factor_nnz
+
+    def test_search_oos_served(self, sharded_client, sharded_ranker):
+        feature = sharded_ranker.graph.features[3] + 0.01
+        served = sharded_client.search_out_of_sample(feature.tolist(), k=5)
+        direct = sharded_ranker.top_k_out_of_sample(feature, 5)
+        assert served["indices"] == [int(i) for i in direct.indices]
