@@ -31,6 +31,7 @@ from repro.core import (
     BatchStats,
     DynamicMogulRanker,
     Engine,
+    LiveEngine,
     MogulIndex,
     MogulRanker,
     ShardedMogulIndex,
@@ -60,6 +61,7 @@ __all__ = [
     "FMRRanker",
     "IterativeRanker",
     "KnnGraph",
+    "LiveEngine",
     "MogulIndex",
     "MogulRanker",
     "Ranker",

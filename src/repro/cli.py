@@ -13,6 +13,7 @@ without writing Python::
     python -m repro search coil.idx.npz --dataset coil --batch \
         --query 1 --query 2 --query 3 -k 10
     python -m repro serve coil.shards --dataset coil --port 8080
+    python -m repro serve coil.idx.npz --dataset coil --mutable
     python -m repro loadtest --port 8080 --concurrency 32 --requests 512
 
 Feature sources: either a named synthetic dataset (``--dataset`` +
@@ -42,6 +43,21 @@ from repro.core.sharded import ShardedMogulIndex
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.graph.build import build_knn_graph
 from repro.linalg.ldl import BACKENDS, DEFAULT_BACKEND
+
+
+def _nonnegative_float(text: str) -> float:
+    """argparse type for flags that must be a float >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value}"
+        )
+    return value
 
 
 def _positive_int(text: str) -> int:
@@ -196,6 +212,24 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="LRU result-cache entries (default 1024; 0 disables)",
+    )
+    serve.add_argument(
+        "--mutable",
+        action="store_true",
+        help="accept writes: POST /insert, /delete and /rebuild route "
+        "through an epoch-versioned LiveEngine that rebuilds in the "
+        "background and atomically swaps the fresh index in; mutable "
+        "state (pending buffer + tombstones + epoch) persists next to "
+        "the index artifact across restarts",
+    )
+    serve.add_argument(
+        "--auto-rebuild-fraction",
+        type=_nonnegative_float,
+        default=0.2,
+        metavar="F",
+        help="trigger a background rebuild when the pending buffer "
+        "outgrows this fraction of the indexed database (default 0.2; "
+        "0 disables automatic rebuilds — only POST /rebuild rebuilds)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -353,6 +387,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(f"loaded in:        {profile.load_seconds:.3f}s")
             for warning in profile.load_warnings:
                 print(f"load warning:     {warning}")
+    from repro.core.serialize import load_live_state
+
+    state = load_live_state(args.index)
+    if state is not None:
+        # A mutable deployment's write-ahead sidecar: show the mutation
+        # totals next to the (static) artifact they apply to.
+        print("live state:")
+        print(f"  epoch:          {state.epoch}")
+        print(f"  pending:        {state.pending_ids.shape[0]}")
+        print(f"  tombstones:     {state.tombstones.shape[0]}")
+        print(
+            f"  mutations:      {state.inserts} inserts / "
+            f"{state.deletes} deletes / {state.rebuilds} rebuilds"
+        )
+        print(f"  live nodes:     {state.n_total - state.tombstones.shape[0]}")
     return 0
 
 
@@ -449,15 +498,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     index = load_any_index(args.index)
     features = _load_features(args)
     graph = build_knn_graph(features, k=args.knn)
-    ranker = engine_from_index(graph, index)
-    run_server(
-        ranker,
-        host=args.host,
-        port=args.port,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        cache_capacity=args.cache_capacity,
+    ranker = engine_from_index(
+        graph,
+        index,
+        live=args.mutable,
+        live_kwargs=dict(
+            k=args.knn,
+            auto_rebuild_fraction=args.auto_rebuild_fraction or None,
+        ),
     )
+    if not args.mutable:
+        run_server(
+            ranker,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_capacity=args.cache_capacity,
+        )
+        return 0
+
+    from repro.core.serialize import load_live_state, save_live_state
+
+    state = load_live_state(args.index)
+    if state is not None:
+        ranker.restore_mutable_state(state)
+        print(
+            f"restored live state: epoch {state.epoch}, "
+            f"{state.pending_ids.shape[0]} pending, "
+            f"{state.tombstones.shape[0]} tombstones"
+        )
+    try:
+        run_server(
+            ranker,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_capacity=args.cache_capacity,
+        )
+    finally:
+        # Let an in-flight background rebuild settle, then persist the
+        # write-ahead state next to the (unchanged) index artifact.
+        ranker.close()
+        sidecar = save_live_state(args.index, ranker.mutable_state())
+        print(f"saved live state -> {sidecar}")
     return 0
 
 

@@ -22,17 +22,21 @@ MogulE (§4.6.1); :meth:`MogulRanker.top_k_out_of_sample` implements §4.6.2.
 from repro.core.batch import BatchQuery, BatchStats, top_k_batch_search
 from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_bounds
 from repro.core.diagnostics import IndexReport, diagnose_index, expected_prune_rate
-from repro.core.dynamic import DynamicMogulRanker
+from repro.core.dynamic import DynamicMogulRanker, EngineEpoch, LiveSnapshot
 from repro.core.engine import Engine, engine_from_index
 from repro.core.index import MogulIndex, MogulRanker
+from repro.core.live import LiveEngine, LiveState, RebuildTicket
 from repro.core.permutation import Permutation, build_permutation
 from repro.core.profile import BuildProfile
 from repro.core.search import SearchStats, TopKAccumulator, top_k_search
 from repro.core.serialize import (
+    live_state_path,
     load_any_index,
     load_index,
+    load_live_state,
     load_sharded_index,
     save_index,
+    save_live_state,
     save_sharded_index,
 )
 from repro.core.sharded import (
@@ -53,10 +57,15 @@ __all__ = [
     "ClusterSolver",
     "DynamicMogulRanker",
     "Engine",
+    "EngineEpoch",
     "IndexReport",
+    "LiveEngine",
+    "LiveSnapshot",
+    "LiveState",
     "MogulIndex",
     "MogulRanker",
     "Permutation",
+    "RebuildTicket",
     "SearchStats",
     "ShardLayout",
     "ShardedMogulIndex",
@@ -66,12 +75,15 @@ __all__ = [
     "diagnose_index",
     "engine_from_index",
     "expected_prune_rate",
+    "live_state_path",
     "load_any_index",
     "load_index",
+    "load_live_state",
     "load_sharded_index",
     "plan_shards",
     "precompute_cluster_bounds",
     "save_index",
+    "save_live_state",
     "save_sharded_index",
     "scatter_gather_search",
     "top_k_batch_search",

@@ -29,21 +29,82 @@ The estimate for pending points is an approximation (the paper's §4.6.2
 argument): tests bound its error against a full rebuild, and the
 ``pending_penalty`` factor (default 1.0 = off) lets deployments shade
 buffered points' scores to favour fully indexed data.
+
+Epoch-versioned state
+---------------------
+All base-index state lives in one immutable :class:`EngineEpoch` value
+(graph + engine + the global-id mapping) and every query entry point
+captures one :class:`LiveSnapshot` — the epoch plus the pending buffer
+and tombstone set — *once*, then answers entirely against it.  A query
+therefore always describes a single consistent database state, which is
+what makes the lock-free concurrent serving layer
+(:class:`repro.core.live.LiveEngine`) possible: a background rebuild
+publishes a fresh epoch with one reference swap while in-flight queries
+keep draining against the epoch they started on.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.core.batch import BatchStats
 from repro.core.index import MogulRanker
+from repro.core.search import SearchStats
 from repro.core.topk import dedupe_ranked, truncate_result
 from repro.graph.adjacency import KnnGraph
 from repro.graph.build import build_knn_graph
 from repro.graph.knn import knn_search
 from repro.ranking.base import DEFAULT_ALPHA, TopKResult
 from repro.utils.validation import check_alpha, check_positive_int
+
+
+@dataclass(frozen=True, eq=False)
+class EngineEpoch:
+    """One immutable generation of the base index.
+
+    Everything a query needs from the indexed side of the database:
+    the feature graph, the engine answering against it, and the mapping
+    between index-local rows and stable global ids.  Instances are never
+    mutated — a rebuild constructs a new one and swaps the reference.
+    """
+
+    #: Generation counter: 0 for the initial build, +1 per rebuild.
+    number: int
+    graph: KnnGraph
+    #: The base :class:`repro.core.engine.Engine` (single or sharded).
+    ranker: object
+    #: Global id served by each index-local row, in index order.
+    indexed_ids: np.ndarray
+    #: Inverse of ``indexed_ids``: global id -> index-local row.
+    local_by_global: dict
+
+    @property
+    def index(self):
+        return self.ranker.index
+
+    @property
+    def n_indexed(self) -> int:
+        return int(self.indexed_ids.shape[0])
+
+
+@dataclass(frozen=True, eq=False)
+class LiveSnapshot:
+    """What one query run sees: a single epoch plus the write buffer.
+
+    Captured once at query entry (under the mutation lock in
+    :class:`repro.core.live.LiveEngine`); the whole answer is computed
+    from these values, so concurrent mutations can never produce a torn
+    read mixing two database states.
+    """
+
+    epoch: EngineEpoch
+    pending: tuple
+    tombstones: frozenset
+    n_total: int
 
 
 class DynamicMogulRanker:
@@ -79,6 +140,9 @@ class DynamicMogulRanker:
     jobs:
         Worker budget forwarded to the base engine's builds (shard-
         parallel factorization for ``n_shards > 1``).
+    fill_level:
+        ILU(p)-style fill budget replayed by every (re)build (0 = the
+        paper's ICF).
     """
 
     def __init__(
@@ -91,8 +155,37 @@ class DynamicMogulRanker:
         pending_penalty: float = 1.0,
         n_shards: int = 1,
         jobs: int = 1,
+        fill_level: int = 0,
     ):
         features = np.asarray(features, dtype=np.float64)
+        self._init_params(
+            features,
+            alpha=alpha,
+            k=k,
+            exact=exact,
+            auto_rebuild_fraction=auto_rebuild_fraction,
+            pending_penalty=pending_penalty,
+            n_shards=n_shards,
+            jobs=jobs,
+            fill_level=fill_level,
+        )
+        self._epoch = self._build_epoch(
+            np.arange(features.shape[0], dtype=np.int64), number=0
+        )
+
+    def _init_params(
+        self,
+        features: np.ndarray,
+        alpha: float,
+        k: int,
+        exact: bool,
+        auto_rebuild_fraction: float | None,
+        pending_penalty: float,
+        n_shards: int,
+        jobs: int,
+        fill_level: int = 0,
+    ) -> None:
+        """Validate parameters and set up the mutable (non-epoch) state."""
         if features.ndim != 2 or features.shape[0] < 2:
             raise ValueError(
                 f"features must be a 2-D matrix with at least 2 rows, "
@@ -121,12 +214,22 @@ class DynamicMogulRanker:
         self._invalidation_listeners: list[Callable[[], None]] = []
         #: Global id -> feature, append-only.
         self._features: list[np.ndarray] = [row for row in features]
-        self._tombstones: set[int] = set()
-        #: Global ids currently served by the base index, in index order.
-        self._indexed_ids = np.arange(features.shape[0], dtype=np.int64)
-        self._pending_ids: list[int] = []
+        #: Copy-on-write: mutations publish a *new* frozenset/tuple, so a
+        #: query snapshot is three reference reads — never an O(buffer)
+        #: copy under the mutation lock.
+        self._tombstones: frozenset[int] = frozenset()
+        self._pending_ids: tuple[int, ...] = ()
         self._rebuilds = 0
-        self._build_base()
+        #: Build/search configuration replayed by every rebuild (so a
+        #: rebuilt epoch is the same kind of index as the original).
+        self.fill_level = fill_level
+        self.use_pruning = True
+        self.use_sparsity = True
+        self.cluster_order = "index"
+        #: Stats of the most recent single / batched query (the
+        #: :class:`repro.core.engine.Engine` protocol surface).
+        self.last_stats: SearchStats | None = None
+        self.last_batch_stats: BatchStats | None = None
 
     # -- sizes -----------------------------------------------------------
 
@@ -134,6 +237,11 @@ class DynamicMogulRanker:
     def n_total(self) -> int:
         """All ids ever created (including tombstoned ones)."""
         return len(self._features)
+
+    @property
+    def n_nodes(self) -> int:
+        """Engine-protocol alias: the addressable id range is [0, n_total)."""
+        return self.n_total
 
     @property
     def n_live(self) -> int:
@@ -148,12 +256,37 @@ class DynamicMogulRanker:
     @property
     def n_indexed(self) -> int:
         """Points inside the base index."""
-        return int(self._indexed_ids.shape[0])
+        return self._epoch.n_indexed
 
     @property
     def rebuild_count(self) -> int:
         """Number of rebuilds performed (auto + manual)."""
         return self._rebuilds
+
+    @property
+    def epoch(self) -> int:
+        """Generation counter of the currently served base index."""
+        return self._epoch.number
+
+    @property
+    def name(self) -> str:
+        """Human-readable method name (Engine protocol)."""
+        return f"Dynamic({self._epoch.ranker.name})"
+
+    @property
+    def graph(self) -> KnnGraph:
+        """The current epoch's feature graph (Engine protocol)."""
+        return self._epoch.graph
+
+    @property
+    def index(self):
+        """The current epoch's index artifact."""
+        return self._epoch.ranker.index
+
+    @property
+    def engine(self):
+        """The base :class:`repro.core.engine.Engine` answering queries."""
+        return self._epoch.ranker
 
     # -- mutation ---------------------------------------------------------
 
@@ -179,21 +312,28 @@ class DynamicMogulRanker:
         automatic rebuild when the buffer outgrows
         ``auto_rebuild_fraction``.
         """
+        feature = self._check_feature(feature)
+        new_id = len(self._features)
+        self._features.append(feature)
+        self._pending_ids = self._pending_ids + (new_id,)
+        self._notify_invalidation()
+        if self._auto_rebuild_due():
+            self.rebuild()
+        return new_id
+
+    def _check_feature(self, feature: np.ndarray) -> np.ndarray:
         feature = np.asarray(feature, dtype=np.float64)
         if feature.shape != (self._dim,):
             raise ValueError(
                 f"feature must have shape ({self._dim},), got {feature.shape}"
             )
-        new_id = len(self._features)
-        self._features.append(feature)
-        self._pending_ids.append(new_id)
-        self._notify_invalidation()
-        if (
+        return feature
+
+    def _auto_rebuild_due(self) -> bool:
+        return (
             self.auto_rebuild_fraction is not None
             and self.n_pending > self.auto_rebuild_fraction * max(1, self.n_indexed)
-        ):
-            self.rebuild()
-        return new_id
+        )
 
     def remove(self, node: int) -> None:
         """Tombstone a point: it is never returned as an answer again.
@@ -205,25 +345,49 @@ class DynamicMogulRanker:
             raise ValueError(f"node {node} does not exist")
         if node in self._tombstones:
             raise ValueError(f"node {node} is already removed")
-        self._tombstones.add(node)
+        self._tombstones = self._tombstones | {node}
+        if node in self._pending_ids:
+            # A buffered point that dies before ever being indexed has
+            # nothing left to contribute — drop it from the buffer.
+            self._pending_ids = tuple(
+                gid for gid in self._pending_ids if gid != node
+            )
         self._notify_invalidation()
+
+    def _live_ids(self) -> np.ndarray:
+        """Every non-tombstoned global id, ascending."""
+        return np.asarray(
+            [gid for gid in range(self.n_total) if gid not in self._tombstones],
+            dtype=np.int64,
+        )
 
     def rebuild(self) -> None:
         """Fold pending points and tombstones into a fresh index (O(n))."""
-        live = [
-            gid
-            for gid in range(self.n_total)
-            if gid not in self._tombstones
-        ]
-        if len(live) < 2:
+        live = self._live_ids()
+        if live.shape[0] < 2:
             raise ValueError("cannot rebuild an index with fewer than 2 live points")
-        self._indexed_ids = np.asarray(live, dtype=np.int64)
-        self._pending_ids = []
-        self._build_base()
+        self._epoch = self._build_epoch(live, number=self._epoch.number + 1)
+        self._pending_ids = ()
         self._rebuilds += 1
         self._notify_invalidation()
 
     # -- queries ----------------------------------------------------------
+
+    def _snapshot(self) -> LiveSnapshot:
+        """Capture one consistent view of the database for a query run.
+
+        The base class reads plain attributes (single-threaded use);
+        :class:`repro.core.live.LiveEngine` overrides this to take its
+        mutation lock, which is the *only* synchronization queries need.
+        The buffer and tombstone values are copy-on-write immutables, so
+        this is three reference reads — O(1) regardless of buffer size.
+        """
+        return LiveSnapshot(
+            epoch=self._epoch,
+            pending=self._pending_ids,
+            tombstones=self._tombstones,
+            n_total=len(self._features),
+        )
 
     def top_k(self, query: int, k: int, exclude_query: bool = True) -> TopKResult:
         """Top-k live points for a query id (indexed or pending).
@@ -233,23 +397,23 @@ class DynamicMogulRanker:
         compete for answers with their He-et-al. estimates.
         """
         k = check_positive_int(k, "k")
-        if not 0 <= query < self.n_total:
-            raise ValueError(f"query {query} does not exist")
-        if query in self._tombstones:
-            raise ValueError(f"query {query} was removed")
-        local = self._local_of_global(query)
-        overfetch = k + 1 + len(self._tombstones)
+        snap = self._snapshot()
+        self._check_query_id(snap, query)
+        ranker = snap.epoch.ranker
+        local = snap.epoch.local_by_global.get(int(query))
+        overfetch = k + 1 + len(snap.tombstones)
         if local is not None:
-            base = self._ranker.top_k(int(local), overfetch, exclude_query=False)
-            field_fn = lambda: self._ranker.scores(int(local))  # noqa: E731
+            base = ranker.top_k(int(local), overfetch, exclude_query=False)
+            field_fn = lambda: ranker.scores(int(local))  # noqa: E731
         else:
             feature = self._features[query]
-            base = self._ranker.top_k_out_of_sample(feature, overfetch)
-            field_fn = lambda: self._score_field(feature)  # noqa: E731
-        indices, scores = self._merge_pending(base, field_fn)
+            base = ranker.top_k_out_of_sample(feature, overfetch)
+            field_fn = lambda: self._score_field(snap, feature)  # noqa: E731
+        indices, scores = self._merge_pending(snap, base, field_fn)
         exclude = {query} if exclude_query else set()
-        exclude |= self._tombstones
+        exclude |= snap.tombstones
         keep = [i for i, gid in enumerate(indices) if gid not in exclude]
+        self.last_stats = ranker.last_stats
         return _take_top(indices[keep], scores[keep], k)
 
     def top_k_batch(
@@ -264,97 +428,169 @@ class DynamicMogulRanker:
         exactly as in :meth:`top_k`.
         """
         k = check_positive_int(k, "k")
+        snap = self._snapshot()
+        ranker = snap.epoch.ranker
         queries = [int(q) for q in queries]
         for query in queries:
-            if not 0 <= query < self.n_total:
-                raise ValueError(f"query {query} does not exist")
-            if query in self._tombstones:
-                raise ValueError(f"query {query} was removed")
-        overfetch = k + 1 + len(self._tombstones)
+            self._check_query_id(snap, query)
+        overfetch = k + 1 + len(snap.tombstones)
         indexed_rows = [
-            (i, self._local_of_global(q)) for i, q in enumerate(queries)
+            (i, snap.epoch.local_by_global.get(q)) for i, q in enumerate(queries)
         ]
         indexed = [(i, local) for i, local in indexed_rows if local is not None]
         pending = [i for i, local in indexed_rows if local is None]
         base_results: list[TopKResult | None] = [None] * len(queries)
+        per_query_stats: list[SearchStats] = [SearchStats()] * len(queries)
         if indexed:
-            batch = self._ranker.top_k_batch(
+            batch = ranker.top_k_batch(
                 np.asarray([local for _, local in indexed], dtype=np.int64),
                 overfetch,
                 exclude_query=False,
             )
-            for (i, _), result in zip(indexed, batch):
+            stats = _read_batch_stats(ranker, len(batch))
+            for (i, _), result, stat in zip(indexed, batch, stats):
                 base_results[i] = result
+                per_query_stats[i] = stat
         if pending:
             feats = np.asarray([self._features[queries[i]] for i in pending])
-            batch = self._ranker.top_k_out_of_sample_batch(feats, overfetch)
-            for i, result in zip(pending, batch):
+            batch = ranker.top_k_out_of_sample_batch(feats, overfetch)
+            stats = _read_batch_stats(ranker, len(batch))
+            for i, result, stat in zip(pending, batch, stats):
                 base_results[i] = result
+                per_query_stats[i] = stat
         answers: list[TopKResult] = []
         for i, query in enumerate(queries):
             local = indexed_rows[i][1]
             if local is not None:
-                field_fn = lambda local=local: self._ranker.scores(int(local))  # noqa: E731
+                field_fn = lambda local=local: ranker.scores(int(local))  # noqa: E731
             else:
                 feature = self._features[query]
-                field_fn = lambda feature=feature: self._score_field(feature)  # noqa: E731
-            indices, scores = self._merge_pending(base_results[i], field_fn)
+                field_fn = lambda feature=feature: self._score_field(  # noqa: E731
+                    snap, feature
+                )
+            indices, scores = self._merge_pending(snap, base_results[i], field_fn)
             exclude = {query} if exclude_query else set()
-            exclude |= self._tombstones
+            exclude |= snap.tombstones
             keep = [j for j, gid in enumerate(indices) if gid not in exclude]
             answers.append(_take_top(indices[keep], scores[keep], k))
+        self.last_batch_stats = BatchStats(per_query=tuple(per_query_stats))
         return answers
 
-    def top_k_out_of_sample(self, feature: np.ndarray, k: int) -> TopKResult:
+    def top_k_out_of_sample(
+        self, feature: np.ndarray, k: int, n_probe: int = 1
+    ) -> TopKResult:
         """Top-k live points for a feature vector outside the database."""
         k = check_positive_int(k, "k")
-        feature = np.asarray(feature, dtype=np.float64)
-        if feature.shape != (self._dim,):
-            raise ValueError(
-                f"feature must have shape ({self._dim},), got {feature.shape}"
-            )
-        overfetch = k + len(self._tombstones)
-        base = self._ranker.top_k_out_of_sample(feature, overfetch)
+        feature = self._check_feature(feature)
+        snap = self._snapshot()
+        ranker = snap.epoch.ranker
+        overfetch = k + len(snap.tombstones)
+        base = ranker.top_k_out_of_sample(feature, overfetch, n_probe=n_probe)
         indices, scores = self._merge_pending(
-            base, lambda: self._score_field(feature)
+            snap, base, lambda: self._score_field(snap, feature)
         )
-        keep = [i for i, gid in enumerate(indices) if gid not in self._tombstones]
+        keep = [i for i, gid in enumerate(indices) if gid not in snap.tombstones]
+        self.last_stats = ranker.last_stats
         return _take_top(indices[keep], scores[keep], k)
+
+    def top_k_out_of_sample_batch(
+        self, features: np.ndarray, k: int, n_probe: int = 1
+    ) -> list[TopKResult]:
+        """Batched out-of-sample queries; identical to the sequential path."""
+        k = check_positive_int(k, "k")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._dim:
+            raise ValueError(
+                f"features must have shape (b, {self._dim}), "
+                f"got {features.shape}"
+            )
+        snap = self._snapshot()
+        ranker = snap.epoch.ranker
+        overfetch = k + len(snap.tombstones)
+        base_results = ranker.top_k_out_of_sample_batch(
+            features, overfetch, n_probe=n_probe
+        )
+        per_query_stats = _read_batch_stats(ranker, len(base_results))
+        answers: list[TopKResult] = []
+        for row in range(features.shape[0]):
+            feature = features[row]
+            indices, scores = self._merge_pending(
+                snap,
+                base_results[row],
+                lambda feature=feature: self._score_field(snap, feature),
+            )
+            keep = [
+                i for i, gid in enumerate(indices) if gid not in snap.tombstones
+            ]
+            answers.append(_take_top(indices[keep], scores[keep], k))
+        self.last_batch_stats = BatchStats(per_query=per_query_stats)
+        return answers
 
     # -- internals --------------------------------------------------------
 
-    def _build_base(self) -> None:
-        features = np.asarray([self._features[g] for g in self._indexed_ids])
-        self._graph: KnnGraph = build_knn_graph(features, k=self.k)
+    def _check_query_id(self, snap: LiveSnapshot, query: int) -> None:
+        if not 0 <= query < snap.n_total:
+            raise ValueError(f"query {query} does not exist")
+        if query in snap.tombstones:
+            raise ValueError(f"query {query} was removed")
+
+    def _build_epoch(self, indexed_ids: np.ndarray, number: int) -> EngineEpoch:
+        """Build a fresh base index over ``indexed_ids`` (pure function).
+
+        Both the blocking and the background rebuild paths call exactly
+        this — which is what makes them bitwise identical for the same
+        id snapshot.
+        """
+        features = np.asarray([self._features[g] for g in indexed_ids])
+        graph = build_knn_graph(features, k=self.k)
         if self.n_shards > 1:
             from repro.core.sharded import ShardedMogulRanker
 
-            self._ranker = ShardedMogulRanker(
-                self._graph,
+            ranker = ShardedMogulRanker(
+                graph,
                 self.n_shards,
                 alpha=self.alpha,
                 exact=self.exact,
+                fill_level=self.fill_level,
+                use_pruning=self.use_pruning,
+                cluster_order=self.cluster_order,
                 jobs=self.jobs,
             )
         else:
-            self._ranker = MogulRanker(
-                self._graph, alpha=self.alpha, exact=self.exact
+            ranker = MogulRanker(
+                graph,
+                alpha=self.alpha,
+                exact=self.exact,
+                fill_level=self.fill_level,
+                use_pruning=self.use_pruning,
+                use_sparsity=self.use_sparsity,
+                cluster_order=self.cluster_order,
             )
-        self._index = self._ranker.index
-        self._local_by_global = {
-            int(gid): local for local, gid in enumerate(self._indexed_ids)
+        local_by_global = {
+            int(gid): local for local, gid in enumerate(indexed_ids)
         }
+        return EngineEpoch(
+            number=number,
+            graph=graph,
+            ranker=ranker,
+            indexed_ids=np.asarray(indexed_ids, dtype=np.int64),
+            local_by_global=local_by_global,
+        )
 
-    @property
-    def engine(self):
-        """The base :class:`repro.core.engine.Engine` answering queries."""
-        return self._ranker
-
-    def _local_of_global(self, gid: int) -> int | None:
-        return self._local_by_global.get(int(gid))
+    @classmethod
+    def _adopted_epoch(cls, engine) -> EngineEpoch:
+        """Epoch 0 wrapped around an existing (e.g. loaded) base engine."""
+        n = engine.graph.n_nodes
+        return EngineEpoch(
+            number=0,
+            graph=engine.graph,
+            ranker=engine,
+            indexed_ids=np.arange(n, dtype=np.int64),
+            local_by_global={i: i for i in range(n)},
+        )
 
     def _merge_pending(
-        self, base: TopKResult, field_fn
+        self, snap: LiveSnapshot, base: TopKResult, field_fn
     ) -> tuple[np.ndarray, np.ndarray]:
         """Translate base answers to global ids and splice in pending points.
 
@@ -364,17 +600,18 @@ class DynamicMogulRanker:
         ``field_fn`` produces that field lazily (it costs one solve, paid
         only when the buffer is non-empty).
         """
-        base_global = self._indexed_ids[base.indices]
-        if not self._pending_ids:
+        epoch = snap.epoch
+        base_global = epoch.indexed_ids[base.indices]
+        if not snap.pending:
             return base_global, base.scores.copy()
         field = field_fn()
-        pending = np.asarray(self._pending_ids, dtype=np.int64)
+        pending = np.asarray(snap.pending, dtype=np.int64)
         pending_features = np.asarray([self._features[g] for g in pending])
-        count = min(self.k, self.n_indexed)
+        count = min(self.k, epoch.n_indexed)
         idx, dist = knn_search(
-            self._graph.features, count, queries=pending_features
+            epoch.graph.features, count, queries=pending_features
         )
-        sigma = self._graph.sigma
+        sigma = epoch.graph.sigma
         estimates = np.empty(pending.shape[0], dtype=np.float64)
         for row in range(pending.shape[0]):
             if sigma > 0:
@@ -392,21 +629,51 @@ class DynamicMogulRanker:
         merged_scores = np.concatenate([base.scores, estimates])
         return merged_ids, merged_scores
 
-    def _score_field(self, seed_feature: np.ndarray) -> np.ndarray:
+    def _score_field(
+        self, snap: LiveSnapshot, seed_feature: np.ndarray
+    ) -> np.ndarray:
         """Approximate scores of every indexed node for this query."""
         from repro.core.out_of_sample import build_query_seeds
 
+        epoch = snap.epoch
+        index = epoch.index
         seeds = build_query_seeds(
             seed_feature,
-            self._index.cluster_means,
-            self._index.cluster_members,
-            self._graph.features,
+            index.cluster_means,
+            index.cluster_members,
+            epoch.graph.features,
             n_neighbors=self.k,
-            sigma=self._graph.sigma,
+            sigma=epoch.graph.sigma,
         )
-        q = np.zeros(self.n_indexed, dtype=np.float64)
+        q = np.zeros(epoch.n_indexed, dtype=np.float64)
         q[seeds.nodes] = seeds.weights
-        return self._ranker.scores_for_vector(q)
+        return epoch.ranker.scores_for_vector(q)
+
+    # Re-export for subclasses that need to stamp a fresh number onto a
+    # prebuilt epoch at swap time (see LiveEngine._install_epoch).
+    @staticmethod
+    def _with_number(epoch: EngineEpoch, number: int) -> EngineEpoch:
+        return dataclasses.replace(epoch, number=number)
+
+
+def _read_batch_stats(ranker, expected: int) -> tuple[SearchStats, ...]:
+    """Per-query stats of the base engine's last batch call, length-safe.
+
+    The base rankers publish stats as instance state *after* the call
+    returns, so under unsynchronized concurrent use another thread's
+    call can replace them in between.  Answers are unaffected (they are
+    computed from locals); the stats are informational — when the
+    published tuple does not match this call's batch size, pad with
+    empty counters instead of letting a short ``zip`` silently drop
+    results downstream.
+    """
+    published = getattr(ranker.last_batch_stats, "per_query", ())
+    if len(published) == expected:
+        return tuple(published)
+    return tuple(
+        published[i] if i < len(published) else SearchStats()
+        for i in range(expected)
+    )
 
 
 def _take_top(indices: np.ndarray, scores: np.ndarray, k: int) -> TopKResult:

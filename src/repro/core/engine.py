@@ -75,7 +75,10 @@ class Engine(Protocol):
         """Batched out-of-sample queries."""
 
 
-def engine_from_index(graph, index, **search_kwargs) -> "Engine":
+def engine_from_index(
+    graph, index, live: bool = False, live_kwargs: dict | None = None,
+    **search_kwargs,
+) -> "Engine":
     """Attach the right engine to a loaded index artifact.
 
     ``index`` is whatever :func:`repro.core.serialize.load_any_index`
@@ -83,15 +86,30 @@ def engine_from_index(graph, index, **search_kwargs) -> "Engine":
     a :class:`repro.core.ShardedMogulIndex` (directory layout).
     ``search_kwargs`` are forwarded to the engine constructor
     (``use_pruning``, ``cluster_order``, ...).
+
+    ``live=True`` wraps the base engine in a
+    :class:`repro.core.live.LiveEngine` (thread-safe writes + background
+    rebuilds with atomic epoch swap); ``live_kwargs`` forwards its knobs
+    (``k``, ``auto_rebuild_fraction``, ``pending_penalty``, ``jobs``,
+    ``fill_level``).  Both base kinds work: a sharded artifact rebuilds
+    sharded, a flat one rebuilds flat, and rebuilds replay the
+    ``search_kwargs`` applied here (they are read back off the base
+    engine).
     """
     from repro.core.index import MogulIndex, MogulRanker
     from repro.core.sharded import ShardedMogulIndex, ShardedMogulRanker
 
     if isinstance(index, ShardedMogulIndex):
-        return ShardedMogulRanker.from_index(graph, index, **search_kwargs)
-    if isinstance(index, MogulIndex):
-        return MogulRanker.from_index(graph, index, **search_kwargs)
-    raise TypeError(
-        f"cannot build an engine around {type(index).__name__}; expected "
-        "MogulIndex or ShardedMogulIndex"
-    )
+        base = ShardedMogulRanker.from_index(graph, index, **search_kwargs)
+    elif isinstance(index, MogulIndex):
+        base = MogulRanker.from_index(graph, index, **search_kwargs)
+    else:
+        raise TypeError(
+            f"cannot build an engine around {type(index).__name__}; expected "
+            "MogulIndex or ShardedMogulIndex"
+        )
+    if not live:
+        return base
+    from repro.core.live import LiveEngine
+
+    return LiveEngine.from_engine(base, **(live_kwargs or {}))

@@ -760,6 +760,144 @@ def load_sharded_index(path: "str | os.PathLike", lazy: bool = True):
     return index
 
 
+# -- live (mutable) state sidecar ------------------------------------------
+#
+# The mutable serving layer (repro.core.live.LiveEngine) buffers writes
+# against an immutable index artifact.  Its durable state — the pending
+# buffer, the tombstone set, the epoch counter and the mutation totals —
+# persists *next to* the artifact as one small uncompressed .npz:
+#
+#     foo.idx.npz   ->  foo.idx.live.npz        (flat index)
+#     foo.shards/   ->  foo.shards/live_state.npz  (sharded directory)
+#
+# The state is expressed relative to the on-disk artifact (a write-ahead
+# buffer): every live id the artifact does not cover is stored with its
+# feature vector, so a restart with the unchanged artifact replays into
+# the identical logical database.
+
+#: Bump when the live-state layout changes incompatibly.
+LIVE_STATE_VERSION = 1
+LIVE_STATE_MEMBER = "live_state.npz"
+
+
+def live_state_path(index_path: "str | os.PathLike") -> str:
+    """Where the live-state sidecar of an index artifact lives."""
+    target = os.fspath(index_path)
+    if os.path.isdir(target):
+        return os.path.join(target, LIVE_STATE_MEMBER)
+    if target.endswith(".npz"):
+        target = target[:-4]
+    return target + ".live.npz"
+
+
+def save_live_state(index_path: "str | os.PathLike", state) -> str:
+    """Persist a :class:`repro.core.live.LiveState` next to its artifact.
+
+    ``state`` comes from :meth:`repro.core.live.LiveEngine.mutable_state`.
+    Written atomically (temp + rename); returns the sidecar path.
+    """
+    target = live_state_path(index_path)
+    payload = dict(
+        format_version=np.int64(LIVE_STATE_VERSION),
+        epoch=np.int64(state.epoch),
+        n_indexed=np.int64(state.n_indexed),
+        n_total=np.int64(state.n_total),
+        pending_ids=np.asarray(state.pending_ids, dtype=np.int64),
+        pending_features=np.asarray(state.pending_features, dtype=np.float64),
+        tombstones=np.asarray(state.tombstones, dtype=np.int64),
+        inserts=np.int64(state.inserts),
+        deletes=np.int64(state.deletes),
+        rebuilds=np.int64(state.rebuilds),
+        feature_dim=np.int64(state.feature_dim),
+    )
+    _atomic_write(target, lambda stream: np.savez(stream, **payload))
+    return target
+
+
+def load_live_state(index_path: "str | os.PathLike"):
+    """Read the live-state sidecar of an artifact; ``None`` when absent.
+
+    Structural problems (bad version, inconsistent shapes, ids outside
+    their ranges) raise :class:`ValueError` naming the defect — a
+    corrupt sidecar must never silently serve a wrong database.
+    """
+    from repro.core.live import LiveState
+
+    target = live_state_path(index_path)
+    if not os.path.isfile(target):
+        return None
+    try:
+        archive = np.load(target, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError) as error:
+        raise ValueError(
+            f"corrupt live state ({target!r} is not a readable .npz: {error})"
+        ) from None
+    with archive:
+        required = (
+            "format_version",
+            "epoch",
+            "n_indexed",
+            "n_total",
+            "pending_ids",
+            "pending_features",
+            "tombstones",
+            "feature_dim",
+        )
+        missing = [key for key in required if key not in archive]
+        if missing:
+            raise ValueError(f"corrupt live state (missing keys {missing})")
+        version = int(archive["format_version"])
+        if version != LIVE_STATE_VERSION:
+            raise ValueError(
+                f"live state has format version {version}, this library "
+                f"reads version {LIVE_STATE_VERSION}"
+            )
+        n_indexed = int(archive["n_indexed"])
+        n_total = int(archive["n_total"])
+        dim = int(archive["feature_dim"])
+        pending_ids = np.asarray(archive["pending_ids"], dtype=np.int64)
+        pending_features = np.asarray(
+            archive["pending_features"], dtype=np.float64
+        )
+        tombstones = np.asarray(archive["tombstones"], dtype=np.int64)
+        if n_total < n_indexed or n_indexed < 0:
+            raise ValueError("corrupt live state: node counts inconsistent")
+        if pending_features.ndim != 2 or (
+            pending_features.shape != (pending_ids.shape[0], dim)
+        ):
+            raise ValueError(
+                f"corrupt live state: pending_features has shape "
+                f"{pending_features.shape}, expected "
+                f"({pending_ids.shape[0]}, {dim})"
+            )
+        if pending_ids.size and (
+            int(pending_ids.min()) < n_indexed
+            or int(pending_ids.max()) >= n_total
+        ):
+            raise ValueError(
+                f"corrupt live state: pending ids outside "
+                f"[{n_indexed}, {n_total})"
+            )
+        if tombstones.size and (
+            int(tombstones.min()) < 0 or int(tombstones.max()) >= n_total
+        ):
+            raise ValueError(
+                f"corrupt live state: tombstones outside [0, {n_total})"
+            )
+        return LiveState(
+            epoch=int(archive["epoch"]),
+            n_indexed=n_indexed,
+            n_total=n_total,
+            pending_ids=pending_ids,
+            pending_features=pending_features,
+            tombstones=tombstones,
+            inserts=int(archive["inserts"]) if "inserts" in archive else 0,
+            deletes=int(archive["deletes"]) if "deletes" in archive else 0,
+            rebuilds=int(archive["rebuilds"]) if "rebuilds" in archive else 0,
+            feature_dim=dim,
+        )
+
+
 def is_sharded_index_path(path: "str | os.PathLike") -> bool:
     """``True`` when ``path`` looks like a sharded index directory."""
     target = os.fspath(path)

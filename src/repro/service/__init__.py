@@ -31,7 +31,11 @@ from repro.service.encoding import (
     topk_to_dict,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
-from repro.service.scheduler import MicroBatchScheduler, ScheduledResult
+from repro.service.scheduler import (
+    MicroBatchScheduler,
+    ReadOnlyEngineError,
+    ScheduledResult,
+)
 from repro.service.server import BackgroundServer, RetrievalServer, run_server
 
 __all__ = [
@@ -39,6 +43,7 @@ __all__ = [
     "LatencyHistogram",
     "LoadReport",
     "MicroBatchScheduler",
+    "ReadOnlyEngineError",
     "ResultCache",
     "RetrievalClient",
     "RetrievalServer",

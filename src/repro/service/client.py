@@ -69,6 +69,24 @@ class RetrievalClient:
         vector = [float(value) for value in np.asarray(feature).ravel()]
         return self._request("POST", "/search_oos", {"feature": vector, "k": int(k)})
 
+    def insert(self, feature) -> dict:
+        """Insert a feature vector; the response carries its permanent id.
+
+        Requires a mutable server (``repro serve --mutable``); a
+        read-only deployment answers 403.
+        """
+        vector = [float(value) for value in np.asarray(feature).ravel()]
+        return self._request("POST", "/insert", {"feature": vector})
+
+    def delete(self, node: int) -> dict:
+        """Tombstone a node (mutable servers only)."""
+        return self._request("POST", "/delete", {"node": int(node)})
+
+    def rebuild(self, wait: bool = False) -> dict:
+        """Start (or join) a background rebuild; ``wait=True`` blocks
+        until the fresh epoch is swapped in (mutable servers only)."""
+        return self._request("POST", "/rebuild", {"wait": bool(wait)})
+
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 

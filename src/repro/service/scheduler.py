@@ -38,6 +38,15 @@ from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
 
 
+class ReadOnlyEngineError(RuntimeError):
+    """A mutation was requested from an engine without a write path.
+
+    The server maps this to ``403 Forbidden``: the deployment must opt
+    into mutability (``repro serve --mutable``) for the write endpoints
+    to exist.
+    """
+
+
 @dataclass(frozen=True)
 class ScheduledResult:
     """One served answer plus its execution context.
@@ -143,6 +152,7 @@ class MicroBatchScheduler:
         self._running = False
         self.batches_dispatched = 0
         self.queries_dispatched = 0
+        self.mutations_dispatched = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -202,6 +212,7 @@ class MicroBatchScheduler:
             "queue_depth": self.queue_depth if self._running else 0,
             "batches_dispatched": self.batches_dispatched,
             "queries_dispatched": self.queries_dispatched,
+            "mutations_dispatched": self.mutations_dispatched,
         }
 
     # -- request entry points --------------------------------------------
@@ -238,6 +249,61 @@ class MicroBatchScheduler:
             else None
         )
         return await self._submit("oos", feature, k, key)
+
+    # -- mutation entry points -------------------------------------------
+
+    def _live_engine(self):
+        """The engine's write surface, or a 403-mapped refusal."""
+        ranker = self.ranker
+        if not hasattr(ranker, "rebuild_async"):
+            raise ReadOnlyEngineError(
+                "this server is read-only; restart with a mutable engine "
+                "(repro serve --mutable) to accept writes"
+            )
+        if not self._running:
+            raise RuntimeError("scheduler is not running (call start() first)")
+        return ranker
+
+    async def insert(self, feature: np.ndarray) -> int:
+        """Insert a point; returns its permanent id.
+
+        The O(1) buffer append runs on the engine worker so it
+        serializes with query dispatches; a rebuild it triggers runs on
+        the engine's *own* background thread — never here, so queued
+        queries are not stalled behind it.
+        """
+        engine = self._live_engine()
+        feature = np.asarray(feature, dtype=np.float64)
+        # Shape validation belongs to engine.add (one copy of the rule);
+        # its ValueError propagates to the server's 400 handler.
+        loop = asyncio.get_running_loop()
+        new_id = await loop.run_in_executor(self._executor, engine.add, feature)
+        self.mutations_dispatched += 1
+        return int(new_id)
+
+    async def delete(self, node: int) -> None:
+        """Tombstone a point (validation errors propagate as ValueError)."""
+        engine = self._live_engine()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, engine.remove, int(node))
+        self.mutations_dispatched += 1
+
+    async def trigger_rebuild(self, wait: bool = False):
+        """Kick off (or join) a background rebuild; returns its ticket.
+
+        ``wait=True`` blocks *this request* until the swap lands — on
+        the default executor, never the engine worker, so concurrent
+        queries keep flowing while the caller waits.
+        """
+        engine = self._live_engine()
+        loop = asyncio.get_running_loop()
+        ticket = await loop.run_in_executor(
+            self._executor, engine.rebuild_async
+        )
+        self.mutations_dispatched += 1
+        if wait:
+            await loop.run_in_executor(None, ticket.result)
+        return ticket
 
     def _cap_k(self, k: int) -> int:
         """Bound k by the database size.

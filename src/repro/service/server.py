@@ -16,6 +16,14 @@ Endpoints
 ``POST /search_oos``
     Body ``{"feature": [<float>, ...], "k": 10}`` — §4.6.2 out-of-sample
     queries by feature vector, batched the same way.
+``POST /insert`` / ``POST /delete`` / ``POST /rebuild``
+    Write endpoints, available when the served engine is mutable (a
+    :class:`repro.core.LiveEngine`; see ``repro serve --mutable``).
+    ``/insert`` buffers a feature vector and answers with its permanent
+    id; ``/delete`` tombstones a node; ``/rebuild`` starts (or joins) a
+    background rebuild — pass ``{"wait": true}`` to block until the
+    fresh epoch is swapped in.  Against a read-only engine all three
+    answer ``403``.
 ``GET /healthz``
     Liveness: index identity and uptime.
 ``GET /metrics``
@@ -43,7 +51,7 @@ import numpy as np
 from repro.service.cache import ResultCache
 from repro.service.encoding import search_result_payload
 from repro.service.metrics import ServiceMetrics
-from repro.service.scheduler import MicroBatchScheduler
+from repro.service.scheduler import MicroBatchScheduler, ReadOnlyEngineError
 
 #: Largest accepted request body (a feature vector is ~16 bytes/dim as
 #: JSON text; 8 MiB covers any sane dimensionality with huge headroom).
@@ -52,6 +60,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
@@ -107,6 +116,15 @@ class RetrievalServer:
         )
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.time()
+        # A mutable engine invalidates the result cache on every write
+        # (insert/delete/rebuild all change what a correct answer is).
+        if hasattr(ranker, "add_invalidation_listener"):
+            self.cache.attach(ranker)
+
+    @property
+    def mutable(self) -> bool:
+        """True when the served engine accepts writes."""
+        return hasattr(self.ranker, "rebuild_async")
 
     # -- lifecycle -------------------------------------------------------
 
@@ -208,10 +226,25 @@ class RetrievalServer:
                 _require(method, "POST")
                 payload = await self._search_oos(_parse_json(body), started)
                 return 200, payload
+            if endpoint == "/insert":
+                _require(method, "POST")
+                payload = await self._insert(_parse_json(body), started)
+                return 200, payload
+            if endpoint == "/delete":
+                _require(method, "POST")
+                payload = await self._delete(_parse_json(body), started)
+                return 200, payload
+            if endpoint == "/rebuild":
+                _require(method, "POST")
+                payload = await self._rebuild(_parse_json(body), started)
+                return 200, payload
             raise _HttpError(404, f"unknown path {endpoint}")
         except _HttpError as error:
             self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
             return error.status, {"error": str(error)}
+        except ReadOnlyEngineError as error:
+            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            return 403, {"error": str(error)}
         except (ValueError, KeyError, TypeError) as error:
             self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
             return 400, {"error": str(error)}
@@ -259,13 +292,71 @@ class RetrievalServer:
             latency_ms=1e3 * elapsed,
         )
 
-    def _healthz(self) -> dict:
+    async def _insert(self, document: dict, started: float) -> dict:
+        feature = document.get("feature")
+        if not isinstance(feature, list) or not feature:
+            raise _HttpError(400, "body must carry a non-empty 'feature' list")
+        vector = np.asarray(feature, dtype=np.float64)
+        if vector.ndim != 1:
+            raise _HttpError(400, "'feature' must be a flat list of numbers")
+        new_id = await self.scheduler.insert(vector)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request("insert", elapsed)
+        engine = self.ranker
         return {
+            "id": new_id,
+            "epoch": engine.epoch,
+            "n_pending": engine.n_pending,
+            "n_live": engine.n_live,
+            "rebuild_in_flight": engine.rebuild_in_flight,
+            "latency_ms": 1e3 * elapsed,
+        }
+
+    async def _delete(self, document: dict, started: float) -> dict:
+        node = document.get("node")
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise _HttpError(400, "body must carry an integer 'node' id")
+        await self.scheduler.delete(node)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request("delete", elapsed)
+        engine = self.ranker
+        return {
+            "node": node,
+            "epoch": engine.epoch,
+            "n_live": engine.n_live,
+            "latency_ms": 1e3 * elapsed,
+        }
+
+    async def _rebuild(self, document: dict, started: float) -> dict:
+        wait = document.get("wait", False)
+        if not isinstance(wait, bool):
+            raise _HttpError(400, "'wait' must be a boolean")
+        epoch_before = self.ranker.epoch if self.mutable else None
+        ticket = await self.scheduler.trigger_rebuild(wait=wait)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request("rebuild", elapsed)
+        payload = {
+            "epoch_before": epoch_before,
+            "in_flight": not ticket.done,
+            "latency_ms": 1e3 * elapsed,
+        }
+        if ticket.done and ticket.error is None:
+            payload["epoch"] = ticket.epoch
+            payload["build_seconds"] = ticket.build_seconds
+            payload["swap_seconds"] = ticket.swap_seconds
+        return payload
+
+    def _healthz(self) -> dict:
+        payload = {
             "status": "ok",
             "n_nodes": self.ranker.n_nodes,
             "method": self.ranker.name,
             "uptime_seconds": time.time() - self._started_at,
+            "mutable": self.mutable,
         }
+        if self.mutable:
+            payload["epoch"] = self.ranker.epoch
+        return payload
 
     def _metrics(self) -> dict:
         snapshot = self.metrics.snapshot()
@@ -303,6 +394,10 @@ class RetrievalServer:
             # Per-stage build cost and, for a loaded index, the measured
             # startup (load) time — the precompute side of the story.
             payload["build_profile"] = index.profile.to_dict()
+        if self.mutable:
+            # Mutation accounting: epoch, buffer/tombstone sizes, write
+            # totals and the swap/stall instrumentation.
+            payload["live"] = self.ranker.mutation_counts()
         return payload
 
 
@@ -437,6 +532,8 @@ class BackgroundServer:
         self._ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._startup_error: BaseException | None = None
+        self._stop_lock = threading.Lock()
+        self._stopped = False
         self._thread = threading.Thread(
             target=self._run, name="retrieval-server", daemon=True
         )
@@ -475,16 +572,30 @@ class BackgroundServer:
         asyncio.run(_main())
 
     def stop(self) -> None:
-        """Stop serving and join the thread."""
-        loop = self._loop
-        if loop is not None and loop.is_running():
-            # Cancelling every task unwinds serve_forever and asyncio.run
-            # finalises the loop.
-            def _cancel_all() -> None:
-                for task in asyncio.all_tasks():
-                    task.cancel()
+        """Stop serving and join the thread.
 
-            loop.call_soon_threadsafe(_cancel_all)
+        Idempotent and exception-safe: a second call (or a call racing
+        the loop's own teardown — e.g. while a mutable engine's rebuild
+        worker is still mid-flight) is a no-op rather than an error.
+        The engine itself is left untouched; whoever constructed it owns
+        any in-flight background rebuild (``LiveEngine.close``).
+        """
+        with self._stop_lock:
+            first = not self._stopped
+            self._stopped = True
+        if first:
+            loop = self._loop
+            if loop is not None and loop.is_running():
+                # Cancelling every task unwinds serve_forever and
+                # asyncio.run finalises the loop.
+                def _cancel_all() -> None:
+                    for task in asyncio.all_tasks():
+                        task.cancel()
+
+                try:
+                    loop.call_soon_threadsafe(_cancel_all)
+                except RuntimeError:
+                    pass  # loop closed between the check and the call
         self._thread.join(timeout=30)
 
     def __enter__(self) -> "BackgroundServer":

@@ -11,12 +11,50 @@ Conventions:
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
 from repro.graph.adjacency import KnnGraph
 from repro.graph.build import build_knn_graph
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` without extra plugins.
+
+    The service/e2e tests exercise real sockets, worker threads and
+    background rebuilds; a deadlocked epoch swap must fail the one test
+    fast instead of hanging the whole run (or a CI workflow).  When the
+    ``pytest-timeout`` plugin is installed it owns the marker and this
+    hook steps aside; otherwise a SIGALRM-based fallback (main thread,
+    POSIX — i.e. every environment CI runs) raises inside the test.
+    """
+    marker = item.get_closest_marker("timeout")
+    usable = (
+        marker is not None
+        and marker.args
+        and not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return (yield)
+    seconds = float(marker.args[0])
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds:.0f}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def graph_from_adjacency(

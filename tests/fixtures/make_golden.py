@@ -1,0 +1,121 @@
+"""Regenerate the golden serialization fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/make_golden.py
+
+Produces, next to this script:
+
+* ``golden_features.npy``   — the (48, 5) feature matrix everything is
+  built from (committed so the fixtures never depend on RNG internals),
+* ``golden_flat.idx.npz``   — a flat (single-file) Mogul index,
+* ``golden_flat.idx.live.npz`` — a live-state (write-ahead) sidecar
+  with one pending point and one tombstone,
+* ``golden_sharded/``       — the same database as a 2-shard directory,
+* ``golden_answers.json``   — known top-k answers for both artifacts.
+
+``tests/test_golden_fixtures.py`` loads these *committed* bytes and
+verifies the answers: unlike save/load round-trip tests, this catches
+format drift where writer and reader change together.  Regenerate only
+when the on-disk format version is deliberately bumped, and commit the
+new files with that bump.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.index import MogulRanker
+from repro.core.live import LiveEngine
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    LIVE_STATE_VERSION,
+    SHARDED_FORMAT_VERSION,
+    save_live_state,
+)
+from repro.core.sharded import ShardedMogulRanker
+from repro.graph.build import build_knn_graph
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+QUERIES = (0, 7, 30)
+K = 5
+
+
+def golden_features() -> np.ndarray:
+    rng = np.random.default_rng(424242)
+    a = rng.normal(scale=0.5, size=(24, 5))
+    b = rng.normal(scale=0.5, size=(24, 5)) + 3.5
+    return np.vstack([a, b])
+
+
+def answers_for(ranker) -> list[dict]:
+    documents = []
+    for query in QUERIES:
+        result = ranker.top_k(int(query), K)
+        documents.append(
+            {
+                "query": int(query),
+                "k": K,
+                "indices": [int(i) for i in result.indices],
+                "scores": [float(s) for s in result.scores],
+            }
+        )
+    probe = ranker.graph.features.mean(axis=0)
+    oos = ranker.top_k_out_of_sample(probe, K)
+    documents.append(
+        {
+            "query": "oos_mean",
+            "k": K,
+            "indices": [int(i) for i in oos.indices],
+            "scores": [float(s) for s in oos.scores],
+        }
+    )
+    return documents
+
+
+def main() -> None:
+    features = golden_features()
+    np.save(os.path.join(HERE, "golden_features.npy"), features)
+    graph = build_knn_graph(features, k=4)
+
+    flat = MogulRanker(graph)
+    flat_path = os.path.join(HERE, "golden_flat.idx.npz")
+    flat.index.save(flat_path)
+
+    sharded = ShardedMogulRanker(graph, 2)
+    sharded_path = os.path.join(HERE, "golden_sharded")
+    sharded.index.save(sharded_path)
+
+    # A tiny live-state sidecar: one pending insert, one tombstone.
+    live = LiveEngine.from_engine(flat, k=4, auto_rebuild_fraction=None)
+    live.add(features[0] + 0.25)
+    live.remove(3)
+    save_live_state(flat_path, live.mutable_state())
+
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "sharded_format_version": SHARDED_FORMAT_VERSION,
+        "live_state_version": LIVE_STATE_VERSION,
+        "graph_k": 4,
+        "n_nodes": int(features.shape[0]),
+        "flat": answers_for(flat),
+        "sharded": answers_for(sharded),
+        "live": {
+            "pending_ids": [48],
+            "tombstones": [3],
+            "epoch": 0,
+            "inserts": 1,
+            "deletes": 1,
+        },
+    }
+    with open(os.path.join(HERE, "golden_answers.json"), "w") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote golden fixtures under {HERE}")
+
+
+if __name__ == "__main__":
+    main()

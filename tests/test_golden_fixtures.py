@@ -1,0 +1,120 @@
+"""Golden serialization fixtures: committed artifacts, known answers.
+
+Round-trip tests (save then load in the same process) cannot catch
+format drift where the writer and reader change *together* — the
+classic silent-corruption failure of persisted indexes.  These tests
+load artifacts whose **bytes are committed to the repository**
+(``tests/fixtures/``, regenerated only by a deliberate
+``make_golden.py`` run alongside a format-version bump) and verify
+known top-k answers against them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.engine import engine_from_index
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    LIVE_STATE_VERSION,
+    SHARDED_FORMAT_VERSION,
+    load_any_index,
+    load_live_state,
+)
+from repro.core.sharded import ShardedMogulIndex
+from repro.graph.build import build_knn_graph
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(os.path.join(FIXTURES, "golden_answers.json")) as stream:
+        return json.load(stream)
+
+
+@pytest.fixture(scope="module")
+def golden_graph(golden):
+    features = np.load(os.path.join(FIXTURES, "golden_features.npy"))
+    return build_knn_graph(features, k=golden["graph_k"])
+
+
+def check_answers(ranker, documents) -> None:
+    for document in documents:
+        if document["query"] == "oos_mean":
+            result = ranker.top_k_out_of_sample(
+                ranker.graph.features.mean(axis=0), document["k"]
+            )
+        else:
+            result = ranker.top_k(document["query"], document["k"])
+        assert [int(i) for i in result.indices] == document["indices"], (
+            f"query {document['query']}: indices drifted from the "
+            f"committed golden answers"
+        )
+        np.testing.assert_allclose(
+            result.scores, document["scores"], rtol=1e-9, atol=1e-12
+        )
+
+
+class TestGoldenVersionsPinned:
+    """A format bump must come with regenerated fixtures (and vice versa)."""
+
+    def test_versions_match_library(self, golden):
+        assert golden["format_version"] == FORMAT_VERSION
+        assert golden["sharded_format_version"] == SHARDED_FORMAT_VERSION
+        assert golden["live_state_version"] == LIVE_STATE_VERSION
+
+
+class TestGoldenFlat:
+    def test_known_answers(self, golden, golden_graph):
+        index = load_any_index(os.path.join(FIXTURES, "golden_flat.idx.npz"))
+        ranker = engine_from_index(golden_graph, index)
+        assert ranker.n_nodes == golden["n_nodes"]
+        check_answers(ranker, golden["flat"])
+
+
+class TestGoldenSharded:
+    def test_known_answers(self, golden, golden_graph):
+        index = load_any_index(os.path.join(FIXTURES, "golden_sharded"))
+        assert isinstance(index, ShardedMogulIndex)
+        assert index.n_shards == 2
+        ranker = engine_from_index(golden_graph, index)
+        check_answers(ranker, golden["sharded"])
+
+    def test_flat_and_sharded_agree(self, golden):
+        """The two committed artifacts describe the same database."""
+        for a, b in zip(golden["flat"], golden["sharded"]):
+            assert a["indices"] == b["indices"]
+            np.testing.assert_allclose(a["scores"], b["scores"], rtol=0, atol=0)
+
+
+class TestGoldenLiveState:
+    def test_sidecar_restores(self, golden, golden_graph):
+        path = os.path.join(FIXTURES, "golden_flat.idx.npz")
+        state = load_live_state(path)
+        assert state is not None
+        expected = golden["live"]
+        assert [int(g) for g in state.pending_ids] == expected["pending_ids"]
+        assert [int(g) for g in state.tombstones] == expected["tombstones"]
+        assert state.epoch == expected["epoch"]
+        assert state.inserts == expected["inserts"]
+        assert state.deletes == expected["deletes"]
+
+        live = engine_from_index(
+            golden_graph,
+            load_any_index(path),
+            live=True,
+            live_kwargs=dict(k=golden["graph_k"]),
+        )
+        live.restore_mutable_state(state)
+        assert live.n_pending == 1
+        assert live.n_live == golden["n_nodes"]  # +1 pending, -1 tombstone
+        # The tombstone holds and the pending point is answerable: it is
+        # a near-duplicate of node 0, so it must surface for query 0.
+        answer = live.top_k(0, 6)
+        assert expected["tombstones"][0] not in answer.indices
+        assert expected["pending_ids"][0] in answer.indices

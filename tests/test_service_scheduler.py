@@ -15,7 +15,10 @@ import pytest
 from repro.core.index import MogulRanker
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
-from repro.service.scheduler import MicroBatchScheduler
+from repro.service.scheduler import MicroBatchScheduler, ReadOnlyEngineError
+
+#: Event-loop + worker-thread machinery: deadlocks must fail fast.
+pytestmark = pytest.mark.timeout(120)
 
 
 @pytest.fixture(scope="module")
@@ -274,3 +277,89 @@ class TestValidationAndLifecycle:
         assert not cold.cached and warm.cached
         np.testing.assert_array_equal(cold.result.indices, warm.result.indices)
         assert cache.hits == 1 and cache.misses == 1
+
+
+class TestMutationLanes:
+    """Write entry points route through the engine worker (ISSUE 5)."""
+
+    def _live(self, bridged_graph):
+        from repro.core.live import LiveEngine
+
+        return LiveEngine(
+            bridged_graph.features.copy(), auto_rebuild_fraction=None
+        )
+
+    def test_insert_delete_rebuild_round_trip(self, bridged_graph):
+        live = self._live(bridged_graph)
+        feature = bridged_graph.features[2] + 0.01
+
+        async def main():
+            async with MicroBatchScheduler(live, max_wait_ms=0.0) as scheduler:
+                new_id = await scheduler.insert(feature)
+                served = await scheduler.search(2, 8)
+                await scheduler.delete(new_id)
+                ticket = await scheduler.trigger_rebuild(wait=True)
+                after = await scheduler.search(2, 8)
+                return new_id, served, ticket, after, scheduler.snapshot()
+
+        new_id, served, ticket, after, snapshot = run(main())
+        assert new_id == bridged_graph.n_nodes
+        assert new_id in served.result.indices  # pending estimate, no rebuild
+        assert ticket.done and ticket.error is None
+        assert new_id not in after.result.indices
+        assert live.epoch == 1
+        assert snapshot["mutations_dispatched"] == 3
+        live.close()
+
+    def test_insert_validates_dimension(self, bridged_graph):
+        live = self._live(bridged_graph)
+
+        async def main():
+            async with MicroBatchScheduler(live, max_wait_ms=0.0) as scheduler:
+                await scheduler.insert(np.zeros(3))
+
+        with pytest.raises(ValueError, match="shape"):
+            run(main())
+        live.close()
+
+    def test_read_only_engine_refuses_writes(self, ranker):
+        async def main():
+            async with MicroBatchScheduler(ranker, max_wait_ms=0.0) as scheduler:
+                await scheduler.insert(np.zeros(6))
+
+        with pytest.raises(ReadOnlyEngineError, match="read-only"):
+            run(main())
+
+    def test_queries_keep_flowing_while_rebuild_waits(self, bridged_graph):
+        """trigger_rebuild(wait=True) must not occupy the engine worker."""
+        import threading
+
+        live = self._live(bridged_graph)
+        gate = threading.Event()
+        entered = threading.Event()
+        real = live._build_epoch
+
+        def gated(indexed_ids, number):
+            entered.set()
+            assert gate.wait(30)
+            return real(indexed_ids, number)
+
+        live._build_epoch = gated
+
+        async def main():
+            async with MicroBatchScheduler(live, max_wait_ms=0.0) as scheduler:
+                waiter = asyncio.create_task(scheduler.trigger_rebuild(wait=True))
+                await asyncio.get_running_loop().run_in_executor(
+                    None, entered.wait, 30
+                )
+                # The rebuild is deterministically stuck; queries still run.
+                served = await scheduler.search(0, 5)
+                assert not waiter.done()
+                gate.set()
+                ticket = await waiter
+                return served, ticket
+
+        served, ticket = run(main())
+        assert served.result.indices.shape[0] == 5
+        assert ticket.error is None and live.epoch == 1
+        live.close()

@@ -20,6 +20,9 @@ from repro.service.client import (
 )
 from repro.service.server import BackgroundServer
 
+#: Real sockets + worker threads: a deadlock must fail fast, not hang CI.
+pytestmark = pytest.mark.timeout(120)
+
 
 @pytest.fixture(scope="module")
 def ranker(bridged_graph):
