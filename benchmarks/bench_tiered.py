@@ -1,0 +1,369 @@
+"""Tiered serving — the accuracy dial: recall, latency, per-tier cost.
+
+The tiered engine's contract has two sides and this benchmark attests
+both on every run:
+
+* **Exactness at the top of the dial** — ``accuracy="exact"`` and
+  ``m = n`` answers are bitwise identical to the exact engine across the
+  single, batched and out-of-sample entry points.  This is asserted, not
+  measured.
+* **Certified recall below it** — at the default dial (``balanced``)
+  the end-to-end answers must keep recall@k >= ``TARGET_RECALL`` against
+  the exact engine's answers.  Any loss is nomination loss: the re-rank
+  is exact over whatever the spectral tier nominates.
+
+The latency side is reported **honestly**, including the headline result
+that on the 10k-node benchmark graph the dial does *not* buy single-query
+throughput: Mogul's bound-pruned scan visits a handful of clusters and
+answers in ~0.2 ms, while any rank-r dense scorer must touch all
+``r * n`` basis coefficients — the spectral GEMV alone costs more than
+the full exact answer at this n.  The per-tier breakdown (spectral GEMV
+vs exact re-rank vs dispatch overhead) quantifies exactly where the time
+goes, and the batched numbers show the GEMM amortisation that closes —
+but on this graph does not invert — the gap.  The ``targets`` block in
+``BENCH_tiered.json`` records the ``>=5x`` single-query aspiration as
+unmet alongside the measured ratio; the recall and bitwise gates are the
+ones this benchmark enforces (non-zero exit on miss).
+
+Two entry points:
+
+* ``python benchmarks/bench_tiered.py`` — the full 10k-node run; prints
+  the dial sweep and breakdowns, writes ``BENCH_tiered.json``, exits
+  non-zero if a certified gate (recall floor, bitwise identity) fails.
+* ``pytest benchmarks/bench_tiered.py`` — the identity attestations and
+  breakdown-shape checks at ``REPRO_BENCH_SCALE`` (CI smoke; no perf
+  assertions, tiny inputs are all overhead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.clustering.louvain import louvain
+from repro.core.index import MogulIndex, MogulRanker
+from repro.core.spectral import SpectralEngine, SpectralIndex
+from repro.core.tiered import TieredEngine
+from repro.datasets.registry import load_dataset
+from repro.eval.harness import sample_queries
+from repro.eval.tiered import curve_table, recall_latency_curve
+from repro.graph.build import build_knn_graph
+
+#: INRIA substitute at this scale = the synthetic 10k-node graph.
+FULL_RUN_SCALE = 1.25
+FULL_RUN_QUERIES = 64
+FULL_RUN_K = 10
+#: Retained spectral rank of the nomination tier.
+SPECTRAL_RANK = 128
+#: Dial settings swept by the full run (presets plus explicit budgets).
+SWEEP_LEVELS = ("fast", "balanced", 320, "exact")
+#: Certified floor: mean recall@k of the default dial vs exact answers.
+TARGET_RECALL = 0.95
+#: The issue's single-query throughput aspiration, recorded per run.
+TARGET_SPEEDUP = 5.0
+#: Timing passes per batched configuration (best-of, to shed noise).
+PASSES = 3
+
+
+def assert_exact_dial_identical(base, tiered, queries, k: int) -> None:
+    """Bitwise identity of ``accuracy="exact"`` and ``m = n`` answers."""
+    n = base.n_nodes
+    for query in queries:
+        a = base.top_k(int(query), k)
+        for kwargs in ({"accuracy": "exact"}, {"m": n}):
+            b = tiered.top_k(int(query), k, **kwargs)
+            if not (
+                np.array_equal(a.indices, b.indices)
+                and np.array_equal(a.scores, b.scores)
+            ):
+                raise AssertionError(
+                    f"dialed answers diverge for query {query} at {kwargs}"
+                )
+    for kwargs in ({"accuracy": "exact"}, {"m": n}):
+        for a, b in zip(
+            base.top_k_batch(queries, k),
+            tiered.top_k_batch(queries, k, **kwargs),
+        ):
+            if not (
+                np.array_equal(a.indices, b.indices)
+                and np.array_equal(a.scores, b.scores)
+            ):
+                raise AssertionError(f"batched answers diverge at {kwargs}")
+    features = base.graph.features[np.asarray(queries[:8], dtype=np.int64)]
+    for kwargs in ({"accuracy": "exact"}, {"m": n}):
+        for a, b in zip(
+            base.top_k_out_of_sample_batch(features + 0.01, k),
+            tiered.top_k_out_of_sample_batch(features + 0.01, k, **kwargs),
+        ):
+            if not (
+                np.array_equal(a.indices, b.indices)
+                and np.array_equal(a.scores, b.scores)
+            ):
+                raise AssertionError(
+                    f"out-of-sample answers diverge at {kwargs}"
+                )
+
+
+def tier_breakdown(tiered, queries, k: int, **kwargs) -> dict:
+    """Per-query wall-clock split: spectral GEMV, exact re-rank, overhead.
+
+    ``overhead`` is everything the entry point pays outside the two
+    tiers — dial resolution, validation, counter bookkeeping — measured
+    as the gap between the total wall-clock and the summed tier timers.
+    """
+    spectral = rerank = 0.0
+    started = time.perf_counter()
+    for query in queries:
+        tiered.top_k(int(query), k, **kwargs)
+        breakdown = tiered.last_tier_breakdown
+        spectral += breakdown["spectral_seconds"]
+        rerank += breakdown["rerank_seconds"]
+    total = time.perf_counter() - started
+    count = len(queries)
+    return {
+        "spectral_seconds_per_query": spectral / count,
+        "rerank_seconds_per_query": rerank / count,
+        "overhead_seconds_per_query": max(total / count - (spectral + rerank) / count, 0.0),
+        "total_seconds_per_query": total / count,
+    }
+
+
+def _best_of(fn, per_query: int, passes: int = PASSES) -> float:
+    """Best-of-``passes`` seconds/query of a whole-batch callable."""
+    best = float("inf")
+    for _ in range(passes):
+        started = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - started) / per_query)
+    return best
+
+
+def run_benchmark(
+    scale: float = FULL_RUN_SCALE,
+    n_queries: int = FULL_RUN_QUERIES,
+    k: int = FULL_RUN_K,
+    seed: int = 0,
+    rank: int = SPECTRAL_RANK,
+) -> dict:
+    """Run the dial sweep and return the certification record."""
+    dataset = load_dataset("inria", scale=scale, seed=seed)
+    graph = build_knn_graph(dataset.features, k=5, jobs=2)
+    labels = louvain(graph.adjacency)
+    queries = sample_queries(graph.n_nodes, n_queries, seed=seed)
+
+    started = time.perf_counter()
+    base_index = MogulIndex.build(graph, cluster_labels=labels)
+    exact_build = time.perf_counter() - started
+    base = MogulRanker.from_index(graph, base_index)
+
+    started = time.perf_counter()
+    spectral_index = SpectralIndex.build(graph, rank=rank, cluster_labels=labels)
+    spectral_build = time.perf_counter() - started
+    spectral = SpectralEngine.from_index(graph, spectral_index)
+    tiered = TieredEngine(base, spectral)
+
+    assert_exact_dial_identical(base, tiered, queries, k)
+
+    points = recall_latency_curve(tiered, queries, k, levels=SWEEP_LEVELS)
+    by_label = {point.label: point for point in points}
+    default_point = by_label[tiered.default_accuracy]
+
+    breakdowns = {
+        label: tier_breakdown(tiered, queries, k, accuracy=label)
+        for label in ("fast", "balanced")
+    }
+
+    # Batched amortisation: the GEMM/selection cost per query when the
+    # nomination tier serves whole batches (the scheduler's coalescing
+    # regime), next to the exact engine's own batch amortisation.
+    budget = tiered._candidate_budget("balanced", None, k)
+    spectral.nominate_batch(queries, budget)  # warm
+    batched = {
+        "nominate_seconds_per_query": _best_of(
+            lambda: spectral.nominate_batch(queries, budget), len(queries)
+        ),
+        "tiered_seconds_per_query": _best_of(
+            lambda: tiered.top_k_batch(queries, k), len(queries)
+        ),
+        "exact_seconds_per_query": _best_of(
+            lambda: base.top_k_batch(queries, k), len(queries)
+        ),
+    }
+
+    recall_met = default_point.recall_at_k >= TARGET_RECALL
+    speedup_met = default_point.speedup >= TARGET_SPEEDUP
+    return {
+        "benchmark": "tiered_accuracy_dial",
+        "dataset": {
+            "name": "inria",
+            "scale": scale,
+            "n_nodes": graph.n_nodes,
+            "n_edges": graph.n_edges,
+            "n_clusters": base_index.n_clusters,
+            "border_size": base_index.profile.border_size,
+        },
+        "k": k,
+        "n_queries": n_queries,
+        "cpu_count": os.cpu_count(),
+        "spectral_rank": spectral_index.rank,
+        "build": {
+            "exact_seconds": exact_build,
+            "spectral_seconds": spectral_build,
+        },
+        "dial_sweep": [point.to_dict() for point in points],
+        "tier_breakdown": breakdowns,
+        "batched": batched,
+        "targets": {
+            "recall_at_k_default_dial": {
+                "goal": TARGET_RECALL,
+                "measured": default_point.recall_at_k,
+                "met": bool(recall_met),
+            },
+            "exact_dial_bitwise_identical": {
+                "goal": True,
+                "measured": True,  # asserted above; a miss raises
+                "met": True,
+            },
+            "single_query_speedup_default_dial": {
+                "goal": TARGET_SPEEDUP,
+                "measured": default_point.speedup,
+                "met": bool(speedup_met),
+                "enforced": False,
+            },
+        },
+        "notes": (
+            "Answers at accuracy=exact and m=n are asserted bitwise "
+            "identical to the exact engine on every run. The single-query "
+            "speedup target is recorded but not enforced: at n=10^4 the "
+            "exact engine's bound-pruned scan visits a handful of clusters "
+            "and answers in ~0.2 ms, below the cost of the rank-"
+            f"{spectral_index.rank} spectral GEMV itself (see "
+            "tier_breakdown), so no dial setting can undercut it here — "
+            "the dense O(r*n) nomination only wins once n grows past the "
+            "point where pruned substitution stops being overhead-bound. "
+            "What the dial certifies on this graph is bounded-candidate "
+            "re-ranking at recall >= the target, and the batched section "
+            "shows the GEMM amortisation of the nomination tier."
+        ),
+    }
+
+
+def main(out_path: str = "BENCH_tiered.json") -> int:
+    record = run_benchmark()
+    dataset = record["dataset"]
+    print(
+        f"tiered accuracy dial on {dataset['n_nodes']} nodes "
+        f"({dataset['n_clusters']} clusters, border {dataset['border_size']}, "
+        f"rank {record['spectral_rank']}, cpu_count={record['cpu_count']})"
+    )
+    print(
+        f"build: exact {record['build']['exact_seconds']:.3f}s, "
+        f"spectral tier {record['build']['spectral_seconds']:.3f}s"
+    )
+    from repro.eval.tiered import DialPoint
+
+    points = [
+        DialPoint(**{key: value for key, value in entry.items() if key != "qps"})
+        for entry in record["dial_sweep"]
+    ]
+    print(curve_table(points, record["k"]).to_text())
+    for label, breakdown in record["tier_breakdown"].items():
+        print(
+            f"{label:>9s}: spectral "
+            f"{breakdown['spectral_seconds_per_query'] * 1e3:.3f} ms, rerank "
+            f"{breakdown['rerank_seconds_per_query'] * 1e3:.3f} ms, overhead "
+            f"{breakdown['overhead_seconds_per_query'] * 1e3:.3f} ms / query"
+        )
+    batched = record["batched"]
+    print(
+        f"batch-{record['n_queries']}: nominate "
+        f"{batched['nominate_seconds_per_query'] * 1e3:.3f} ms, tiered "
+        f"{batched['tiered_seconds_per_query'] * 1e3:.3f} ms, exact "
+        f"{batched['exact_seconds_per_query'] * 1e3:.3f} ms / query"
+    )
+    Path(out_path).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"certification written to {out_path}")
+
+    failed = False
+    targets = record["targets"]
+    recall = targets["recall_at_k_default_dial"]
+    if not recall["met"]:
+        print(
+            f"FAIL: default-dial recall@{record['k']} "
+            f"{recall['measured']:.4f} < {recall['goal']}",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"OK: default-dial recall@{record['k']} {recall['measured']:.4f} "
+            f">= {recall['goal']}; exact dial bitwise identical"
+        )
+    speedup = targets["single_query_speedup_default_dial"]
+    if not speedup["met"]:
+        print(
+            f"NOTE: single-query speedup {speedup['measured']:.2f}x < "
+            f"{speedup['goal']}x aspiration (not enforced; see notes — the "
+            "pruned exact scan is already sub-ms at this n)"
+        )
+    return 1 if failed else 0
+
+
+# -- pytest entry points (identity + shape attestations at any scale) ------
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    from benchmarks.conftest import get_graph
+
+    graph = get_graph("coil")
+    labels = louvain(graph.adjacency)
+    base = MogulRanker.from_index(
+        graph, MogulIndex.build(graph, cluster_labels=labels)
+    )
+    spectral = SpectralEngine.from_index(
+        graph, SpectralIndex.build(graph, rank=32, cluster_labels=labels)
+    )
+    return graph, base, TieredEngine(base, spectral)
+
+
+def test_exact_dial_bitwise_identical(small_setup):
+    graph, base, tiered = small_setup
+    queries = sample_queries(graph.n_nodes, 12, seed=0)
+    assert_exact_dial_identical(base, tiered, queries, 10)
+
+
+def test_dial_sweep_shape(small_setup):
+    graph, base, tiered = small_setup
+    queries = sample_queries(graph.n_nodes, 8, seed=1)
+    points = recall_latency_curve(
+        tiered, queries, 5, levels=("fast", "exact"), warmup=0
+    )
+    by_label = {point.label: point for point in points}
+    assert by_label["exact"].recall_at_k == 1.0
+    assert by_label["exact"].mean_candidates == 0.0
+    assert 0.0 <= by_label["fast"].recall_at_k <= 1.0
+    assert by_label["fast"].mean_candidates >= 5
+
+
+def test_tier_breakdown_reported(small_setup):
+    graph, base, tiered = small_setup
+    queries = sample_queries(graph.n_nodes, 6, seed=2)
+    breakdown = tier_breakdown(tiered, queries, 5, accuracy="fast")
+    assert breakdown["spectral_seconds_per_query"] > 0
+    assert breakdown["rerank_seconds_per_query"] > 0
+    assert breakdown["overhead_seconds_per_query"] >= 0
+    assert breakdown["total_seconds_per_query"] >= (
+        breakdown["spectral_seconds_per_query"]
+        + breakdown["rerank_seconds_per_query"]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -6,15 +6,24 @@ without writing Python::
     python -m repro datasets
     python -m repro build --dataset coil --out coil.idx.npz
     python -m repro build --dataset coil --shards 4 --jobs 4 --out coil.shards
+    python -m repro build --dataset coil --spectral-rank 128 --out coil.idx.npz
     python -m repro info coil.idx.npz
     python -m repro info coil.shards
     python -m repro search coil.idx.npz --dataset coil --query 42 -k 10
+    python -m repro search coil.idx.npz --dataset coil --query 42 --accuracy fast
     python -m repro search coil.shards --features db.npy --query 42 -k 10
     python -m repro search coil.idx.npz --dataset coil --batch \
         --query 1 --query 2 --query 3 -k 10
     python -m repro serve coil.shards --dataset coil --port 8080
     python -m repro serve coil.idx.npz --dataset coil --mutable
     python -m repro loadtest --port 8080 --concurrency 32 --requests 512
+
+``build --spectral-rank R`` additionally writes a rank-R spectral tier
+next to the exact artifact (the ``.spectral.npz`` sidecar).  When the
+sidecar exists, ``serve`` composes the tiered engine automatically (the
+accuracy dial appears on ``/search``), and ``search --accuracy``/
+``--m`` query through it from the command line; without the dial flags,
+``search`` stays on the exact engine.
 
 Feature sources: either a named synthetic dataset (``--dataset`` +
 ``--scale``/``--seed``, regenerated deterministically) or a dense ``.npy``
@@ -147,6 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "unsharded index for any S, and --jobs > 1 builds the shards in "
         "parallel worker processes.  Omit for the legacy single .npz",
     )
+    build.add_argument(
+        "--spectral-rank",
+        type=_positive_int,
+        default=None,
+        metavar="R",
+        help="also build a rank-R spectral nomination tier and save it as "
+        "a sidecar next to the index; serve composes the tiered engine "
+        "(accuracy dial) automatically when the sidecar is present",
+    )
     build.set_defaults(handler=_cmd_build)
 
     info = sub.add_parser("info", help="print statistics of a saved index")
@@ -182,6 +200,23 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one machine-readable JSON document (the same encoding "
         "the HTTP server's /search responses use)",
+    )
+    dial = search.add_mutually_exclusive_group()
+    dial.add_argument(
+        "--accuracy",
+        choices=("fast", "balanced", "exact"),
+        default=None,
+        help="answer through the tiered engine at this accuracy level "
+        "(requires the index's spectral sidecar, built with "
+        "build --spectral-rank)",
+    )
+    dial.add_argument(
+        "--m",
+        type=_positive_int,
+        default=None,
+        metavar="M",
+        help="answer through the tiered engine with an explicit candidate "
+        "budget of M nominations (requires the spectral sidecar)",
     )
     search.set_defaults(handler=_cmd_search)
 
@@ -331,11 +366,27 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     if index.profile is not None:
         print(index.profile.to_text())
+    if args.spectral_rank is not None:
+        from repro.core.serialize import save_spectral_index, spectral_tier_path
+        from repro.core.spectral import SpectralIndex
+
+        started = time.perf_counter()
+        tier = SpectralIndex.build(graph, rank=args.spectral_rank, alpha=args.alpha)
+        spectral_seconds = time.perf_counter() - started
+        sidecar = save_spectral_index(tier, spectral_tier_path(args.out))
+        print(
+            f"spectral tier rank {tier.rank} in {spectral_seconds:.2f}s "
+            f"-> {sidecar}"
+        )
     return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
     index = load_any_index(args.index)
+    from repro.core.spectral import SpectralIndex
+
+    if isinstance(index, SpectralIndex):
+        return _spectral_info(index)
     sharded = isinstance(index, ShardedMogulIndex)
     if args.verbose:
         if sharded:
@@ -387,6 +438,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(f"loaded in:        {profile.load_seconds:.3f}s")
             for warning in profile.load_warnings:
                 print(f"load warning:     {warning}")
+    from repro.core.serialize import is_spectral_index_path, spectral_tier_path
+
+    sidecar = spectral_tier_path(args.index)
+    if is_spectral_index_path(sidecar):
+        # The artifact carries a nomination tier: serve composes the
+        # tiered engine (accuracy dial) from it automatically.
+        print(f"spectral tier:    {sidecar}")
     from repro.core.serialize import load_live_state
 
     state = load_live_state(args.index)
@@ -405,24 +463,66 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spectral_info(index) -> int:
+    """The ``info`` report for a standalone spectral artifact."""
+    print(f"nodes:            {index.n_nodes}")
+    print(f"alpha:            {index.alpha}")
+    print(f"factorization:    {index.factorization}")
+    print(f"spectral rank:    {index.rank}")
+    print(f"clusters:         {index.n_clusters}")
+    print(f"basis non-zeros:  {index.factor_nnz} (dense n x r)")
+    profile = index.profile
+    if profile is not None:
+        if profile.stages:
+            print("build profile:")
+            print(profile.to_text())
+        elif profile.load_seconds is not None:
+            print(f"loaded in:        {profile.load_seconds:.3f}s")
+    return 0
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     index = load_any_index(args.index)
     features = _load_features(args)
     graph = build_knn_graph(features, k=args.knn)
-    ranker = engine_from_index(graph, index)
+    dial = {}
+    if args.accuracy is not None:
+        dial["accuracy"] = args.accuracy
+    if args.m is not None:
+        dial["m"] = args.m
+    spectral = None
+    if dial:
+        from repro.core.serialize import load_spectral_tier
+
+        spectral = load_spectral_tier(args.index)
+        if spectral is None:
+            raise ValueError(
+                f"--accuracy/--m need a spectral tier next to {args.index}; "
+                "build one with `build --spectral-rank R`"
+            )
+    ranker = engine_from_index(graph, index, spectral=spectral)
+    label = ranker.resolve_accuracy(**dial)[0] if dial else None
     if args.batch:
         # Batch queries are independent; repeats are answered repeatedly.
-        return _search_batch(ranker, list(args.query), args.k, as_json=args.json)
+        return _search_batch(
+            ranker, list(args.query), args.k, as_json=args.json, dial=dial
+        )
     queries = list(dict.fromkeys(args.query))  # de-dup, keep order (multi-seed)
     started = time.perf_counter()
     if len(queries) == 1:
-        result = ranker.top_k(queries[0], args.k)
+        result = ranker.top_k(queries[0], args.k, **dial)
     else:
+        if dial:
+            raise ValueError(
+                "the accuracy dial applies to single-node or --batch "
+                "queries; multi-seed queries stay on the exact engine"
+            )
         result = ranker.top_k_multi(np.asarray(queries), args.k)
     elapsed = time.perf_counter() - started
     if args.json:
         from repro.service.encoding import search_result_payload
 
+        extra = {} if label is None else {"accuracy": label}
         print(
             json.dumps(
                 search_result_payload(
@@ -431,23 +531,33 @@ def _cmd_search(args: argparse.Namespace) -> int:
                     ranker.last_stats,
                     query=queries[0] if len(queries) == 1 else queries,
                     latency_ms=1e3 * elapsed,
+                    **extra,
                 ),
                 indent=2,
             )
         )
         return 0
-    print(f"query {queries} -> top-{len(result)} in {1e3 * elapsed:.2f} ms")
+    dial_note = "" if label is None else f" [{label}]"
+    print(
+        f"query {queries} -> top-{len(result)}{dial_note} "
+        f"in {1e3 * elapsed:.2f} ms"
+    )
     for rank, (node, score) in enumerate(zip(result.indices, result.scores), 1):
         print(f"{rank:4d}  node {int(node):8d}  score {float(score):.6e}")
     return 0
 
 
 def _search_batch(
-    ranker, queries: list[int], k: int, as_json: bool = False
+    ranker,
+    queries: list[int],
+    k: int,
+    as_json: bool = False,
+    dial: dict | None = None,
 ) -> int:
     """Answer every ``--query`` independently in one batched engine pass."""
+    dial = dial or {}
     started = time.perf_counter()
-    results = ranker.top_k_batch(np.asarray(queries), k)
+    results = ranker.top_k_batch(np.asarray(queries), k, **dial)
     elapsed = time.perf_counter() - started
     if as_json:
         from repro.service.encoding import search_result_payload, stats_to_dict
@@ -464,6 +574,8 @@ def _search_batch(
             ],
             "totals": stats_to_dict(batch_stats.totals),
         }
+        if dial:
+            document["accuracy"] = ranker.resolve_accuracy(**dial)[0]
         print(json.dumps(document, indent=2))
         return 0
     per_query = 1e3 * elapsed / len(queries)
@@ -498,6 +610,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     index = load_any_index(args.index)
     features = _load_features(args)
     graph = build_knn_graph(features, k=args.knn)
+    from repro.core.serialize import (
+        is_spectral_index_path,
+        load_spectral_tier,
+        spectral_tier_path,
+    )
+
+    spectral = None
+    if not args.mutable:
+        # A spectral sidecar next to the artifact turns the deployment
+        # into a tiered engine with the /search accuracy dial.  A mutable
+        # deployment cannot use it (the tier cannot follow writes).
+        spectral = load_spectral_tier(args.index)
+    elif is_spectral_index_path(spectral_tier_path(args.index)):
+        print(
+            "ignoring spectral tier sidecar: a mutable deployment serves "
+            "the exact engine only"
+        )
     ranker = engine_from_index(
         graph,
         index,
@@ -506,7 +635,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             k=args.knn,
             auto_rebuild_fraction=args.auto_rebuild_fraction or None,
         ),
+        spectral=spectral,
     )
+    if spectral is not None:
+        print(
+            f"spectral tier: rank {spectral.rank}, accuracy dial on "
+            "/search (fast/balanced/exact or m=<budget>)"
+        )
     if not args.mutable:
         run_server(
             ranker,

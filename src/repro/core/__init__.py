@@ -28,33 +28,52 @@ from repro.core.index import MogulIndex, MogulRanker
 from repro.core.live import LiveEngine, LiveState, RebuildTicket
 from repro.core.permutation import Permutation, build_permutation
 from repro.core.profile import BuildProfile
-from repro.core.search import SearchStats, TopKAccumulator, top_k_search
+from repro.core.search import (
+    SearchStats,
+    TopKAccumulator,
+    top_k_rerank,
+    top_k_search,
+)
 from repro.core.serialize import (
     live_state_path,
     load_any_index,
     load_index,
     load_live_state,
     load_sharded_index,
+    load_spectral_index,
+    load_spectral_tier,
     save_index,
     save_live_state,
     save_sharded_index,
+    save_spectral_index,
+    spectral_tier_path,
 )
 from repro.core.sharded import (
     ShardedMogulIndex,
     ShardedMogulRanker,
     ShardLayout,
     plan_shards,
+    scatter_gather_rerank,
     scatter_gather_search,
 )
 from repro.core.solver import ClusterSolver
+from repro.core.spectral import SpectralEngine, SpectralIndex
+from repro.core.tiered import (
+    ACCURACY_PRESETS,
+    DEFAULT_ACCURACY,
+    TieredEngine,
+    preset_candidates,
+)
 
 __all__ = [
+    "ACCURACY_PRESETS",
     "BatchQuery",
     "BatchStats",
     "BoundsTable",
     "BuildProfile",
     "ClusterBoundData",
     "ClusterSolver",
+    "DEFAULT_ACCURACY",
     "DynamicMogulRanker",
     "Engine",
     "EngineEpoch",
@@ -70,6 +89,9 @@ __all__ = [
     "ShardLayout",
     "ShardedMogulIndex",
     "ShardedMogulRanker",
+    "SpectralEngine",
+    "SpectralIndex",
+    "TieredEngine",
     "TopKAccumulator",
     "build_permutation",
     "diagnose_index",
@@ -80,12 +102,19 @@ __all__ = [
     "load_index",
     "load_live_state",
     "load_sharded_index",
+    "load_spectral_index",
+    "load_spectral_tier",
     "plan_shards",
     "precompute_cluster_bounds",
+    "preset_candidates",
     "save_index",
     "save_live_state",
     "save_sharded_index",
+    "save_spectral_index",
+    "scatter_gather_rerank",
     "scatter_gather_search",
+    "spectral_tier_path",
     "top_k_batch_search",
+    "top_k_rerank",
     "top_k_search",
 ]

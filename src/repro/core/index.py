@@ -32,7 +32,7 @@ from repro.core.bounds import BoundsTable, ClusterBoundData, precompute_cluster_
 from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
 from repro.core.permutation import ClusterFn, Permutation, build_permutation
 from repro.core.profile import BuildProfile
-from repro.core.search import SearchStats, top_k_search
+from repro.core.search import SearchStats, top_k_rerank, top_k_search
 from repro.core.solver import ClusterSolver
 from repro.core.topk import sorted_result
 from repro.clustering.louvain import louvain
@@ -618,6 +618,123 @@ class MogulRanker(Ranker):
             "overall": nn_timer.elapsed + search_timer.elapsed,
         }
         return self._to_result(answers)
+
+    # -- candidate-restricted re-ranking (the tiered engine's exact tier) --
+
+    def _candidate_positions(self, candidates) -> np.ndarray:
+        nodes = np.asarray(candidates, dtype=np.int64)
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ValueError("candidates must be a non-empty 1-D sequence of node ids")
+        if nodes.min() < 0 or nodes.max() >= self.n_nodes:
+            raise ValueError(
+                f"candidate ids out of range for n={self.n_nodes}"
+            )
+        return self.index.permutation.inverse[nodes]
+
+    def top_k_rerank(
+        self,
+        query: int,
+        k: int,
+        candidates,
+        exclude_query: bool = True,
+    ) -> TopKResult:
+        """Exact top-k restricted to ``candidates`` (original node ids).
+
+        Scores are bitwise the engine's own (:meth:`top_k`) scores —
+        the restriction only shrinks the set of nodes *eligible* to
+        answer, so when ``candidates`` contains the true top-k the
+        answer is identical to the unrestricted search.  This is the
+        exact tier of :class:`repro.core.tiered.TieredEngine`.
+        """
+        k = check_positive_int(k, "k")
+        self._check_query(query)
+        perm = self.index.permutation
+        position = int(perm.inverse[query])
+        answers, stats = top_k_rerank(
+            self.index.factors,
+            perm,
+            self.index.bounds,
+            seed_positions=np.asarray([position]),
+            seed_weights=np.asarray([1.0 - self.alpha]),
+            k=k,
+            candidate_positions=self._candidate_positions(candidates),
+            exclude_positions=(position,) if exclude_query else (),
+            use_pruning=self.use_pruning,
+            cluster_order=self.cluster_order,
+            solver=self.index.solver,
+            bounds_table=self.index.bounds_table,
+        )
+        self.last_stats = stats
+        return self._to_result(answers)
+
+    def top_k_rerank_seeded(
+        self,
+        seed_nodes,
+        seed_weights: np.ndarray,
+        k: int,
+        candidates,
+    ) -> TopKResult:
+        """Candidate-restricted exact top-k for a seeded (e.g. out-of-sample)
+        query.
+
+        ``seed_weights`` are the raw (sum-1) seed weights — the
+        ``1 - alpha`` scaling is applied here, matching
+        :meth:`top_k_out_of_sample`.  Seeds are not excluded from the
+        answers (out-of-sample semantics).
+        """
+        k = check_positive_int(k, "k")
+        seeds = np.asarray(seed_nodes, dtype=np.int64)
+        weights = np.asarray(seed_weights, dtype=np.float64)
+        if seeds.ndim != 1 or seeds.size == 0 or weights.shape != seeds.shape:
+            raise ValueError(
+                "seed_nodes and seed_weights must be matching non-empty 1-D arrays"
+            )
+        perm = self.index.permutation
+        answers, stats = top_k_rerank(
+            self.index.factors,
+            perm,
+            self.index.bounds,
+            seed_positions=perm.inverse[seeds],
+            seed_weights=(1.0 - self.alpha) * weights,
+            k=k,
+            candidate_positions=self._candidate_positions(candidates),
+            use_pruning=self.use_pruning,
+            cluster_order=self.cluster_order,
+            solver=self.index.solver,
+            bounds_table=self.index.bounds_table,
+        )
+        self.last_stats = stats
+        return self._to_result(answers)
+
+    def top_k_rerank_batch(
+        self,
+        queries,
+        k: int,
+        candidates_list,
+        exclude_query: bool = True,
+    ) -> list[TopKResult]:
+        """Per-query candidate-restricted re-rank for a batch of node queries.
+
+        One candidate set per query.  Executed as sequential restricted
+        searches (each already skips all non-candidate clusters, so the
+        batched multi-RHS machinery has little left to share); per-query
+        stats land in :attr:`last_batch_stats`.
+        """
+        k = check_positive_int(k, "k")
+        nodes = self._check_batch_queries(queries)
+        if len(candidates_list) != nodes.size:
+            raise ValueError(
+                f"got {nodes.size} queries but {len(candidates_list)} candidate sets"
+            )
+        results: list[TopKResult] = []
+        per_query: list[SearchStats] = []
+        for node, candidates in zip(nodes, candidates_list):
+            results.append(
+                self.top_k_rerank(int(node), k, candidates, exclude_query)
+            )
+            per_query.append(self.last_stats)
+        self.last_batch_stats = BatchStats(per_query=tuple(per_query))
+        return results
 
     def _to_result(self, answers: list[tuple[int, float]]) -> TopKResult:
         order = self.index.permutation.order

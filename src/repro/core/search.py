@@ -326,6 +326,119 @@ def top_k_search(
     return acc.collect(), stats
 
 
+def top_k_rerank(
+    factors: LDLFactors,
+    permutation: Permutation,
+    bounds: Sequence[ClusterBoundData],
+    seed_positions: np.ndarray,
+    seed_weights: np.ndarray,
+    k: int,
+    candidate_positions: np.ndarray,
+    exclude_positions: Iterable[int] = (),
+    use_pruning: bool = True,
+    cluster_order: str = "index",
+    solver: ClusterSolver | None = None,
+    bounds_table: BoundsTable | None = None,
+    initial_threshold: float = 0.0,
+) -> tuple[list[tuple[int, float]], SearchStats]:
+    """Algorithm 2 restricted to an explicit candidate set.
+
+    The tiered engine's exact re-rank: an approximate tier nominates
+    ``candidate_positions`` (permuted coordinates) and this scores them
+    with the same substitutions as :func:`top_k_search`, but only ever
+    *offers* candidates to the heap and only ever *visits* clusters that
+    own at least one candidate.  The returned scores are therefore
+    bitwise the engine's exact scores for those nodes; nodes outside the
+    candidate set can never appear in the answer.
+
+    Stages 1-2 (seed-cluster forward, border forward/back) are identical
+    to the unrestricted search — they are required for any exact score.
+    Stage 3 shrinks from "every remaining cluster" to "every remaining
+    cluster holding a candidate", which is where the restriction pays:
+    for m candidates spread over c clusters only c back-substitutions can
+    ever run, independent of the total cluster count.
+
+    ``initial_threshold`` seeds the heap's dummy floor
+    (:class:`TopKAccumulator`) — exact whenever it is a valid lower
+    bound on the k-th best *candidate* score.  Extra stats:
+    ``stats.extra["candidates"]`` records the candidate-set size.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if cluster_order not in ("index", "bound_desc"):
+        raise ValueError(f"unknown cluster_order {cluster_order!r}")
+    if solver is None:
+        solver = ClusterSolver(factors, permutation)
+    n = factors.n
+    stats = SearchStats(clusters_total=permutation.n_clusters)
+    candidates = np.unique(np.asarray(candidate_positions, dtype=np.int64))
+    if candidates.size and (candidates[0] < 0 or candidates[-1] >= n):
+        raise ValueError("candidate positions out of range")
+    stats.extra["candidates"] = int(candidates.size)
+
+    q_vec = np.zeros(n, dtype=np.float64)
+    q_vec[np.asarray(seed_positions, dtype=np.int64)] = np.asarray(
+        seed_weights, dtype=np.float64
+    )
+
+    seed_clusters = sorted(
+        {int(permutation.cluster_of_position[int(p)]) for p in seed_positions}
+    )
+    border_id = permutation.border_cluster
+    border = permutation.border_slice
+
+    acc = TopKAccumulator(k, n, exclude_positions, initial_threshold)
+    x = np.zeros(n, dtype=np.float64)
+
+    # Stages 1-2 exactly as in top_k_search: forward over seed clusters +
+    # border (Lemma 4), back-substitute border then seed clusters (Lemma 5).
+    y = solver.forward(q_vec, seed_clusters)
+    solver.back_border(y, x)
+    for cid in seed_clusters:
+        if cid != border_id:
+            solver.back_cluster(cid, y, x)
+    scored_clusters = set(seed_clusters) | {border_id}
+    for cid in scored_clusters:
+        sl = permutation.cluster_slices[cid]
+        stats.nodes_scored += sl.stop - sl.start
+    stats.clusters_scored = len(scored_clusters)
+
+    cand_clusters = permutation.cluster_of_position[candidates]
+    in_scored = np.isin(cand_clusters, sorted(scored_clusters))
+    if np.any(in_scored):
+        scored_positions = candidates[in_scored]
+        acc.offer_candidates(x[scored_positions], scored_positions)
+
+    # Stage 3 over candidate-owning unscored clusters only.
+    pending = candidates[~in_scored]
+    pending_clusters = cand_clusters[~in_scored]
+    if pending.size == 0:
+        return acc.collect(), stats
+    remaining = [int(cid) for cid in np.unique(pending_clusters)]
+
+    estimates = None
+    if use_pruning:
+        if bounds_table is None:
+            bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
+        estimates = bounds_table.estimate_all(np.abs(x[border.start :]))
+        stats.bound_evaluations += len(remaining)
+        if cluster_order == "bound_desc":
+            remaining.sort(key=lambda cid: -estimates[cid])
+    for cid in remaining:
+        members = pending[pending_clusters == cid]
+        if estimates is not None and float(estimates[cid]) < acc.threshold:
+            stats.clusters_pruned += 1
+            stats.pruned_nodes += members.size
+            continue
+        solver.back_cluster(cid, y, x)
+        sl = permutation.cluster_slices[cid]
+        stats.clusters_scored += 1
+        stats.nodes_scored += sl.stop - sl.start
+        acc.offer_candidates(x[members], members)
+
+    return acc.collect(), stats
+
+
 def merge_cluster_runs(
     cluster_ids: Sequence[int], permutation: Permutation
 ) -> list[tuple[int, int]]:

@@ -1199,6 +1199,232 @@ def scatter_gather_search(
     return answers, BatchStats(per_query=tuple(stats)), shard_totals
 
 
+def scatter_gather_rerank(
+    index: ShardedMogulIndex,
+    queries,
+    k: int,
+    candidates_list,
+    use_pruning: bool = True,
+    cluster_order: str = "index",
+) -> tuple[list[list[tuple[int, float]]], BatchStats, list[SearchStats]]:
+    """Candidate-restricted scatter-gather: the sharded exact re-rank.
+
+    The sharded counterpart of :func:`repro.core.search.top_k_rerank`:
+    each query ``j`` may only answer from ``candidates_list[j]``
+    (permuted positions).  Stages 1-2 match
+    :func:`scatter_gather_search` — the substitutions are what make the
+    scores exact — but the router offers only the candidates that fall
+    in the seed/border region, shards only visit clusters holding a
+    pending candidate, and every shard accumulator starts at the
+    router's threshold (:class:`repro.core.TopKAccumulator`'s
+    ``initial_threshold``), so bound pruning applies against the
+    candidates from the first cluster.
+
+    Returns ``(answers, per-query stats, per-shard aggregate stats)``;
+    ``stats.extra["candidates"]`` records each query's candidate count,
+    and ``pruned_nodes`` counts candidates dropped by pruning (the
+    restricted scan never touches non-candidate nodes).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if cluster_order not in ("index", "bound_desc"):
+        raise ValueError(f"unknown cluster_order {cluster_order!r}")
+    n_queries = len(queries)
+    if len(candidates_list) != n_queries:
+        raise ValueError(
+            f"got {n_queries} queries but {len(candidates_list)} candidate sets"
+        )
+    n_shards = index.n_shards
+    if n_queries == 0:
+        return [], BatchStats(per_query=()), [SearchStats() for _ in range(n_shards)]
+    perm = index.permutation
+    n = perm.n_nodes
+    border = perm.border_slice
+    border_start = border.start
+    border_id = perm.border_cluster
+    diag = index.diag
+    layout = index.layout
+
+    q_mat = np.zeros((n, n_queries), dtype=np.float64)
+    seed_cluster_sets: list[set[int]] = []
+    for j, query in enumerate(queries):
+        positions = np.asarray(query.seed_positions, dtype=np.int64)
+        q_mat[positions, j] = np.asarray(query.seed_weights, dtype=np.float64)
+        seed_cluster_sets.append(
+            {int(perm.cluster_of_position[int(p)]) for p in positions}
+        )
+
+    stats = [
+        SearchStats(clusters_total=perm.n_clusters) for _ in range(n_queries)
+    ]
+    candidate_arrays: list[np.ndarray] = []
+    for j, candidates in enumerate(candidates_list):
+        positions = np.unique(np.asarray(candidates, dtype=np.int64))
+        if positions.size == 0:
+            raise ValueError("every query needs a non-empty candidate set")
+        if positions[0] < 0 or positions[-1] >= n:
+            raise ValueError("candidate positions out of range")
+        candidate_arrays.append(positions)
+        stats[j].extra["candidates"] = int(positions.size)
+
+    # Stages 1-2 exactly as in scatter_gather_search: seed-cluster forward
+    # on the owning shards, shared border solves, seeded back-substitution.
+    seeded_columns: dict[int, list[int]] = {}
+    for j, seeds in enumerate(seed_cluster_sets):
+        for cid in seeds:
+            if cid != border_id:
+                seeded_columns.setdefault(cid, []).append(j)
+    z_mat = np.zeros((n, n_queries), dtype=np.float64)
+    y_mat = np.zeros((n, n_queries), dtype=np.float64)
+    for cid in sorted(seeded_columns):
+        shard = index.shard_state(layout.shard_of_cluster(cid))
+        cols = np.asarray(seeded_columns[cid], dtype=np.int64)
+        shard.forward_seed_block(
+            cid - shard.first_cluster, q_mat, z_mat, y_mat, cols=cols
+        )
+    rhs = q_mat[border_start:] - _spmm(index.border_left, z_mat[:border_start])
+    z_border = index.border_block.solve_lower(rhs)
+    y_mat[border_start:] = z_border / diag[border_start:][:, None]
+
+    x_mat = np.zeros((n, n_queries), dtype=np.float64)
+    x_mat[border_start:] = index.border_block.solve_upper(y_mat[border_start:])
+    for cid in sorted(seeded_columns):
+        shard = index.shard_state(layout.shard_of_cluster(cid))
+        cols = np.asarray(seeded_columns[cid], dtype=np.int64)
+        shard.back_cluster(
+            cid - shard.first_cluster, y_mat, x_mat, border_start, cols=cols
+        )
+
+    # Router frontier: only the candidates landing in the scored region.
+    router_accs = [
+        TopKAccumulator(k, n, query.exclude_positions) for query in queries
+    ]
+    scored_sets: list[set[int]] = []
+    pending: list[dict[int, np.ndarray]] = []
+    for j, seeds in enumerate(seed_cluster_sets):
+        scored = seeds | {border_id}
+        scored_sets.append(scored)
+        for cid in scored:
+            sl = perm.cluster_slices[cid]
+            stats[j].nodes_scored += sl.stop - sl.start
+        stats[j].clusters_scored = len(scored)
+        positions = candidate_arrays[j]
+        clusters = perm.cluster_of_position[positions]
+        in_scored = np.isin(clusters, sorted(scored))
+        ready = positions[in_scored]
+        if ready.size:
+            router_accs[j].offer_candidates(x_mat[ready, j], ready)
+        rest = positions[~in_scored]
+        rest_clusters = clusters[~in_scored]
+        by_cluster: dict[int, np.ndarray] = {}
+        for cid in np.unique(rest_clusters):
+            by_cluster[int(cid)] = rest[rest_clusters == cid]
+        pending.append(by_cluster)
+    initial_thresholds = np.asarray(
+        [acc.threshold for acc in router_accs], dtype=np.float64
+    )
+
+    # Stage 3 — scatter over candidate-owning clusters only.
+    x_border_abs = np.abs(x_mat[border_start:, :])
+    shard_answer_lists: list[list[list[tuple[int, float]]]] = []
+    shard_totals: list[SearchStats] = []
+    for shard_id in range(n_shards):
+        shard = index.shard_state(shard_id)
+        n_local = shard.n_clusters
+        first = shard.first_cluster
+        accs = [
+            TopKAccumulator(
+                k,
+                n,
+                query.exclude_positions,
+                initial_threshold=initial_thresholds[j],
+            )
+            for j, query in enumerate(queries)
+        ]
+        shard_stats = SearchStats(clusters_total=n_local * n_queries)
+        eligible = np.zeros((n_local, n_queries), dtype=bool)
+        cand_counts = np.zeros((n_local, n_queries), dtype=np.int64)
+        for j, by_cluster in enumerate(pending):
+            for cid, members in by_cluster.items():
+                if first <= cid < first + n_local:
+                    eligible[cid - first, j] = True
+                    cand_counts[cid - first, j] = members.size
+        eligible_counts = eligible.sum(axis=0)
+        for j in range(n_queries):
+            stats[j].bound_evaluations += int(eligible_counts[j])
+        shard_stats.bound_evaluations = int(eligible_counts.sum())
+
+        pruned_clusters = np.zeros(n_queries, dtype=np.int64)
+        pruned_nodes = np.zeros(n_queries, dtype=np.int64)
+        scored_clusters = np.zeros(n_queries, dtype=np.int64)
+        scored_nodes = np.zeros(n_queries, dtype=np.int64)
+
+        if not use_pruning:
+            scan = [lc for lc in range(n_local) if eligible[lc].any()]
+            estimates = None
+        else:
+            estimates = shard.bounds_table.estimate_all(x_border_abs)
+            thresholds = np.asarray([acc.threshold for acc in accs])
+            may_need = eligible & (estimates >= thresholds)
+            visit_mask = may_need.any(axis=1)
+            skipped = ~visit_mask
+            if np.any(skipped):
+                pruned_clusters += eligible[skipped].sum(axis=0)
+                pruned_nodes += cand_counts[skipped].sum(axis=0)
+            scan = [lc for lc in range(n_local) if visit_mask[lc]]
+            if cluster_order == "bound_desc":
+                scan.sort(key=lambda lc: -float(estimates[lc].max()))
+
+        for lc in scan:
+            row_eligible = eligible[lc]
+            sl = shard.cluster_slices[lc]
+            size = sl.stop - sl.start
+            if use_pruning:
+                pruned = row_eligible & (estimates[lc] < thresholds)
+                if np.any(pruned):
+                    pruned_clusters[pruned] += 1
+                    pruned_nodes[pruned] += cand_counts[lc][pruned]
+                active = np.flatnonzero(row_eligible & ~pruned)
+                if active.size == 0:
+                    continue
+            else:
+                active = np.flatnonzero(row_eligible)
+            cols = None if active.size == n_queries else active
+            shard.back_cluster(lc, y_mat, x_mat, border_start, cols=cols)
+            for j in active:
+                scored_clusters[j] += 1
+                scored_nodes[j] += size
+                members = pending[j][first + lc]
+                acc = accs[j]
+                acc.offer_candidates(x_mat[members, j], members)
+                if use_pruning:
+                    thresholds[j] = acc.threshold
+
+        for j in range(n_queries):
+            stats[j].clusters_pruned += int(pruned_clusters[j])
+            stats[j].pruned_nodes += int(pruned_nodes[j])
+            stats[j].clusters_scored += int(scored_clusters[j])
+            stats[j].nodes_scored += int(scored_nodes[j])
+        shard_stats.clusters_pruned = int(pruned_clusters.sum())
+        shard_stats.pruned_nodes = int(pruned_nodes.sum())
+        shard_stats.clusters_scored = int(scored_clusters.sum())
+        shard_stats.nodes_scored = int(scored_nodes.sum())
+        shard_totals.append(shard_stats)
+        shard_answer_lists.append([acc.collect() for acc in accs])
+
+    answers = [
+        merge_answer_pairs(
+            [router_accs[j].collect()]
+            + [shard_answer_lists[s][j] for s in range(n_shards)],
+            k,
+        )
+        for j in range(n_queries)
+    ]
+    for j in range(n_queries):
+        stats[j].extra["n_shards"] = n_shards
+    return answers, BatchStats(per_query=tuple(stats)), shard_totals
+
+
 # -- the sharded engine ----------------------------------------------------
 
 
@@ -1439,7 +1665,131 @@ class ShardedMogulRanker(Ranker):
         ]
         return self._run(batch, k)
 
+    # -- candidate-restricted re-ranking ----------------------------------
+
+    def _candidate_positions(self, candidates) -> np.ndarray:
+        nodes = np.asarray(candidates, dtype=np.int64)
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ValueError("candidates must be a non-empty 1-D sequence of node ids")
+        if nodes.min() < 0 or nodes.max() >= self.n_nodes:
+            raise ValueError(f"candidate ids out of range for n={self.n_nodes}")
+        return self.index.permutation.inverse[nodes]
+
+    def top_k_rerank(
+        self,
+        query: int,
+        k: int,
+        candidates,
+        exclude_query: bool = True,
+    ) -> TopKResult:
+        """Exact top-k restricted to ``candidates`` (original node ids).
+
+        The sharded counterpart of
+        :meth:`repro.core.MogulRanker.top_k_rerank`: scores are bitwise
+        the engine's own, only answer eligibility is restricted.
+        """
+        k = check_positive_int(k, "k")
+        self._check_query(query)
+        position = int(self.index.permutation.inverse[query])
+        batch = [
+            BatchQuery(
+                seed_positions=np.asarray([position]),
+                seed_weights=np.asarray([1.0 - self.alpha]),
+                exclude_positions=(position,) if exclude_query else (),
+            )
+        ]
+        return self._run_rerank(
+            batch, k, [self._candidate_positions(candidates)], single=True
+        )[0]
+
+    def top_k_rerank_seeded(
+        self,
+        seed_nodes,
+        seed_weights: np.ndarray,
+        k: int,
+        candidates,
+    ) -> TopKResult:
+        """Candidate-restricted exact top-k for a seeded query.
+
+        ``seed_weights`` are raw (sum-1) weights; the ``1 - alpha``
+        scaling is applied here, matching :meth:`top_k_out_of_sample`.
+        """
+        k = check_positive_int(k, "k")
+        seeds = np.asarray(seed_nodes, dtype=np.int64)
+        weights = np.asarray(seed_weights, dtype=np.float64)
+        if seeds.ndim != 1 or seeds.size == 0 or weights.shape != seeds.shape:
+            raise ValueError(
+                "seed_nodes and seed_weights must be matching non-empty 1-D arrays"
+            )
+        batch = [
+            BatchQuery(
+                seed_positions=self.index.permutation.inverse[seeds],
+                seed_weights=(1.0 - self.alpha) * weights,
+            )
+        ]
+        return self._run_rerank(
+            batch, k, [self._candidate_positions(candidates)], single=True
+        )[0]
+
+    def top_k_rerank_batch(
+        self,
+        queries,
+        k: int,
+        candidates_list,
+        exclude_query: bool = True,
+    ) -> list[TopKResult]:
+        """Per-query candidate-restricted re-rank in one scatter-gather pass."""
+        k = check_positive_int(k, "k")
+        nodes = self._check_batch_queries(queries)
+        if len(candidates_list) != nodes.size:
+            raise ValueError(
+                f"got {nodes.size} queries but {len(candidates_list)} candidate sets"
+            )
+        perm = self.index.permutation
+        batch = []
+        for node in nodes:
+            position = int(perm.inverse[node])
+            batch.append(
+                BatchQuery(
+                    seed_positions=np.asarray([position]),
+                    seed_weights=np.asarray([1.0 - self.alpha]),
+                    exclude_positions=(position,) if exclude_query else (),
+                )
+            )
+        positions_list = [
+            self._candidate_positions(candidates) for candidates in candidates_list
+        ]
+        return self._run_rerank(batch, k, positions_list)
+
     # -- internals --------------------------------------------------------
+
+    def _run_rerank(
+        self,
+        batch: list[BatchQuery],
+        k: int,
+        candidates_list: list[np.ndarray],
+        single: bool = False,
+    ) -> list[TopKResult]:
+        answers, batch_stats, shard_stats = scatter_gather_rerank(
+            self.index,
+            batch,
+            k,
+            candidates_list,
+            use_pruning=self.use_pruning,
+            cluster_order=self.cluster_order,
+        )
+        self.last_shard_stats = shard_stats
+        if single:
+            self.last_stats = batch_stats.per_query[0]
+        else:
+            self.last_batch_stats = batch_stats
+        order = self.index.permutation.order
+        results = []
+        for pairs in answers:
+            ids = np.asarray([order[pos] for pos, _ in pairs], dtype=np.int64)
+            scores = np.asarray([score for _, score in pairs], dtype=np.float64)
+            results.append(sorted_result(ids, scores))
+        return results
 
     def _run(
         self, batch: list[BatchQuery], k: int, single: bool = False

@@ -1,0 +1,179 @@
+"""Accuracy-dial evaluation: recall@k versus latency across dial settings.
+
+The tiered engine trades recall for speed through one knob — the
+candidate budget ``m`` the spectral tier nominates for exact re-ranking.
+This module sweeps that knob and measures both sides of the trade on the
+same query sample:
+
+* **recall@k** — set overlap (:func:`repro.eval.metrics.p_at_k`) of the
+  dialed answers against the exact engine's answers.  This is end-to-end
+  answer recall, not nomination recall: the re-rank is exact over the
+  nominated candidates, so any loss is the spectral tier failing to
+  nominate a true top-k member.
+* **seconds/query** — the same measured region as every other benchmark
+  (:func:`repro.eval.harness.time_queries`), so q/s numbers are
+  comparable with the exact engine's.
+
+:func:`recall_latency_curve` produces one :class:`DialPoint` per dial
+setting (presets and/or explicit budgets), each carrying its speedup
+against the exact baseline measured in the same run;
+:func:`curve_table` renders the sweep as an
+:class:`repro.eval.harness.ExperimentTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.eval.harness import ExperimentTable, time_queries
+from repro.eval.metrics import p_at_k
+
+
+@dataclass(frozen=True)
+class DialPoint:
+    """One dial setting's measured accuracy/latency trade-off.
+
+    Attributes
+    ----------
+    label:
+        The canonical accuracy level (``"fast"``, ``"balanced"``,
+        ``"exact"``, or ``"m=<budget>"``).
+    recall_at_k:
+        Mean recall@k of the dialed answers against the exact answers.
+    min_recall_at_k:
+        Worst single-query recall@k in the sample (the tail matters:
+        a mean can hide individual queries answered badly).
+    seconds_per_query:
+        Mean wall-clock seconds per single query at this setting.
+    speedup:
+        Exact seconds/query divided by this setting's seconds/query
+        (1.0 for the exact level by construction, up to timing noise).
+    mean_candidates:
+        Mean nominated candidate-set size (0 for ``exact``: the
+        spectral tier is bypassed).
+    """
+
+    label: str
+    recall_at_k: float
+    min_recall_at_k: float
+    seconds_per_query: float
+    speedup: float
+    mean_candidates: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for BENCH reports)."""
+        return {
+            "label": self.label,
+            "recall_at_k": self.recall_at_k,
+            "min_recall_at_k": self.min_recall_at_k,
+            "seconds_per_query": self.seconds_per_query,
+            "qps": 1.0 / self.seconds_per_query
+            if self.seconds_per_query > 0
+            else float("inf"),
+            "speedup": self.speedup,
+            "mean_candidates": self.mean_candidates,
+        }
+
+
+def _dial_kwargs(level: "str | int") -> dict:
+    """Engine kwargs for one sweep entry (a preset name or an ``m``)."""
+    if isinstance(level, str):
+        return {"accuracy": level}
+    return {"m": int(level)}
+
+
+def recall_latency_curve(
+    tiered,
+    queries: Sequence[int],
+    k: int,
+    levels: Sequence["str | int"] = ("fast", "balanced", "exact"),
+    warmup: int = 1,
+) -> list[DialPoint]:
+    """Measure recall@k and seconds/query at each dial setting.
+
+    Parameters
+    ----------
+    tiered:
+        A :class:`repro.core.TieredEngine`.
+    queries:
+        In-database query node ids (e.g. from
+        :func:`repro.eval.harness.sample_queries`).
+    k:
+        Answer-list length; recall is measured at this k.
+    levels:
+        Dial settings to sweep — preset names (strings) and/or explicit
+        candidate budgets (integers, labelled ``m=<value>``).
+    warmup:
+        Untimed initial calls per setting (first-call effects).
+
+    The exact baseline is measured once through the *base* engine (the
+    tier machinery fully out of the way) and shared by every point's
+    ``speedup``; reference answers for recall come from the same run.
+    """
+    queries = [int(query) for query in queries]
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    reference = {query: tiered.base.top_k(query, k).indices for query in queries}
+    exact_seconds = time_queries(
+        lambda query: tiered.base.top_k(query, k), queries, warmup=warmup
+    )
+    points: list[DialPoint] = []
+    for level in levels:
+        kwargs = _dial_kwargs(level)
+        label = tiered.resolve_accuracy(**kwargs)[0]
+        recalls = []
+        candidates = 0.0
+        for query in queries:
+            answer = tiered.top_k(query, k, **kwargs)
+            recalls.append(p_at_k(answer.indices, reference[query]))
+            candidates += tiered.last_tier_breakdown["candidates"]
+        seconds = time_queries(
+            lambda query: tiered.top_k(query, k, **kwargs), queries, warmup=warmup
+        )
+        points.append(
+            DialPoint(
+                label=label,
+                recall_at_k=float(np.mean(recalls)),
+                min_recall_at_k=float(np.min(recalls)),
+                seconds_per_query=seconds,
+                speedup=exact_seconds / seconds if seconds > 0 else float("inf"),
+                mean_candidates=candidates / len(queries),
+            )
+        )
+    return points
+
+
+def curve_table(
+    points: Sequence[DialPoint], k: int, title: str = "Accuracy dial sweep"
+) -> ExperimentTable:
+    """Render a dial sweep as an aligned experiment table."""
+    table = ExperimentTable(
+        title=title,
+        columns=[
+            "level",
+            f"recall@{k}",
+            f"min recall@{k}",
+            "ms/query",
+            "qps",
+            "speedup",
+            "mean m",
+        ],
+    )
+    for point in points:
+        table.add_row(
+            point.label,
+            point.recall_at_k,
+            point.min_recall_at_k,
+            1e3 * point.seconds_per_query,
+            1.0 / point.seconds_per_query if point.seconds_per_query > 0 else 0.0,
+            point.speedup,
+            point.mean_candidates,
+        )
+    table.add_note(
+        "recall measured against the exact engine's answers on the same "
+        "queries; speedup is exact seconds/query over dialed seconds/query"
+    )
+    return table

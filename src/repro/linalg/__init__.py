@@ -23,6 +23,13 @@ from repro.linalg.ordering import (
     reverse_cuthill_mckee,
 )
 from repro.linalg.packed import PackedUnitLower
+from repro.linalg.spectral import (
+    SpectralBasis,
+    project_seeds,
+    spectral_decompose,
+    spectral_filter,
+    spectral_scores,
+)
 from repro.linalg.triangular import (
     back_substitute,
     back_substitute_rows,
@@ -35,6 +42,7 @@ from repro.linalg.woodbury import low_rank_regularized_apply, woodbury_solve
 __all__ = [
     "LDLFactors",
     "PackedUnitLower",
+    "SpectralBasis",
     "apply_order",
     "bandwidth",
     "back_substitute",
@@ -48,6 +56,10 @@ __all__ = [
     "ldl_solve",
     "low_rank_regularized_apply",
     "profile",
+    "project_seeds",
     "reverse_cuthill_mckee",
+    "spectral_decompose",
+    "spectral_filter",
+    "spectral_scores",
     "woodbury_solve",
 ]

@@ -1,0 +1,176 @@
+"""Low-rank spectral approximation of the Manifold Ranking operator.
+
+Fast Spectral Ranking (Iscen et al., see PAPERS.md) observes that the
+ranking operator :math:`(I - \\alpha S)^{-1}` is a *filter* on the
+spectrum of the normalized adjacency :math:`S = C^{-1/2} A C^{-1/2}`:
+if :math:`S = U \\Lambda U^T` then
+
+.. math:: (I - \\alpha S)^{-1} = U\\, h(\\Lambda)\\, U^T,
+          \\qquad h(\\lambda) = \\frac{1}{1 - \\alpha \\lambda},
+
+and truncating to the top-r eigenpairs (``h`` is monotone increasing on
+S's spectrum, so the largest eigenvalues carry almost all of the
+operator's mass at :math:`\\alpha \\to 1`) collapses a query from a
+sparse solve to two dense GEMVs of shape ``(n, r)``.  This module holds
+the numerics only — the decomposition, the filter and the batched
+scorer; :mod:`repro.core.spectral` wraps them in the engine interface.
+
+Everything here is deterministic: the Lanczos iteration is started from
+a fixed vector, and scores are invariant to per-eigenvector sign flips
+(``U h U^T`` is a two-sided product), so repeated builds rank
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+#: Below this many nodes the dense eigendecomposition is both faster and
+#: free of Lanczos convergence corner cases (eigsh also requires k < n).
+_DENSE_CUTOFF = 128
+
+
+@dataclass(frozen=True)
+class SpectralBasis:
+    """The rank-r eigenpairs of the normalized adjacency ``S``.
+
+    Attributes
+    ----------
+    vectors:
+        ``(n, r)`` orthonormal eigenvectors, one column per eigenpair.
+    values:
+        ``(r,)`` matching eigenvalues, sorted descending (``S`` is
+        symmetric with spectral radius at most 1, so all lie in
+        ``[-1, 1]``).
+    """
+
+    vectors: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.vectors.ndim != 2:
+            raise ValueError(
+                f"vectors must be a (n, r) matrix, got shape {self.vectors.shape}"
+            )
+        if self.values.shape != (self.vectors.shape[1],):
+            raise ValueError(
+                f"values must have shape ({self.vectors.shape[1]},), "
+                f"got {self.values.shape}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of database nodes the basis spans."""
+        return int(self.vectors.shape[0])
+
+    @property
+    def rank(self) -> int:
+        """Number of retained eigenpairs."""
+        return int(self.vectors.shape[1])
+
+
+def spectral_decompose(s: sp.spmatrix, rank: int) -> SpectralBasis:
+    """Top-``rank`` eigenpairs of the symmetric matrix ``S`` (largest first).
+
+    Large problems go through ARPACK's Lanczos iteration
+    (``scipy.sparse.linalg.eigsh``) on the CSR matrix directly; small
+    ones — and ranks close to ``n``, where Lanczos degenerates — through
+    the dense ``np.linalg.eigh``.  Both paths start from deterministic
+    state, and both clip ``rank`` to ``n`` (asking for more eigenpairs
+    than dimensions is a caller convenience, not an error).
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    s = s.tocsr()
+    n = s.shape[0]
+    if s.shape != (n, n):
+        raise ValueError(f"S must be square, got shape {s.shape}")
+    rank = min(int(rank), n)
+    if n < _DENSE_CUTOFF or rank >= n - 1:
+        values, vectors = np.linalg.eigh(s.toarray())
+        order = np.argsort(values)[::-1][:rank]
+        return SpectralBasis(
+            vectors=np.ascontiguousarray(vectors[:, order]),
+            values=np.ascontiguousarray(values[order]),
+        )
+    # Fixed start vector: repeated builds of the same graph produce the
+    # same iteration and thus bitwise-identical bases.
+    v0 = np.full(n, 1.0 / np.sqrt(n), dtype=np.float64)
+    values, vectors = spla.eigsh(s, k=rank, which="LA", v0=v0)
+    order = np.argsort(values)[::-1]
+    return SpectralBasis(
+        vectors=np.ascontiguousarray(vectors[:, order]),
+        values=np.ascontiguousarray(values[order]),
+    )
+
+
+def spectral_filter(values: np.ndarray, alpha: float) -> np.ndarray:
+    """The ranking transfer function :math:`h(\\lambda) = 1/(1-\\alpha\\lambda)`.
+
+    Finite for every eigenvalue of ``S`` when ``0 < alpha < 1`` (the
+    spectrum lies in ``[-1, 1]``, so ``1 - alpha * lambda >= 1 - alpha``).
+    Values are clipped into ``[-1, 1]`` first: Lanczos round-off can
+    report ``1 + eps``, which must not flip the filter's sign.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    clipped = np.clip(np.asarray(values, dtype=np.float64), -1.0, 1.0)
+    return 1.0 / (1.0 - alpha * clipped)
+
+
+def project_seeds(
+    basis: SpectralBasis, seed_rows: np.ndarray, seed_weights: np.ndarray
+) -> np.ndarray:
+    """The spectral projection :math:`U^T q` of a sparse seed vector.
+
+    ``q`` has ``seed_weights`` on ``seed_rows`` and zeros elsewhere, so
+    the projection reduces to a weighted sum of ``r``-dimensional basis
+    rows — no dense ``q`` is ever formed.  For a one-hot in-database
+    query this is just the query's basis row.
+    """
+    rows = np.asarray(seed_rows, dtype=np.int64)
+    weights = np.asarray(seed_weights, dtype=np.float64)
+    if rows.ndim != 1 or weights.shape != rows.shape:
+        raise ValueError(
+            f"seed rows {rows.shape} and weights {weights.shape} must be "
+            "matching 1-D arrays"
+        )
+    return weights @ basis.vectors[rows]
+
+
+def spectral_scores(
+    basis: SpectralBasis, alpha: float, projections: np.ndarray
+) -> np.ndarray:
+    """Approximate ranking scores from precomputed projections ``U^T q``.
+
+    ``projections`` is ``(r,)`` for one query or ``(r, b)`` for a batch;
+    the result matches (``(n,)`` or ``(n, b)``).  Scores are scaled by
+    ``1 - alpha`` to match the library's convention (every engine solves
+    ``W x = (1 - alpha) q``), so spectral and exact scores are directly
+    comparable:
+
+    .. math:: x \\approx (1-\\alpha)\\, U\\, h(\\Lambda)\\, U^T q.
+
+    One filtered ``(n, r) @ (r, b)`` GEMM — the whole query-time cost of
+    the approximate tier.
+    """
+    projections = np.asarray(projections, dtype=np.float64)
+    if projections.ndim not in (1, 2):
+        raise ValueError(
+            f"projections must be (r,) or (r, b), got shape {projections.shape}"
+        )
+    if projections.shape[0] != basis.rank:
+        raise ValueError(
+            f"projections have {projections.shape[0]} rows but the basis has "
+            f"rank {basis.rank}"
+        )
+    h = spectral_filter(basis.values, alpha)
+    if projections.ndim == 1:
+        filtered = h * projections
+    else:
+        filtered = h[:, None] * projections
+    return (1.0 - alpha) * (basis.vectors @ filtered)

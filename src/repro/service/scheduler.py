@@ -20,7 +20,13 @@ ordered by (score desc, id asc), so the top-k prefix of a top-K answer
 
 In-database and out-of-sample requests are scheduled in separate lanes
 (they enter different engine entry points); each lane has its own queue
-and dispatcher, both feeding the single engine worker thread.
+and dispatcher, all feeding the single engine worker thread.  When the
+engine is tiered (:class:`repro.core.TieredEngine`), requests carry an
+accuracy dial, and each resolved accuracy level gets its **own** lane
+(``node:fast``, ``node:balanced``, ...): only requests answered by the
+same tier configuration may share a batch, and cache keys carry the
+resolved level so a ``fast`` answer is never served to an ``exact``
+request.
 """
 
 from __future__ import annotations
@@ -62,12 +68,16 @@ class ScheduledResult:
         How many requests shared the engine dispatch (1 = no coalescing).
     cached:
         ``True`` when the answer came from the result cache (no solve).
+    accuracy:
+        The resolved accuracy level that produced this answer (``None``
+        on a non-tiered engine, where there is no dial).
     """
 
     result: TopKResult
     stats: SearchStats | None
     batch_size: int
     cached: bool = False
+    accuracy: str | None = None
 
 
 @dataclass
@@ -144,6 +154,9 @@ class MicroBatchScheduler:
         self.exclude_query = exclude_query
         self.sequential_singletons = sequential_singletons
         self._queues: dict[str, asyncio.Queue] = {}
+        #: Per-lane engine kwargs (the resolved accuracy dial); the base
+        #: ``node`` / ``oos`` lanes carry none.
+        self._lane_extra: dict[str, dict] = {}
         self._dispatchers: list[asyncio.Task] = []
         #: One worker thread serializes engine access: MogulRanker keeps
         #: per-call state (last_batch_stats) and numpy releases the GIL
@@ -165,10 +178,27 @@ class MicroBatchScheduler:
             max_workers=1, thread_name_prefix="mogul-engine"
         )
         self._queues = {"node": asyncio.Queue(), "oos": asyncio.Queue()}
+        self._lane_extra = {"node": {}, "oos": {}}
         self._dispatchers = [
             asyncio.create_task(self._dispatch_loop(lane), name=f"dispatch-{lane}")
             for lane in self._queues
         ]
+
+    def _ensure_lane(self, lane: str, extra: dict) -> None:
+        """Create an accuracy lane on first use (event-loop only, no races).
+
+        Tiered accuracy levels are open-ended (``m=<any>``), so lanes are
+        made lazily rather than enumerated up front.  The lane's engine
+        kwargs are fixed at creation: a lane name resolves to exactly one
+        tier configuration, which is what makes coalescing inside it safe.
+        """
+        if lane in self._queues:
+            return
+        self._queues[lane] = asyncio.Queue()
+        self._lane_extra[lane] = dict(extra)
+        self._dispatchers.append(
+            asyncio.create_task(self._dispatch_loop(lane), name=f"dispatch-{lane}")
+        )
 
     async def stop(self) -> None:
         """Drain nothing, cancel the dispatchers, shut the worker down.
@@ -210,6 +240,7 @@ class MicroBatchScheduler:
             "max_batch_size": self.max_batch_size,
             "max_wait_ms": self.max_wait_ms,
             "queue_depth": self.queue_depth if self._running else 0,
+            "lanes": sorted(self._queues) if self._running else [],
             "batches_dispatched": self.batches_dispatched,
             "queries_dispatched": self.queries_dispatched,
             "mutations_dispatched": self.mutations_dispatched,
@@ -217,7 +248,35 @@ class MicroBatchScheduler:
 
     # -- request entry points --------------------------------------------
 
-    async def search(self, node: int, k: int) -> ScheduledResult:
+    def _resolve_accuracy(
+        self, accuracy: str | None, m: int | None
+    ) -> tuple[str | None, dict]:
+        """The engine's canonical accuracy level and kwargs for a request.
+
+        A tiered engine resolves every request — including the implicit
+        default — to a canonical label, so ``accuracy=None`` and an
+        explicit ``accuracy="balanced"`` share a lane and cache entries.
+        On a non-tiered engine the dial does not exist: asking for it is
+        a request error (400), not something to silently ignore — the
+        caller believes accuracy is being traded and it is not.
+        """
+        resolver = getattr(self.ranker, "resolve_accuracy", None)
+        if resolver is None:
+            if accuracy is not None or m is not None:
+                raise ValueError(
+                    "this engine has no accuracy dial (accuracy/m require "
+                    "a tiered engine; serve with a spectral tier)"
+                )
+            return None, {}
+        return resolver(accuracy=accuracy, m=m)
+
+    async def search(
+        self,
+        node: int,
+        k: int,
+        accuracy: str | None = None,
+        m: int | None = None,
+    ) -> ScheduledResult:
         """Top-k for an in-database node (validated before enqueueing)."""
         node = int(node)
         if not 0 <= node < self.ranker.n_nodes:
@@ -225,15 +284,23 @@ class MicroBatchScheduler:
                 f"query {node} out of range for {self.ranker.n_nodes} nodes"
             )
         k = self._cap_k(k)
-        key = (
-            ResultCache.node_key(node, k, exclude=self.exclude_query)
-            if self.cache is not None
-            else None
-        )
-        return await self._submit("node", node, k, key)
+        label, extra = self._resolve_accuracy(accuracy, m)
+        key = None
+        if self.cache is not None:
+            # The resolved level is part of the answer's identity: a
+            # `fast` answer must never satisfy an `exact` request.
+            params = {"exclude": self.exclude_query}
+            if label is not None:
+                params["accuracy"] = label
+            key = ResultCache.node_key(node, k, **params)
+        return await self._submit("node", node, k, key, label, extra)
 
     async def search_out_of_sample(
-        self, feature: np.ndarray, k: int
+        self,
+        feature: np.ndarray,
+        k: int,
+        accuracy: str | None = None,
+        m: int | None = None,
     ) -> ScheduledResult:
         """Top-k for a feature vector outside the database."""
         feature = np.asarray(feature, dtype=np.float64)
@@ -243,12 +310,12 @@ class MicroBatchScheduler:
                 f"feature must have shape ({expected},), got {feature.shape}"
             )
         k = self._cap_k(k)
-        key = (
-            ResultCache.feature_key(feature, k)
-            if self.cache is not None
-            else None
-        )
-        return await self._submit("oos", feature, k, key)
+        label, extra = self._resolve_accuracy(accuracy, m)
+        key = None
+        if self.cache is not None:
+            params = {} if label is None else {"accuracy": label}
+            key = ResultCache.feature_key(feature, k, **params)
+        return await self._submit("oos", feature, k, key, label, extra)
 
     # -- mutation entry points -------------------------------------------
 
@@ -319,16 +386,29 @@ class MicroBatchScheduler:
         return min(int(k), self.ranker.n_nodes)
 
     async def _submit(
-        self, lane: str, payload: object, k: int, cache_key: object | None
+        self,
+        lane: str,
+        payload: object,
+        k: int,
+        cache_key: object | None,
+        accuracy: str | None = None,
+        extra: dict | None = None,
     ) -> ScheduledResult:
         if not self._running:
             raise RuntimeError("scheduler is not running (call start() first)")
+        if accuracy is not None:
+            lane = f"{lane}:{accuracy}"
+            self._ensure_lane(lane, extra or {})
         if cache_key is not None:
             hit = self.cache.get(cache_key)
             if hit is not None:
                 result, stats = hit
                 return ScheduledResult(
-                    result=result, stats=stats, batch_size=0, cached=True
+                    result=result,
+                    stats=stats,
+                    batch_size=0,
+                    cached=True,
+                    accuracy=accuracy,
                 )
         generation = None if self.cache is None else self.cache.generation
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -399,6 +479,7 @@ class MicroBatchScheduler:
             self.metrics.record_batch(
                 len(batch), SearchStats.aggregate(per_query)
             )
+        label = lane.partition(":")[2] or None
         for pending, result, stats in zip(batch, results, per_query):
             answer = _truncate(result, pending.k)
             if self.cache is not None and pending.cache_key is not None:
@@ -410,7 +491,10 @@ class MicroBatchScheduler:
             if not pending.future.done():
                 pending.future.set_result(
                     ScheduledResult(
-                        result=answer, stats=stats, batch_size=len(batch)
+                        result=answer,
+                        stats=stats,
+                        batch_size=len(batch),
+                        accuracy=label,
                     )
                 )
 
@@ -421,26 +505,31 @@ class MicroBatchScheduler:
 
         A singleton batch takes the sequential fast path when
         ``sequential_singletons`` is on (the default); its answers are
-        identical to a one-column batch call.
+        identical to a one-column batch call.  Accuracy lanes
+        (``node:fast``, ``oos:m=256``, ...) forward their resolved tier
+        kwargs to the engine on every call.
         """
         ranker = self.ranker
+        kind = lane.partition(":")[0]
+        extra = self._lane_extra.get(lane, {})
         singleton = len(payloads) == 1 and self.sequential_singletons
-        if lane == "node":
+        if kind == "node":
             if singleton:
                 result = ranker.top_k(
-                    int(payloads[0]), k, exclude_query=self.exclude_query
+                    int(payloads[0]), k, exclude_query=self.exclude_query, **extra
                 )
                 return [result], (ranker.last_stats,)
             results = ranker.top_k_batch(
                 np.asarray(payloads, dtype=np.int64),
                 k,
                 exclude_query=self.exclude_query,
+                **extra,
             )
             return results, ranker.last_batch_stats.per_query
         if singleton:
-            result = ranker.top_k_out_of_sample(payloads[0], k)
+            result = ranker.top_k_out_of_sample(payloads[0], k, **extra)
             return [result], (ranker.last_stats,)
-        results = ranker.top_k_out_of_sample_batch(np.asarray(payloads), k)
+        results = ranker.top_k_out_of_sample_batch(np.asarray(payloads), k, **extra)
         return results, ranker.last_batch_stats.per_query
 
 

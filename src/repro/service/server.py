@@ -12,10 +12,14 @@ Endpoints
     Body ``{"query": <node id>, "k": 10}``.  Answers come from the
     scheduler (coalesced with whatever else is in flight) or the result
     cache; the response carries the ranked answers, the engine's pruning
-    stats, the dispatch batch size and the measured latency.
+    stats, the dispatch batch size and the measured latency.  Against a
+    tiered engine the accuracy dial rides either the query string
+    (``/search?accuracy=fast``, ``/search?m=256``) or the same-named
+    body fields; the response echoes the resolved level.
 ``POST /search_oos``
     Body ``{"feature": [<float>, ...], "k": 10}`` — §4.6.2 out-of-sample
-    queries by feature vector, batched the same way.
+    queries by feature vector, batched the same way (the accuracy dial
+    applies here too).
 ``POST /insert`` / ``POST /delete`` / ``POST /rebuild``
     Write endpoints, available when the served engine is mutable (a
     :class:`repro.core.LiveEngine`; see ``repro serve --mutable``).
@@ -45,6 +49,7 @@ import json
 import threading
 import time
 from typing import Callable
+from urllib.parse import parse_qs
 
 import numpy as np
 
@@ -201,7 +206,8 @@ class RetrievalServer:
 
     async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
         started = time.perf_counter()
-        endpoint = path.split("?", 1)[0]
+        endpoint, _, query_string = path.partition("?")
+        params = parse_qs(query_string) if query_string else {}
         try:
             if endpoint == "/healthz":
                 _require(method, "GET")
@@ -220,11 +226,11 @@ class RetrievalServer:
                 return 200, payload
             if endpoint == "/search":
                 _require(method, "POST")
-                payload = await self._search(_parse_json(body), started)
+                payload = await self._search(_parse_json(body), started, params)
                 return 200, payload
             if endpoint == "/search_oos":
                 _require(method, "POST")
-                payload = await self._search_oos(_parse_json(body), started)
+                payload = await self._search_oos(_parse_json(body), started, params)
                 return 200, payload
             if endpoint == "/insert":
                 _require(method, "POST")
@@ -254,14 +260,16 @@ class RetrievalServer:
 
     # -- endpoints --------------------------------------------------------
 
-    async def _search(self, document: dict, started: float) -> dict:
+    async def _search(self, document: dict, started: float, params: dict) -> dict:
         query = document.get("query")
         if not isinstance(query, int) or isinstance(query, bool):
             raise _HttpError(400, "body must carry an integer 'query' node id")
         k = _get_k(document)
-        scheduled = await self.scheduler.search(query, k)
+        accuracy, m = _get_accuracy(document, params)
+        scheduled = await self.scheduler.search(query, k, accuracy=accuracy, m=m)
         elapsed = time.perf_counter() - started
         self.metrics.record_request("search", elapsed)
+        extra = {} if scheduled.accuracy is None else {"accuracy": scheduled.accuracy}
         return search_result_payload(
             scheduled.result,
             k,
@@ -270,9 +278,10 @@ class RetrievalServer:
             cached=scheduled.cached,
             batch_size=scheduled.batch_size,
             latency_ms=1e3 * elapsed,
+            **extra,
         )
 
-    async def _search_oos(self, document: dict, started: float) -> dict:
+    async def _search_oos(self, document: dict, started: float, params: dict) -> dict:
         feature = document.get("feature")
         if not isinstance(feature, list) or not feature:
             raise _HttpError(400, "body must carry a non-empty 'feature' list")
@@ -280,9 +289,13 @@ class RetrievalServer:
         if vector.ndim != 1:
             raise _HttpError(400, "'feature' must be a flat list of numbers")
         k = _get_k(document)
-        scheduled = await self.scheduler.search_out_of_sample(vector, k)
+        accuracy, m = _get_accuracy(document, params)
+        scheduled = await self.scheduler.search_out_of_sample(
+            vector, k, accuracy=accuracy, m=m
+        )
         elapsed = time.perf_counter() - started
         self.metrics.record_request("search_oos", elapsed)
+        extra = {} if scheduled.accuracy is None else {"accuracy": scheduled.accuracy}
         return search_result_payload(
             scheduled.result,
             k,
@@ -290,6 +303,7 @@ class RetrievalServer:
             cached=scheduled.cached,
             batch_size=scheduled.batch_size,
             latency_ms=1e3 * elapsed,
+            **extra,
         )
 
     async def _insert(self, document: dict, started: float) -> dict:
@@ -362,7 +376,30 @@ class RetrievalServer:
         snapshot = self.metrics.snapshot()
         snapshot["queue_depth"] = self.scheduler.queue_depth
         snapshot["cache"] = self.cache.stats()
+        tiers = self._tier_counters()
+        if tiers is not None:
+            snapshot["tiers"] = tiers
         return snapshot
+
+    def _tier_counters(self) -> dict | None:
+        """Per-accuracy-level counters of a tiered engine (else ``None``)."""
+        counters = getattr(self.ranker, "tier_counters", None)
+        if counters is None:
+            return None
+        tiers = {}
+        for label, entry in counters().items():
+            queries = entry["queries"]
+            tiers[label] = {
+                "queries": int(queries),
+                "spectral_seconds": entry["spectral_seconds"],
+                "rerank_seconds": entry["rerank_seconds"],
+                "candidates": int(entry["candidates"]),
+                "mean_candidates": entry["candidates"] / queries if queries else 0.0,
+                "mean_nomination_recall": (
+                    entry["recall_sum"] / queries if queries else 0.0
+                ),
+            }
+        return tiers
 
     def _stats(self) -> dict:
         index = self.ranker.index
@@ -389,6 +426,15 @@ class RetrievalServer:
                 "nnz": [
                     index.shard_nnz(s) for s in range(index.n_shards)
                 ],
+            }
+        tiers = self._tier_counters()
+        if tiers is not None:
+            # Tiered engine: the accuracy dial's per-level accounting
+            # (queries, per-tier seconds, measured nomination recall).
+            payload["tiers"] = tiers
+            payload["spectral"] = {
+                "rank": self.ranker.spectral.index.rank,
+                "default_accuracy": self.ranker.default_accuracy,
             }
         if index.profile is not None:
             # Per-stage build cost and, for a loaded index, the measured
@@ -469,6 +515,31 @@ def _get_k(document: dict) -> int:
     if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
         raise _HttpError(400, f"'k' must be a positive integer, got {k!r}")
     return k
+
+
+def _get_accuracy(document: dict, params: dict) -> tuple[str | None, int | None]:
+    """The accuracy dial of a search request (query string wins over body).
+
+    Validation here is only shape-level (a string, an integer); whether
+    the level exists — and whether the served engine has a dial at all —
+    is the scheduler's call, surfaced as a 400.
+    """
+    accuracy = document.get("accuracy")
+    if "accuracy" in params:
+        accuracy = params["accuracy"][-1]
+    if accuracy is not None and not isinstance(accuracy, str):
+        raise _HttpError(400, f"'accuracy' must be a string, got {accuracy!r}")
+    m = document.get("m")
+    if "m" in params:
+        try:
+            m = int(params["m"][-1])
+        except ValueError:
+            raise _HttpError(
+                400, f"'m' must be an integer, got {params['m'][-1]!r}"
+            ) from None
+    if m is not None and (not isinstance(m, int) or isinstance(m, bool)):
+        raise _HttpError(400, f"'m' must be an integer, got {m!r}")
+    return accuracy, m
 
 
 # -- entry points ----------------------------------------------------------
