@@ -17,6 +17,7 @@ without writing Python::
     python -m repro serve coil.shards --dataset coil --port 8080
     python -m repro serve coil.idx.npz --dataset coil --mutable
     python -m repro loadtest --port 8080 --concurrency 32 --requests 512
+    python -m repro slowlog --port 8080 --limit 5
 
 ``build --spectral-rank R`` additionally writes a rank-R spectral tier
 next to the exact artifact (the ``.spectral.npz`` sidecar).  When the
@@ -266,7 +267,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "outgrows this fraction of the indexed database (default 0.2; "
         "0 disables automatic rebuilds — only POST /rebuild rebuilds)",
     )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable per-request span tracing (X-Repro-Trace-Id, "
+        "?debug=trace, the slow-query flight recorder and the "
+        "per-stage histograms)",
+    )
+    serve.add_argument(
+        "--slowlog-capacity",
+        type=int,
+        default=32,
+        help="traces retained by the slow-query flight recorder "
+        "(default 32; 0 disables it)",
+    )
+    serve.add_argument(
+        "--slow-threshold-ms",
+        type=_nonnegative_float,
+        default=None,
+        metavar="MS",
+        help="record the most recent requests at least this slow instead "
+        "of the all-time slowest (default: slowest-N policy)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    slowlog = sub.add_parser(
+        "slowlog", help="print a running server's slow-query flight recorder"
+    )
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=8080)
+    slowlog.add_argument(
+        "--limit", type=int, default=10, help="entries to print (default 10)"
+    )
+    slowlog.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw /debug/slow document instead of the text view",
+    )
+    slowlog.set_defaults(handler=_cmd_slowlog)
 
     loadtest = sub.add_parser(
         "loadtest", help="drive a running server with concurrent queries"
@@ -650,6 +688,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
             cache_capacity=args.cache_capacity,
+            tracing=not args.no_tracing,
+            slowlog_capacity=args.slowlog_capacity,
+            slow_threshold_ms=args.slow_threshold_ms,
         )
         return 0
 
@@ -671,6 +712,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
             cache_capacity=args.cache_capacity,
+            tracing=not args.no_tracing,
+            slowlog_capacity=args.slowlog_capacity,
+            slow_threshold_ms=args.slow_threshold_ms,
         )
     finally:
         # Let an in-flight background rebuild settle, then persist the
@@ -707,6 +751,38 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    from repro.obs.trace import format_trace
+    from repro.service.client import RetrievalClient
+
+    with RetrievalClient(args.host, args.port) as client:
+        document = client.slowlog()
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    recorder = document["slowlog"]
+    policy = recorder["policy"]
+    threshold = recorder.get("threshold_ms")
+    print(
+        f"slow-query flight recorder: policy={policy}"
+        + (f" (>= {threshold:g} ms)" if threshold is not None else "")
+        + f", retained {recorder['retained']}/{recorder['capacity']}, "
+        f"seen {recorder['seen']} requests"
+    )
+    if not recorder.get("tracing", True):
+        print("tracing is disabled on this server (--no-tracing)")
+    entries = document["entries"][: max(0, args.limit)]
+    for rank, entry in enumerate(entries, start=1):
+        print(
+            f"\n#{rank}  {entry['endpoint']}  {entry['latency_ms']:.2f} ms  "
+            f"trace {entry['trace_id']}"
+        )
+        print(format_trace(entry["trace"]["root"], indent=1))
+    if not entries:
+        print("no slow queries recorded")
     return 0
 
 

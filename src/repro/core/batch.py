@@ -44,6 +44,7 @@ from repro.core.permutation import Permutation
 from repro.core.search import SearchStats, TopKAccumulator, merge_cluster_runs
 from repro.core.solver import ClusterSolver
 from repro.linalg.ldl import LDLFactors
+from repro.obs.trace import span as obs_span
 
 
 @dataclass(frozen=True)
@@ -163,32 +164,34 @@ def top_k_batch_search(
                 seeded_columns.setdefault(cid, []).append(j)
     z_mat = np.zeros((n, n_queries), dtype=np.float64)
     y_mat = np.zeros((n, n_queries), dtype=np.float64)
-    for cid in sorted(seeded_columns):
-        cols = np.asarray(seeded_columns[cid], dtype=np.int64)
-        solver.forward_seed_block(cid, q_mat, z_mat, y_mat, cols=cols)
-    solver.forward_border(q_mat, z_mat, y_mat)
+    with obs_span("solve.seed_forward", batch=n_queries):
+        for cid in sorted(seeded_columns):
+            cols = np.asarray(seeded_columns[cid], dtype=np.int64)
+            solver.forward_seed_block(cid, q_mat, z_mat, y_mat, cols=cols)
+        solver.forward_border(q_mat, z_mat, y_mat)
 
     # Stage 2 — border scores for every query in one solve (Lemma 5),
     # then each seed cluster's scores for its queries.
     x_mat = np.zeros((n, n_queries), dtype=np.float64)
-    solver.back_border(y_mat, x_mat)
-    for cid in sorted(seeded_columns):
-        cols = np.asarray(seeded_columns[cid], dtype=np.int64)
-        solver.back_cluster(cid, y_mat, x_mat, cols=cols)
-    scored_sets: list[set[int]] = []
-    for j, seeds in enumerate(seed_cluster_sets):
-        scored = seeds | {border_id}
-        scored_sets.append(scored)
-        column = x_mat[:, j]
-        for cid in sorted(scored):
-            if cid == border_id:
-                continue  # the border frontier is built batch-wide below
-            sl = permutation.cluster_slices[cid]
-            stats[j].nodes_scored += sl.stop - sl.start
-            accumulators[j].offer_block(column, sl.start, sl.stop)
-        stats[j].nodes_scored += border.stop - border.start
-        stats[j].clusters_scored = len(scored)
-    _offer_border_batch(x_mat, border, accumulators, queries, k)
+    with obs_span("solve.border", batch=n_queries):
+        solver.back_border(y_mat, x_mat)
+        for cid in sorted(seeded_columns):
+            cols = np.asarray(seeded_columns[cid], dtype=np.int64)
+            solver.back_cluster(cid, y_mat, x_mat, cols=cols)
+        scored_sets: list[set[int]] = []
+        for j, seeds in enumerate(seed_cluster_sets):
+            scored = seeds | {border_id}
+            scored_sets.append(scored)
+            column = x_mat[:, j]
+            for cid in sorted(scored):
+                if cid == border_id:
+                    continue  # the border frontier is built batch-wide below
+                sl = permutation.cluster_slices[cid]
+                stats[j].nodes_scored += sl.stop - sl.start
+                accumulators[j].offer_block(column, sl.start, sl.stop)
+            stats[j].nodes_scored += border.stop - border.start
+            stats[j].clusters_scored = len(scored)
+        _offer_border_batch(x_mat, border, accumulators, queries, k)
 
     remaining_sets = [
         [
@@ -216,7 +219,11 @@ def top_k_batch_search(
     # Stage 3 — vectorized bound-driven scan.  All bounds for all queries
     # in one SpMM; per cluster the prune/score decision is one vector
     # comparison against the per-query thresholds, and one multi-RHS
-    # solve restricted to the columns whose bound survived.
+    # solve restricted to the columns whose bound survived.  The span is
+    # ended explicitly (not a context manager) to keep the scan's early
+    # returns and indentation untouched; an exception abandons the whole
+    # trace anyway.
+    scan_node = obs_span("scan.clusters", batch=n_queries)
     if bounds_table is None:
         bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
     estimates = bounds_table.estimate_all(np.abs(x_mat[border.start :, :]))
@@ -295,6 +302,11 @@ def top_k_batch_search(
     for j in range(n_queries):
         stats[j].clusters_pruned += int(pruned_clusters[j])
         stats[j].pruned_nodes += int(pruned_nodes[j])
+    scan_node.annotate(
+        pruned=int(pruned_clusters.sum()),
+        scored=int(sum(s.clusters_scored for s in stats)),
+    )
+    scan_node.end()
     return finish()
 
 

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dynamic import DynamicMogulRanker, LiveSnapshot
+from repro.obs.trace import add_span as obs_add_span
 from repro.ranking.base import DEFAULT_ALPHA
 
 logger = logging.getLogger(__name__)
@@ -271,11 +272,17 @@ class LiveEngine(DynamicMogulRanker):
     # -- thread-safe snapshots and mutations -------------------------------
 
     def _snapshot(self) -> LiveSnapshot:
-        waited = time.perf_counter()
+        entered = time.perf_counter()
         with self._lock:
-            waited = time.perf_counter() - waited
+            waited = time.perf_counter() - entered
             snap = super()._snapshot()
         self.stall.observe(waited)
+        obs_add_span(
+            "live.snapshot",
+            started=entered,
+            epoch=snap.epoch.number,
+            lock_wait_ms=1e3 * waited,
+        )
         return snap
 
     @property

@@ -38,6 +38,7 @@ from repro.core.permutation import Permutation
 from repro.core.solver import ClusterSolver
 from repro.core.topk import sort_answer_pairs
 from repro.linalg.ldl import LDLFactors
+from repro.obs.trace import span as obs_span
 
 
 @dataclass
@@ -268,19 +269,21 @@ def top_k_search(
         return acc.collect(), stats
 
     # Stage 1 — forward substitution over seed clusters + border (Lemma 4).
-    y = solver.forward(q_vec, seed_clusters)
+    with obs_span("solve.seed_forward", seed_clusters=len(seed_clusters)):
+        y = solver.forward(q_vec, seed_clusters)
 
     # Stage 2 — border scores first (Lemma 5), then seed clusters.
-    solver.back_border(y, x)
-    for cid in seed_clusters:
-        if cid != border_id:
-            solver.back_cluster(cid, y, x)
-    scored_clusters = set(seed_clusters) | {border_id}
-    for cid in sorted(scored_clusters):
-        sl = permutation.cluster_slices[cid]
-        stats.nodes_scored += sl.stop - sl.start
-        acc.offer_block(x, sl.start, sl.stop)
-    stats.clusters_scored = len(scored_clusters)
+    with obs_span("solve.border"):
+        solver.back_border(y, x)
+        for cid in seed_clusters:
+            if cid != border_id:
+                solver.back_cluster(cid, y, x)
+        scored_clusters = set(seed_clusters) | {border_id}
+        for cid in sorted(scored_clusters):
+            sl = permutation.cluster_slices[cid]
+            stats.nodes_scored += sl.stop - sl.start
+            acc.offer_block(x, sl.start, sl.stop)
+        stats.clusters_scored = len(scored_clusters)
 
     remaining = [
         cid for cid in range(permutation.n_clusters - 1) if cid not in scored_clusters
@@ -305,23 +308,28 @@ def top_k_search(
     # Stage 3 — bound-driven scan of the remaining clusters (lines 17-30).
     # All interior bounds are evaluated in one SpMV (Lemma 8's O(n) worst
     # case, but compiled); only border scores feed the estimates.
-    if bounds_table is None:
-        bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
-    estimates = bounds_table.estimate_all(np.abs(x[border.start :]))
-    stats.bound_evaluations += len(remaining)
-    if cluster_order == "bound_desc":
-        remaining.sort(key=lambda cid: -estimates[cid])
-    for cid in remaining:
-        bound = float(estimates[cid])
-        sl = permutation.cluster_slices[cid]
-        if bound < acc.threshold:
-            stats.clusters_pruned += 1
-            stats.pruned_nodes += sl.stop - sl.start
-            continue
-        solver.back_cluster(cid, y, x)
-        stats.clusters_scored += 1
-        stats.nodes_scored += sl.stop - sl.start
-        acc.offer_block(x, sl.start, sl.stop)
+    with obs_span("scan.clusters", remaining=len(remaining)) as scan_node:
+        if bounds_table is None:
+            bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
+        estimates = bounds_table.estimate_all(np.abs(x[border.start :]))
+        stats.bound_evaluations += len(remaining)
+        if cluster_order == "bound_desc":
+            remaining.sort(key=lambda cid: -estimates[cid])
+        for cid in remaining:
+            bound = float(estimates[cid])
+            sl = permutation.cluster_slices[cid]
+            if bound < acc.threshold:
+                stats.clusters_pruned += 1
+                stats.pruned_nodes += sl.stop - sl.start
+                continue
+            solver.back_cluster(cid, y, x)
+            stats.clusters_scored += 1
+            stats.nodes_scored += sl.stop - sl.start
+            acc.offer_block(x, sl.start, sl.stop)
+        scan_node.annotate(
+            pruned=stats.clusters_pruned,
+            scored=stats.clusters_scored,
+        )
 
     return acc.collect(), stats
 
@@ -392,16 +400,18 @@ def top_k_rerank(
 
     # Stages 1-2 exactly as in top_k_search: forward over seed clusters +
     # border (Lemma 4), back-substitute border then seed clusters (Lemma 5).
-    y = solver.forward(q_vec, seed_clusters)
-    solver.back_border(y, x)
-    for cid in seed_clusters:
-        if cid != border_id:
-            solver.back_cluster(cid, y, x)
-    scored_clusters = set(seed_clusters) | {border_id}
-    for cid in scored_clusters:
-        sl = permutation.cluster_slices[cid]
-        stats.nodes_scored += sl.stop - sl.start
-    stats.clusters_scored = len(scored_clusters)
+    with obs_span("solve.seed_forward", seed_clusters=len(seed_clusters)):
+        y = solver.forward(q_vec, seed_clusters)
+    with obs_span("solve.border"):
+        solver.back_border(y, x)
+        for cid in seed_clusters:
+            if cid != border_id:
+                solver.back_cluster(cid, y, x)
+        scored_clusters = set(seed_clusters) | {border_id}
+        for cid in scored_clusters:
+            sl = permutation.cluster_slices[cid]
+            stats.nodes_scored += sl.stop - sl.start
+        stats.clusters_scored = len(scored_clusters)
 
     cand_clusters = permutation.cluster_of_position[candidates]
     in_scored = np.isin(cand_clusters, sorted(scored_clusters))
@@ -412,29 +422,34 @@ def top_k_rerank(
     # Stage 3 over candidate-owning unscored clusters only.
     pending = candidates[~in_scored]
     pending_clusters = cand_clusters[~in_scored]
-    if pending.size == 0:
-        return acc.collect(), stats
-    remaining = [int(cid) for cid in np.unique(pending_clusters)]
+    with obs_span("rerank.scan", candidates=int(candidates.size)) as scan_node:
+        if pending.size == 0:
+            return acc.collect(), stats
+        remaining = [int(cid) for cid in np.unique(pending_clusters)]
 
-    estimates = None
-    if use_pruning:
-        if bounds_table is None:
-            bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
-        estimates = bounds_table.estimate_all(np.abs(x[border.start :]))
-        stats.bound_evaluations += len(remaining)
-        if cluster_order == "bound_desc":
-            remaining.sort(key=lambda cid: -estimates[cid])
-    for cid in remaining:
-        members = pending[pending_clusters == cid]
-        if estimates is not None and float(estimates[cid]) < acc.threshold:
-            stats.clusters_pruned += 1
-            stats.pruned_nodes += members.size
-            continue
-        solver.back_cluster(cid, y, x)
-        sl = permutation.cluster_slices[cid]
-        stats.clusters_scored += 1
-        stats.nodes_scored += sl.stop - sl.start
-        acc.offer_candidates(x[members], members)
+        estimates = None
+        if use_pruning:
+            if bounds_table is None:
+                bounds_table = BoundsTable.from_bounds(bounds, border.start, n)
+            estimates = bounds_table.estimate_all(np.abs(x[border.start :]))
+            stats.bound_evaluations += len(remaining)
+            if cluster_order == "bound_desc":
+                remaining.sort(key=lambda cid: -estimates[cid])
+        for cid in remaining:
+            members = pending[pending_clusters == cid]
+            if estimates is not None and float(estimates[cid]) < acc.threshold:
+                stats.clusters_pruned += 1
+                stats.pruned_nodes += members.size
+                continue
+            solver.back_cluster(cid, y, x)
+            sl = permutation.cluster_slices[cid]
+            stats.clusters_scored += 1
+            stats.nodes_scored += sl.stop - sl.start
+            acc.offer_candidates(x[members], members)
+        scan_node.annotate(
+            pruned=stats.clusters_pruned,
+            scored=stats.clusters_scored,
+        )
 
     return acc.collect(), stats
 

@@ -55,6 +55,7 @@ from repro.core.permutation import ClusterFn, Permutation, build_permutation
 from repro.core.profile import BuildProfile
 from repro.core.search import SearchStats, TopKAccumulator
 from repro.core.solver import _csr_column_range, _spmm
+from repro.obs.trace import span as obs_span
 from repro.core.topk import merge_answer_pairs, sorted_result
 from repro.graph.adjacency import KnnGraph
 from repro.linalg.ldl import (
@@ -1770,14 +1771,21 @@ class ShardedMogulRanker(Ranker):
         candidates_list: list[np.ndarray],
         single: bool = False,
     ) -> list[TopKResult]:
-        answers, batch_stats, shard_stats = scatter_gather_rerank(
-            self.index,
-            batch,
-            k,
-            candidates_list,
-            use_pruning=self.use_pruning,
-            cluster_order=self.cluster_order,
-        )
+        with obs_span(
+            "shards.scan", shards=self.index.n_shards, batch=len(batch)
+        ) as node:
+            answers, batch_stats, shard_stats = scatter_gather_rerank(
+                self.index,
+                batch,
+                k,
+                candidates_list,
+                use_pruning=self.use_pruning,
+                cluster_order=self.cluster_order,
+            )
+            node.annotate(
+                scored=[int(s.clusters_scored) for s in shard_stats],
+                pruned=[int(s.clusters_pruned) for s in shard_stats],
+            )
         self.last_shard_stats = shard_stats
         if single:
             self.last_stats = batch_stats.per_query[0]
@@ -1794,13 +1802,20 @@ class ShardedMogulRanker(Ranker):
     def _run(
         self, batch: list[BatchQuery], k: int, single: bool = False
     ) -> list[TopKResult]:
-        answers, batch_stats, shard_stats = scatter_gather_search(
-            self.index,
-            batch,
-            k,
-            use_pruning=self.use_pruning,
-            cluster_order=self.cluster_order,
-        )
+        with obs_span(
+            "shards.scan", shards=self.index.n_shards, batch=len(batch)
+        ) as node:
+            answers, batch_stats, shard_stats = scatter_gather_search(
+                self.index,
+                batch,
+                k,
+                use_pruning=self.use_pruning,
+                cluster_order=self.cluster_order,
+            )
+            node.annotate(
+                scored=[int(s.clusters_scored) for s in shard_stats],
+                pruned=[int(s.clusters_pruned) for s in shard_stats],
+            )
         self.last_shard_stats = shard_stats
         if single:
             self.last_stats = batch_stats.per_query[0]

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.batch import BatchStats
 from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
 from repro.core.search import SearchStats
+from repro.obs.trace import span as obs_span
 from repro.core.spectral import SpectralEngine, nominate_from_scores
 from repro.linalg.spectral import project_seeds, spectral_scores
 from repro.ranking.base import Ranker, TopKResult
@@ -233,16 +234,20 @@ class TieredEngine(Ranker):
         label, _ = self.resolve_accuracy(accuracy, m)
         if label == "exact":
             started = time.perf_counter()
-            result = self.base.top_k(query, k, exclude_query)
+            with obs_span("tier.exact", accuracy=label):
+                result = self.base.top_k(query, k, exclude_query)
             self.last_stats = self.base.last_stats
             self._record(label, 0.0, time.perf_counter() - started, 0, 1.0)
             return result
         budget = self._candidate_budget(label, m, k)
         started = time.perf_counter()
-        nominated = self.spectral.nominate(query, budget, exclude_query)
+        with obs_span("tier.nominate", accuracy=label, budget=budget) as node:
+            nominated = self.spectral.nominate(query, budget, exclude_query)
+            node.annotate(candidates=int(nominated.size))
         spectral_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        result = self.base.top_k_rerank(query, k, nominated, exclude_query)
+        with obs_span("tier.rerank", accuracy=label):
+            result = self.base.top_k_rerank(query, k, nominated, exclude_query)
         rerank_seconds = time.perf_counter() - started
         self.last_stats = self.base.last_stats
         self._record(
@@ -267,7 +272,8 @@ class TieredEngine(Ranker):
         label, _ = self.resolve_accuracy(accuracy, m)
         if label == "exact":
             started = time.perf_counter()
-            results = self.base.top_k_batch(queries, k, exclude_query)
+            with obs_span("tier.exact", accuracy=label, batch=len(queries)):
+                results = self.base.top_k_batch(queries, k, exclude_query)
             self.last_batch_stats = self.base.last_batch_stats
             self._record(
                 label,
@@ -284,10 +290,16 @@ class TieredEngine(Ranker):
             return []
         budget = self._candidate_budget(label, m, k)
         started = time.perf_counter()
-        nominations = self.spectral.nominate_batch(nodes, budget, exclude_query)
+        with obs_span(
+            "tier.nominate", accuracy=label, budget=budget, batch=int(nodes.size)
+        ):
+            nominations = self.spectral.nominate_batch(nodes, budget, exclude_query)
         spectral_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        results = self.base.top_k_rerank_batch(nodes, k, nominations, exclude_query)
+        with obs_span("tier.rerank", accuracy=label, batch=int(nodes.size)):
+            results = self.base.top_k_rerank_batch(
+                nodes, k, nominations, exclude_query
+            )
         rerank_seconds = time.perf_counter() - started
         self.last_batch_stats = self.base.last_batch_stats
         recall_sum = sum(
@@ -336,7 +348,8 @@ class TieredEngine(Ranker):
         label, _ = self.resolve_accuracy(accuracy, m)
         if label == "exact":
             started = time.perf_counter()
-            result = self.base.top_k_out_of_sample(feature, k, n_probe=n_probe)
+            with obs_span("tier.exact", accuracy=label):
+                result = self.base.top_k_out_of_sample(feature, k, n_probe=n_probe)
             self.last_stats = self.base.last_stats
             self.last_breakdown = self.base.last_breakdown
             self._record(label, 0.0, time.perf_counter() - started, 0, 1.0)
@@ -349,26 +362,30 @@ class TieredEngine(Ranker):
             )
         budget = self._candidate_budget(label, m, k)
         nn_started = time.perf_counter()
-        seeds = build_query_seeds(
-            feature,
-            self.base.index.cluster_means,
-            self.base.index.cluster_members,
-            self.graph.features,
-            n_neighbors=self.graph.k,
-            sigma=self.graph.sigma,
-            n_probe=n_probe,
-        )
+        with obs_span("tier.seed", n_probe=n_probe):
+            seeds = build_query_seeds(
+                feature,
+                self.base.index.cluster_means,
+                self.base.index.cluster_members,
+                self.graph.features,
+                n_neighbors=self.graph.k,
+                sigma=self.graph.sigma,
+                n_probe=n_probe,
+            )
         nn_seconds = time.perf_counter() - nn_started
         started = time.perf_counter()
-        basis = self.spectral.index.basis
-        projection = project_seeds(basis, seeds.nodes, seeds.weights)
-        approx = spectral_scores(basis, self.alpha, projection)
-        nominated = nominate_from_scores(approx, budget)
+        with obs_span("tier.nominate", accuracy=label, budget=budget) as node:
+            basis = self.spectral.index.basis
+            projection = project_seeds(basis, seeds.nodes, seeds.weights)
+            approx = spectral_scores(basis, self.alpha, projection)
+            nominated = nominate_from_scores(approx, budget)
+            node.annotate(candidates=int(nominated.size))
         spectral_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        result = self.base.top_k_rerank_seeded(
-            seeds.nodes, seeds.weights, k, nominated
-        )
+        with obs_span("tier.rerank", accuracy=label):
+            result = self.base.top_k_rerank_seeded(
+                seeds.nodes, seeds.weights, k, nominated
+            )
         rerank_seconds = time.perf_counter() - started
         self.last_stats = self.base.last_stats
         self.last_breakdown = {
@@ -398,9 +415,10 @@ class TieredEngine(Ranker):
         label, _ = self.resolve_accuracy(accuracy, m)
         if label == "exact":
             started = time.perf_counter()
-            results = self.base.top_k_out_of_sample_batch(
-                features, k, n_probe=n_probe
-            )
+            with obs_span("tier.exact", accuracy=label, batch=len(features)):
+                results = self.base.top_k_out_of_sample_batch(
+                    features, k, n_probe=n_probe
+                )
             self.last_batch_stats = self.base.last_batch_stats
             self._record(
                 label,
@@ -417,44 +435,49 @@ class TieredEngine(Ranker):
                 f"features must have shape (b, {self.graph.features.shape[1]}), "
                 f"got {features.shape}"
             )
-        seeds_list = build_query_seeds_batch(
-            features,
-            self.base.index.cluster_means,
-            self.base.index.cluster_members,
-            self.graph.features,
-            n_neighbors=self.graph.k,
-            sigma=self.graph.sigma,
-            n_probe=n_probe,
-        )
+        with obs_span("tier.seed", n_probe=n_probe, batch=len(features)):
+            seeds_list = build_query_seeds_batch(
+                features,
+                self.base.index.cluster_means,
+                self.base.index.cluster_members,
+                self.graph.features,
+                n_neighbors=self.graph.k,
+                sigma=self.graph.sigma,
+                n_probe=n_probe,
+            )
         if not seeds_list:
             self.last_batch_stats = BatchStats(per_query=())
             return []
         budget = self._candidate_budget(label, m, k)
         started = time.perf_counter()
-        basis = self.spectral.index.basis
-        projections = np.stack(
-            [
-                project_seeds(basis, seeds.nodes, seeds.weights)
-                for seeds in seeds_list
-            ],
-            axis=1,
-        )
-        approx = spectral_scores(basis, self.alpha, projections)
-        nominations = [
-            nominate_from_scores(approx[:, col], budget)
-            for col in range(len(seeds_list))
-        ]
+        with obs_span(
+            "tier.nominate", accuracy=label, budget=budget, batch=len(seeds_list)
+        ):
+            basis = self.spectral.index.basis
+            projections = np.stack(
+                [
+                    project_seeds(basis, seeds.nodes, seeds.weights)
+                    for seeds in seeds_list
+                ],
+                axis=1,
+            )
+            approx = spectral_scores(basis, self.alpha, projections)
+            nominations = [
+                nominate_from_scores(approx[:, col], budget)
+                for col in range(len(seeds_list))
+            ]
         spectral_seconds = time.perf_counter() - started
         started = time.perf_counter()
         results: list[TopKResult] = []
         per_query: list[SearchStats] = []
-        for seeds, nominated in zip(seeds_list, nominations):
-            results.append(
-                self.base.top_k_rerank_seeded(
-                    seeds.nodes, seeds.weights, k, nominated
+        with obs_span("tier.rerank", accuracy=label, batch=len(seeds_list)):
+            for seeds, nominated in zip(seeds_list, nominations):
+                results.append(
+                    self.base.top_k_rerank_seeded(
+                        seeds.nodes, seeds.weights, k, nominated
+                    )
                 )
-            )
-            per_query.append(self.base.last_stats)
+                per_query.append(self.base.last_stats)
         rerank_seconds = time.perf_counter() - started
         self.last_batch_stats = BatchStats(per_query=tuple(per_query))
         recall_sum = sum(

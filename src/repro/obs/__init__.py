@@ -1,0 +1,41 @@
+"""Observability: request tracing, slow-query capture, Prometheus export.
+
+The cross-cutting layer behind the serving stack's per-request, per-stage
+attribution:
+
+* :mod:`repro.obs.trace` — :class:`Trace`/:class:`Span` primitives and
+  the ambient (thread-local) instrumentation context the core modules
+  report into.
+* :mod:`repro.obs.flight` — the slow-query flight recorder behind
+  ``GET /debug/slow`` and ``repro slowlog``.
+* :mod:`repro.obs.prometheus` — the text exposition renderer behind
+  ``GET /metrics?format=prometheus``.
+"""
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (
+    NOOP,
+    Span,
+    Trace,
+    TraceContext,
+    activate,
+    add_span,
+    current,
+    format_trace,
+    span,
+)
+
+__all__ = [
+    "NOOP",
+    "FlightRecorder",
+    "Span",
+    "Trace",
+    "TraceContext",
+    "activate",
+    "add_span",
+    "current",
+    "format_trace",
+    "render_prometheus",
+    "span",
+]

@@ -1,0 +1,128 @@
+"""Slow-query flight recorder: a bounded ring of the worst requests.
+
+Aggregate percentiles say the p99 moved; the flight recorder keeps the
+evidence — the full span trees of the slowest (or threshold-exceeding)
+requests, bounded in memory, served at ``GET /debug/slow`` and printed
+by ``repro slowlog``.  Two retention policies, picked by configuration:
+
+* **Slowest-N** (default, ``threshold_ms=None``): a min-heap of the
+  ``capacity`` slowest requests ever seen — the all-time outliers, the
+  ones a latency SLO postmortem wants.
+* **Threshold ring** (``threshold_ms`` set): a FIFO ring of the most
+  *recent* requests that exceeded the threshold — the live tail during
+  an incident, where recency matters more than rank.
+
+Entries are stored as plain dicts (the trace is rendered eagerly via
+``Trace.to_dict``), so recording never retains live ``Span`` objects
+beyond the request, and a snapshot is JSON-ready.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+
+
+class FlightRecorder:
+    """Bounded retention of slow-request traces (thread-safe).
+
+    Parameters
+    ----------
+    capacity:
+        Most entries retained; 0 disables recording entirely.
+    threshold_ms:
+        ``None`` keeps the ``capacity`` slowest requests ever seen;
+        a number keeps the most recent requests at least that slow.
+    """
+
+    def __init__(self, capacity: int = 32, threshold_ms: float | None = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if threshold_ms is not None and threshold_ms < 0:
+            raise ValueError(
+                f"threshold_ms must be non-negative, got {threshold_ms}"
+            )
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        #: Slowest-N policy: a min-heap of (latency_ms, seq, entry) so the
+        #: fastest retained entry is evicted first.  ``seq`` breaks ties —
+        #: entries (dicts) are not comparable.
+        self._heap: list[tuple[float, int, dict]] = []
+        #: Threshold policy: FIFO of the most recent exceeders.
+        self._ring: deque[dict] = deque(maxlen=capacity or None)
+        self._seq = itertools.count()
+        self.recorded = 0
+        self.seen = 0
+
+    def record(self, endpoint: str, latency_seconds: float, trace) -> bool:
+        """Offer one finished request; returns True when it was retained.
+
+        ``trace`` is a :class:`repro.obs.trace.Trace` (rendered
+        immediately) — or an already-rendered trace dict, which lets
+        tests and replay tooling feed the recorder directly.
+        """
+        if self.capacity == 0:
+            return False
+        latency_ms = 1e3 * latency_seconds
+        with self._lock:
+            self.seen += 1
+            if self.threshold_ms is not None and latency_ms < self.threshold_ms:
+                return False
+            if (
+                self.threshold_ms is None
+                and len(self._heap) >= self.capacity
+                and latency_ms <= self._heap[0][0]
+            ):
+                return False  # faster than everything retained; skip rendering
+            entry = {
+                "endpoint": endpoint,
+                "latency_ms": latency_ms,
+                "trace": trace if isinstance(trace, dict) else trace.to_dict(),
+            }
+            entry["trace_id"] = entry["trace"].get("trace_id")
+            entry["recorded_at"] = entry["trace"].get("created_at")
+            self.recorded += 1
+            if self.threshold_ms is not None:
+                self._ring.append(entry)
+                return True
+            heapq.heappush(self._heap, (latency_ms, next(self._seq), entry))
+            while len(self._heap) > self.capacity:
+                heapq.heappop(self._heap)
+            return True
+
+    def snapshot(self) -> list[dict]:
+        """Retained entries, slowest first (JSON-serialisable)."""
+        with self._lock:
+            if self.threshold_ms is not None:
+                entries = list(self._ring)
+            else:
+                entries = [entry for _, _, entry in self._heap]
+        return sorted(entries, key=lambda entry: -entry["latency_ms"])
+
+    def clear(self) -> None:
+        """Drop every retained entry (counters keep running)."""
+        with self._lock:
+            self._heap.clear()
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring) if self.threshold_ms is not None else len(self._heap)
+
+    def stats(self) -> dict:
+        """Recorder configuration and counters for ``GET /debug/slow``."""
+        with self._lock:
+            retained = (
+                len(self._ring) if self.threshold_ms is not None else len(self._heap)
+            )
+            return {
+                "capacity": self.capacity,
+                "threshold_ms": self.threshold_ms,
+                "policy": "threshold" if self.threshold_ms is not None else "slowest",
+                "retained": retained,
+                "recorded": self.recorded,
+                "seen": self.seen,
+            }

@@ -1,0 +1,199 @@
+"""Prometheus text exposition for the serving stack.
+
+``GET /metrics?format=prometheus`` renders the service's counters,
+gauges and fixed-bucket histograms in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so any
+standard scraper can consume the service without a sidecar exporter.
+The JSON document served by plain ``GET /metrics`` is unchanged; this
+module is a second *view* over the same
+:class:`repro.service.metrics.ServiceMetrics` state, not a second sink.
+
+Histograms are exact: :class:`~repro.service.metrics.LatencyHistogram`
+maintains lifetime fixed-bucket counts next to its percentile window, so
+the exposed ``_bucket`` series are cumulative and monotone as Prometheus
+requires (the windowed percentiles would not be — a scrape-to-scrape
+decrease is a protocol violation).
+"""
+
+from __future__ import annotations
+
+_HELP = {
+    "repro_uptime_seconds": ("gauge", "Seconds since the server started."),
+    "repro_requests_total": ("counter", "Requests answered, all endpoints."),
+    "repro_errors_total": ("counter", "Requests answered with an error status."),
+    "repro_batches_total": ("counter", "Engine dispatches (coalesced batches)."),
+    "repro_queries_batched_total": (
+        "counter",
+        "Queries answered through batched dispatches.",
+    ),
+    "repro_max_batch_size": ("gauge", "Largest batch dispatched so far."),
+    "repro_queue_depth": ("gauge", "Requests currently queued in the scheduler."),
+    "repro_cache_hits_total": ("counter", "Result-cache hits."),
+    "repro_cache_misses_total": ("counter", "Result-cache misses."),
+    "repro_cache_invalidations_total": (
+        "counter",
+        "Whole-cache invalidations (index mutations).",
+    ),
+    "repro_cache_size": ("gauge", "Entries currently cached."),
+    "repro_engine_clusters_pruned_total": (
+        "counter",
+        "Clusters pruned by the bound test across all served queries.",
+    ),
+    "repro_engine_clusters_scored_total": (
+        "counter",
+        "Clusters back-substituted across all served queries.",
+    ),
+    "repro_engine_nodes_scored_total": (
+        "counter",
+        "Nodes scored across all served queries.",
+    ),
+    "repro_engine_bound_evaluations_total": (
+        "counter",
+        "Cluster bound evaluations across all served queries.",
+    ),
+    "repro_slowlog_recorded_total": (
+        "counter",
+        "Requests retained by the slow-query flight recorder.",
+    ),
+    "repro_request_latency_seconds": (
+        "histogram",
+        "Request latency by endpoint.",
+    ),
+    "repro_stage_duration_seconds": (
+        "histogram",
+        "Per-stage time attribution from request traces.",
+    ),
+    "repro_tier_queries_total": (
+        "counter",
+        "Queries served per accuracy level (tiered engines).",
+    ),
+    "repro_tier_seconds_total": (
+        "counter",
+        "Seconds spent per accuracy level and tier (tiered engines).",
+    ),
+}
+
+
+def _fmt(value: float) -> str:
+    """A float in the shortest exact-enough exposition form."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(**labels: str) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates exposition lines, emitting HELP/TYPE once per family."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def _declare(self, family: str) -> None:
+        if family in self._declared:
+            return
+        self._declared.add(family)
+        kind, help_text = _HELP[family]
+        self._lines.append(f"# HELP {family} {help_text}")
+        self._lines.append(f"# TYPE {family} {kind}")
+
+    def sample(self, family: str, value: float, **labels: str) -> None:
+        self._declare(family)
+        self._lines.append(f"{family}{_labels(**labels)} {_fmt(float(value))}")
+
+    def histogram(self, family: str, histogram, **labels: str) -> None:
+        """One exposed histogram from a LatencyHistogram's lifetime buckets."""
+        self._declare(family)
+        buckets, counts, total, total_sum = histogram.bucket_counts()
+        cumulative = 0
+        for upper, count in zip(buckets, counts):
+            cumulative += int(count)
+            bucket_labels = _labels(le=_fmt(upper), **labels)
+            self._lines.append(f"{family}_bucket{bucket_labels} {cumulative}")
+        inf_labels = _labels(le="+Inf", **labels)
+        self._lines.append(f"{family}_bucket{inf_labels} {total}")
+        self._lines.append(f"{family}_sum{_labels(**labels)} {_fmt(total_sum)}")
+        self._lines.append(f"{family}_count{_labels(**labels)} {total}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def render_prometheus(
+    metrics,
+    queue_depth: int = 0,
+    cache_stats: dict | None = None,
+    tier_counters: dict | None = None,
+    slowlog_stats: dict | None = None,
+) -> str:
+    """The full exposition document for one scrape.
+
+    ``metrics`` is a :class:`repro.service.metrics.ServiceMetrics`
+    (duck-typed: anything exposing ``snapshot()``, ``latency`` and
+    ``stage_histograms()``); the optional dicts carry the surfaces owned
+    by other components (scheduler queue, cache, tiered engine, flight
+    recorder), mirroring the JSON ``/metrics`` assembly in the server.
+    """
+    snapshot = metrics.snapshot()
+    writer = _Writer()
+    writer.sample("repro_uptime_seconds", snapshot["uptime_seconds"])
+    writer.sample("repro_requests_total", snapshot["requests_total"])
+    writer.sample("repro_errors_total", snapshot["errors_total"])
+    writer.sample("repro_batches_total", snapshot["batches_total"])
+    writer.sample("repro_queries_batched_total", snapshot["queries_batched"])
+    writer.sample("repro_max_batch_size", snapshot["max_batch_size"])
+    writer.sample("repro_queue_depth", queue_depth)
+    if cache_stats:
+        writer.sample("repro_cache_hits_total", cache_stats["hits"])
+        writer.sample("repro_cache_misses_total", cache_stats["misses"])
+        writer.sample(
+            "repro_cache_invalidations_total", cache_stats["invalidations"]
+        )
+        writer.sample("repro_cache_size", cache_stats["size"])
+    engine = snapshot["engine"]
+    writer.sample("repro_engine_clusters_pruned_total", engine["clusters_pruned"])
+    writer.sample("repro_engine_clusters_scored_total", engine["clusters_scored"])
+    writer.sample("repro_engine_nodes_scored_total", engine["nodes_scored"])
+    writer.sample(
+        "repro_engine_bound_evaluations_total", engine["bound_evaluations"]
+    )
+    if slowlog_stats:
+        writer.sample("repro_slowlog_recorded_total", slowlog_stats["recorded"])
+    for endpoint, histogram in sorted(metrics.latency.items()):
+        writer.histogram(
+            "repro_request_latency_seconds", histogram, endpoint=endpoint
+        )
+    for stage, histogram in sorted(metrics.stage_histograms().items()):
+        writer.histogram("repro_stage_duration_seconds", histogram, stage=stage)
+    if tier_counters:
+        for label, entry in sorted(tier_counters.items()):
+            writer.sample(
+                "repro_tier_queries_total", entry["queries"], accuracy=label
+            )
+            writer.sample(
+                "repro_tier_seconds_total",
+                entry["spectral_seconds"],
+                accuracy=label,
+                tier="spectral",
+            )
+            writer.sample(
+                "repro_tier_seconds_total",
+                entry["rerank_seconds"],
+                accuracy=label,
+                tier="rerank",
+            )
+    return writer.render()

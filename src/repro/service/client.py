@@ -37,32 +37,44 @@ class RetrievalClient:
 
     # -- raw requests ----------------------------------------------------
 
-    def _request(self, method: str, path: str, document: dict | None = None) -> dict:
+    def _raw(
+        self, method: str, path: str, document: dict | None = None
+    ) -> tuple[int, dict, str]:
+        """One request; returns ``(status, response_headers, body_text)``."""
         body = None if document is None else json.dumps(document)
         headers = {"Content-Type": "application/json"} if body else {}
         try:
             self._connection.request(method, path, body=body, headers=headers)
             response = self._connection.getresponse()
-            payload = json.loads(response.read().decode("utf-8"))
+            text = response.read().decode("utf-8")
         except (http.client.HTTPException, ConnectionError):
             # A dropped keep-alive connection is retried once on a fresh
             # socket; persistent failures propagate.
             self._connection.close()
             self._connection.request(method, path, body=body, headers=headers)
             response = self._connection.getresponse()
-            payload = json.loads(response.read().decode("utf-8"))
-        if response.status >= 400:
+            text = response.read().decode("utf-8")
+        return response.status, dict(response.getheaders()), text
+
+    def _request(self, method: str, path: str, document: dict | None = None) -> dict:
+        status, _, text = self._raw(method, path, document)
+        payload = json.loads(text)
+        if status >= 400:
             raise RuntimeError(
-                f"{method} {path} -> {response.status}: "
-                f"{payload.get('error', payload)}"
+                f"{method} {path} -> {status}: {payload.get('error', payload)}"
             )
         return payload
 
     # -- endpoints -------------------------------------------------------
 
-    def search(self, query: int, k: int = 10) -> dict:
-        """Top-k for an in-database node id."""
-        return self._request("POST", "/search", {"query": int(query), "k": int(k)})
+    def search(self, query: int, k: int = 10, debug_trace: bool = False) -> dict:
+        """Top-k for an in-database node id.
+
+        ``debug_trace=True`` asks a tracing-enabled server for the
+        request's span tree inline (the ``trace`` key of the response).
+        """
+        path = "/search?debug=trace" if debug_trace else "/search"
+        return self._request("POST", path, {"query": int(query), "k": int(k)})
 
     def search_out_of_sample(self, feature, k: int = 10) -> dict:
         """Top-k for a feature vector outside the database."""
@@ -92,6 +104,17 @@ class RetrievalClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def prometheus_metrics(self) -> str:
+        """The text exposition from ``GET /metrics?format=prometheus``."""
+        status, _, text = self._raw("GET", "/metrics?format=prometheus")
+        if status >= 400:
+            raise RuntimeError(f"GET /metrics?format=prometheus -> {status}")
+        return text
+
+    def slowlog(self) -> dict:
+        """The slow-query flight recorder (``GET /debug/slow``)."""
+        return self._request("GET", "/debug/slow")
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")

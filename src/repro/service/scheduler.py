@@ -32,6 +32,7 @@ request.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -39,6 +40,7 @@ import numpy as np
 
 from repro.core.search import SearchStats
 from repro.core.topk import truncate_result
+from repro.obs.trace import Span, Trace, activate
 from repro.ranking.base import TopKResult
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
@@ -91,6 +93,11 @@ class _Pending:
     #: Cache generation observed at submit; the fill is skipped if the
     #: cache was invalidated while the solve ran (the answer is stale).
     cache_generation: int | None = None
+    #: The request's trace (``None`` when tracing is off); the dispatcher
+    #: records the enqueue→dispatch wait and attaches the engine span tree.
+    trace: Trace | None = None
+    #: ``perf_counter`` at enqueue — the start of the scheduler wait.
+    enqueued_at: float = 0.0
 
 
 class MicroBatchScheduler:
@@ -276,6 +283,7 @@ class MicroBatchScheduler:
         k: int,
         accuracy: str | None = None,
         m: int | None = None,
+        trace: Trace | None = None,
     ) -> ScheduledResult:
         """Top-k for an in-database node (validated before enqueueing)."""
         node = int(node)
@@ -293,7 +301,7 @@ class MicroBatchScheduler:
             if label is not None:
                 params["accuracy"] = label
             key = ResultCache.node_key(node, k, **params)
-        return await self._submit("node", node, k, key, label, extra)
+        return await self._submit("node", node, k, key, label, extra, trace)
 
     async def search_out_of_sample(
         self,
@@ -301,6 +309,7 @@ class MicroBatchScheduler:
         k: int,
         accuracy: str | None = None,
         m: int | None = None,
+        trace: Trace | None = None,
     ) -> ScheduledResult:
         """Top-k for a feature vector outside the database."""
         feature = np.asarray(feature, dtype=np.float64)
@@ -315,7 +324,7 @@ class MicroBatchScheduler:
         if self.cache is not None:
             params = {} if label is None else {"accuracy": label}
             key = ResultCache.feature_key(feature, k, **params)
-        return await self._submit("oos", feature, k, key, label, extra)
+        return await self._submit("oos", feature, k, key, label, extra, trace)
 
     # -- mutation entry points -------------------------------------------
 
@@ -393,6 +402,7 @@ class MicroBatchScheduler:
         cache_key: object | None,
         accuracy: str | None = None,
         extra: dict | None = None,
+        trace: Trace | None = None,
     ) -> ScheduledResult:
         if not self._running:
             raise RuntimeError("scheduler is not running (call start() first)")
@@ -400,9 +410,16 @@ class MicroBatchScheduler:
             lane = f"{lane}:{accuracy}"
             self._ensure_lane(lane, extra or {})
         if cache_key is not None:
+            probed = time.perf_counter()
             hit = self.cache.get(cache_key)
             if hit is not None:
                 result, stats = hit
+                if trace is not None:
+                    # The cache short-circuit: the whole engine path was
+                    # skipped, so the lookup is the only stage there is.
+                    trace.root.add_span(
+                        "cache.hit", started=probed, lane=lane
+                    )
                 return ScheduledResult(
                     result=result,
                     stats=stats,
@@ -419,6 +436,8 @@ class MicroBatchScheduler:
                 future=future,
                 cache_key=cache_key,
                 cache_generation=generation,
+                trace=trace,
+                enqueued_at=time.perf_counter(),
             )
         )
         return await future
@@ -459,9 +478,15 @@ class MicroBatchScheduler:
         loop = asyncio.get_running_loop()
         k_max = max(pending.k for pending in batch)
         payloads = [pending.payload for pending in batch]
+        # One engine span tree is built per dispatch (on the worker
+        # thread) and shared by every coalesced member's trace: the
+        # engine ran once for all of them, and the shared subtree is the
+        # honest record of that.
+        traced = any(pending.trace is not None for pending in batch)
+        dispatched = time.perf_counter()
         try:
-            results, per_query = await loop.run_in_executor(
-                self._executor, self._execute, lane, payloads, k_max
+            results, per_query, engine_span = await loop.run_in_executor(
+                self._executor, self._execute, lane, payloads, k_max, traced
             )
         except asyncio.CancelledError:
             for pending in batch:
@@ -481,6 +506,16 @@ class MicroBatchScheduler:
             )
         label = lane.partition(":")[2] or None
         for pending, result, stats in zip(batch, results, per_query):
+            if pending.trace is not None:
+                pending.trace.root.add_span(
+                    "scheduler.wait",
+                    started=pending.enqueued_at,
+                    ended=dispatched,
+                    lane=lane,
+                    batch_size=len(batch),
+                )
+                if engine_span is not None:
+                    pending.trace.root.attach(engine_span)
             answer = _truncate(result, pending.k)
             if self.cache is not None and pending.cache_key is not None:
                 self.cache.put(
@@ -499,8 +534,8 @@ class MicroBatchScheduler:
                 )
 
     def _execute(
-        self, lane: str, payloads: list, k: int
-    ) -> tuple[list[TopKResult], tuple[SearchStats, ...]]:
+        self, lane: str, payloads: list, k: int, traced: bool = False
+    ) -> tuple[list[TopKResult], tuple[SearchStats, ...], Span | None]:
         """Run one coalesced batch on the engine (worker thread).
 
         A singleton batch takes the sequential fast path when
@@ -508,29 +543,56 @@ class MicroBatchScheduler:
         identical to a one-column batch call.  Accuracy lanes
         (``node:fast``, ``oos:m=256``, ...) forward their resolved tier
         kwargs to the engine on every call.
+
+        When ``traced``, the whole dispatch runs under an activated
+        ``engine.dispatch`` span, so the instrumentation points down in
+        :mod:`repro.core` (tier nominate/re-rank, seed/border solves,
+        shard scans, live snapshots) attach their stage spans beneath
+        it; the finished tree is returned for the dispatcher to graft
+        onto each coalesced request's trace.
         """
         ranker = self.ranker
         kind = lane.partition(":")[0]
         extra = self._lane_extra.get(lane, {})
         singleton = len(payloads) == 1 and self.sequential_singletons
-        if kind == "node":
-            if singleton:
-                result = ranker.top_k(
-                    int(payloads[0]), k, exclude_query=self.exclude_query, **extra
-                )
-                return [result], (ranker.last_stats,)
-            results = ranker.top_k_batch(
-                np.asarray(payloads, dtype=np.int64),
-                k,
-                exclude_query=self.exclude_query,
-                **extra,
+        engine_span = (
+            Span(
+                "engine.dispatch",
+                meta={
+                    "lane": lane,
+                    "batch_size": len(payloads),
+                    "engine": ranker.name,
+                },
             )
-            return results, ranker.last_batch_stats.per_query
-        if singleton:
-            result = ranker.top_k_out_of_sample(payloads[0], k, **extra)
-            return [result], (ranker.last_stats,)
-        results = ranker.top_k_out_of_sample_batch(np.asarray(payloads), k, **extra)
-        return results, ranker.last_batch_stats.per_query
+            if traced
+            else None
+        )
+        with activate(engine_span):
+            if kind == "node":
+                if singleton:
+                    result = ranker.top_k(
+                        int(payloads[0]), k, exclude_query=self.exclude_query, **extra
+                    )
+                    results, per_query = [result], (ranker.last_stats,)
+                else:
+                    results = ranker.top_k_batch(
+                        np.asarray(payloads, dtype=np.int64),
+                        k,
+                        exclude_query=self.exclude_query,
+                        **extra,
+                    )
+                    per_query = ranker.last_batch_stats.per_query
+            elif singleton:
+                result = ranker.top_k_out_of_sample(payloads[0], k, **extra)
+                results, per_query = [result], (ranker.last_stats,)
+            else:
+                results = ranker.top_k_out_of_sample_batch(
+                    np.asarray(payloads), k, **extra
+                )
+                per_query = ranker.last_batch_stats.per_query
+        if engine_span is not None:
+            engine_span.end()
+        return results, per_query, engine_span
 
 
 def _truncate(result: TopKResult, k: int) -> TopKResult:

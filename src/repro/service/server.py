@@ -32,10 +32,25 @@ Endpoints
     Liveness: index identity and uptime.
 ``GET /metrics``
     Latency percentiles, throughput, queue depth, batch coalescing and
-    cache hit rates (:mod:`repro.service.metrics`).
+    cache hit rates (:mod:`repro.service.metrics`) — JSON by default,
+    Prometheus text exposition with ``?format=prometheus``.
 ``GET /stats``
     Index statistics plus scheduler configuration and cumulative engine
     pruning counters.
+``GET /debug/slow``
+    The slow-query flight recorder: full span trees of the slowest (or
+    threshold-exceeding) requests (:mod:`repro.obs.flight`; printed by
+    ``repro slowlog``).
+
+Tracing
+-------
+When tracing is on (the default), every ``/search`` / ``/search_oos``
+request gets a :class:`repro.obs.trace.Trace`: the scheduler records the
+coalescing wait (or the cache hit), the engine worker attaches the
+dispatch tree with per-stage solve spans beneath it, and the finished
+trace feeds the per-stage latency histograms and the flight recorder.
+Responses carry the trace id in the ``X-Repro-Trace-Id`` header;
+``?debug=trace`` returns the span tree inline in the response body.
 
 Use :func:`run_server` from the CLI (blocks until interrupted) or
 :class:`BackgroundServer` from tests/examples (serves from a daemon
@@ -53,6 +68,9 @@ from urllib.parse import parse_qs
 
 import numpy as np
 
+from repro.obs.flight import FlightRecorder
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import Trace
 from repro.service.cache import ResultCache
 from repro.service.encoding import search_result_payload
 from repro.service.metrics import ServiceMetrics
@@ -96,6 +114,14 @@ class RetrievalServer:
         The scheduler's coalescing policy.
     cache_capacity:
         LRU entries for the result cache (0 disables caching).
+    tracing:
+        Per-request span tracing (on by default; the off path is
+        benchmarked to be indistinguishable from never tracing).
+    slowlog_capacity, slow_threshold_ms:
+        The flight recorder's retention: the ``slowlog_capacity``
+        slowest requests ever (default), or — with a threshold — the
+        most recent requests at least that slow.  ``slowlog_capacity=0``
+        disables the recorder.
     """
 
     def __init__(
@@ -106,12 +132,19 @@ class RetrievalServer:
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         cache_capacity: int = 1024,
+        tracing: bool = True,
+        slowlog_capacity: int = 32,
+        slow_threshold_ms: float | None = None,
     ):
         self.ranker = ranker
         self.host = host
         self.port = port
+        self.tracing = tracing
         self.metrics = ServiceMetrics()
         self.cache = ResultCache(cache_capacity)
+        self.flight = FlightRecorder(
+            capacity=slowlog_capacity, threshold_ms=slow_threshold_ms
+        )
         self.scheduler = MicroBatchScheduler(
             ranker,
             max_batch_size=max_batch_size,
@@ -168,9 +201,13 @@ class RetrievalServer:
                 if request is None:  # client closed between requests
                     break
                 method, path, headers, body = request
-                status, payload = await self._route(method, path, body)
+                status, payload, extra_headers = await self._route(
+                    method, path, body
+                )
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                await _write_response(writer, status, payload, keep_alive)
+                await _write_response(
+                    writer, status, payload, keep_alive, extra_headers
+                )
                 if not keep_alive:
                     break
         except _HttpError as error:
@@ -204,73 +241,142 @@ class RetrievalServer:
             ):  # pragma: no cover - teardown races
                 pass
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | str, dict]:
+        """Dispatch one request; returns ``(status, payload, headers)``.
+
+        ``payload`` is a dict (JSON response) or a pre-rendered string
+        (the Prometheus exposition); ``headers`` carries per-response
+        extras such as ``X-Repro-Trace-Id``.
+        """
         started = time.perf_counter()
         endpoint, _, query_string = path.partition("?")
         params = parse_qs(query_string) if query_string else {}
+        headers: dict[str, str] = {}
         try:
             if endpoint == "/healthz":
                 _require(method, "GET")
                 payload = self._healthz()
                 self.metrics.record_request("healthz", time.perf_counter() - started)
-                return 200, payload
+                return 200, payload, headers
             if endpoint == "/metrics":
                 _require(method, "GET")
+                form = params.get("format", ["json"])[-1]
+                if form == "prometheus":
+                    exposition = self._prometheus()
+                    self.metrics.record_request(
+                        "metrics", time.perf_counter() - started
+                    )
+                    return 200, exposition, headers
+                if form != "json":
+                    raise _HttpError(
+                        400, f"unknown metrics format {form!r} (json|prometheus)"
+                    )
                 payload = self._metrics()
                 self.metrics.record_request("metrics", time.perf_counter() - started)
-                return 200, payload
+                return 200, payload, headers
             if endpoint == "/stats":
                 _require(method, "GET")
                 payload = self._stats()
                 self.metrics.record_request("stats", time.perf_counter() - started)
-                return 200, payload
+                return 200, payload, headers
+            if endpoint == "/debug/slow":
+                _require(method, "GET")
+                payload = self._slowlog()
+                self.metrics.record_request(
+                    "debug_slow", time.perf_counter() - started
+                )
+                return 200, payload, headers
             if endpoint == "/search":
                 _require(method, "POST")
-                payload = await self._search(_parse_json(body), started, params)
-                return 200, payload
+                payload = await self._search(
+                    _parse_json(body), started, params, headers
+                )
+                return 200, payload, headers
             if endpoint == "/search_oos":
                 _require(method, "POST")
-                payload = await self._search_oos(_parse_json(body), started, params)
-                return 200, payload
+                payload = await self._search_oos(
+                    _parse_json(body), started, params, headers
+                )
+                return 200, payload, headers
             if endpoint == "/insert":
                 _require(method, "POST")
                 payload = await self._insert(_parse_json(body), started)
-                return 200, payload
+                return 200, payload, headers
             if endpoint == "/delete":
                 _require(method, "POST")
                 payload = await self._delete(_parse_json(body), started)
-                return 200, payload
+                return 200, payload, headers
             if endpoint == "/rebuild":
                 _require(method, "POST")
                 payload = await self._rebuild(_parse_json(body), started)
-                return 200, payload
+                return 200, payload, headers
             raise _HttpError(404, f"unknown path {endpoint}")
         except _HttpError as error:
             self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
-            return error.status, {"error": str(error)}
+            return error.status, {"error": str(error)}, headers
         except ReadOnlyEngineError as error:
             self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
-            return 403, {"error": str(error)}
+            return 403, {"error": str(error)}, headers
         except (ValueError, KeyError, TypeError) as error:
             self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, headers
         except Exception as error:  # engine failure — report, keep serving
             self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 500, {"error": f"{type(error).__name__}: {error}"}, headers
 
     # -- endpoints --------------------------------------------------------
 
-    async def _search(self, document: dict, started: float, params: dict) -> dict:
+    def _start_trace(self, endpoint: str, **meta: object) -> Trace | None:
+        """A fresh trace when tracing is on; ``None`` (and no cost) when off."""
+        if not self.tracing:
+            return None
+        return Trace(endpoint, **meta)
+
+    def _finish_trace(
+        self,
+        trace: Trace | None,
+        endpoint: str,
+        elapsed: float,
+        params: dict,
+        payload: dict,
+        headers: dict,
+    ) -> None:
+        """Close a request trace and fan it out to every consumer.
+
+        The finished trace feeds the per-stage latency histograms, is
+        offered to the slow-query flight recorder, stamps the response
+        with ``X-Repro-Trace-Id``, and — on ``?debug=trace`` — rides the
+        response body as a span tree.
+        """
+        if trace is None:
+            return
+        trace.finish()
+        headers["X-Repro-Trace-Id"] = trace.trace_id
+        payload["trace_id"] = trace.trace_id
+        self.metrics.record_trace(trace)
+        rendered = trace.to_dict()
+        self.flight.record(endpoint, elapsed, rendered)
+        if "trace" in params.get("debug", ()):
+            payload["trace"] = rendered
+
+    async def _search(
+        self, document: dict, started: float, params: dict, headers: dict
+    ) -> dict:
         query = document.get("query")
         if not isinstance(query, int) or isinstance(query, bool):
             raise _HttpError(400, "body must carry an integer 'query' node id")
         k = _get_k(document)
         accuracy, m = _get_accuracy(document, params)
-        scheduled = await self.scheduler.search(query, k, accuracy=accuracy, m=m)
+        trace = self._start_trace("search", query=query, k=k)
+        scheduled = await self.scheduler.search(
+            query, k, accuracy=accuracy, m=m, trace=trace
+        )
         elapsed = time.perf_counter() - started
         self.metrics.record_request("search", elapsed)
         extra = {} if scheduled.accuracy is None else {"accuracy": scheduled.accuracy}
-        return search_result_payload(
+        payload = search_result_payload(
             scheduled.result,
             k,
             scheduled.stats,
@@ -280,8 +386,12 @@ class RetrievalServer:
             latency_ms=1e3 * elapsed,
             **extra,
         )
+        self._finish_trace(trace, "search", elapsed, params, payload, headers)
+        return payload
 
-    async def _search_oos(self, document: dict, started: float, params: dict) -> dict:
+    async def _search_oos(
+        self, document: dict, started: float, params: dict, headers: dict
+    ) -> dict:
         feature = document.get("feature")
         if not isinstance(feature, list) or not feature:
             raise _HttpError(400, "body must carry a non-empty 'feature' list")
@@ -290,13 +400,14 @@ class RetrievalServer:
             raise _HttpError(400, "'feature' must be a flat list of numbers")
         k = _get_k(document)
         accuracy, m = _get_accuracy(document, params)
+        trace = self._start_trace("search_oos", dim=vector.shape[0], k=k)
         scheduled = await self.scheduler.search_out_of_sample(
-            vector, k, accuracy=accuracy, m=m
+            vector, k, accuracy=accuracy, m=m, trace=trace
         )
         elapsed = time.perf_counter() - started
         self.metrics.record_request("search_oos", elapsed)
         extra = {} if scheduled.accuracy is None else {"accuracy": scheduled.accuracy}
-        return search_result_payload(
+        payload = search_result_payload(
             scheduled.result,
             k,
             scheduled.stats,
@@ -305,6 +416,8 @@ class RetrievalServer:
             latency_ms=1e3 * elapsed,
             **extra,
         )
+        self._finish_trace(trace, "search_oos", elapsed, params, payload, headers)
+        return payload
 
     async def _insert(self, document: dict, started: float) -> dict:
         feature = document.get("feature")
@@ -376,10 +489,28 @@ class RetrievalServer:
         snapshot = self.metrics.snapshot()
         snapshot["queue_depth"] = self.scheduler.queue_depth
         snapshot["cache"] = self.cache.stats()
+        snapshot["tracing"] = self.tracing
+        snapshot["slowlog"] = self.flight.stats()
         tiers = self._tier_counters()
         if tiers is not None:
             snapshot["tiers"] = tiers
         return snapshot
+
+    def _prometheus(self) -> str:
+        """The ``?format=prometheus`` exposition (same state, second view)."""
+        return render_prometheus(
+            self.metrics,
+            queue_depth=self.scheduler.queue_depth,
+            cache_stats=self.cache.stats(),
+            tier_counters=self._tier_counters(),
+            slowlog_stats=self.flight.stats(),
+        )
+
+    def _slowlog(self) -> dict:
+        """The flight recorder's retained traces (``GET /debug/slow``)."""
+        stats = self.flight.stats()
+        stats["tracing"] = self.tracing
+        return {"slowlog": stats, "entries": self.flight.snapshot()}
 
     def _tier_counters(self) -> dict | None:
         """Per-accuracy-level counters of a tiered engine (else ``None``)."""
@@ -481,14 +612,29 @@ async def _read_request(
 
 
 async def _write_response(
-    writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict | str,
+    keep_alive: bool,
+    headers: dict | None = None,
 ) -> None:
-    body = json.dumps(payload).encode("utf-8")
+    if isinstance(payload, str):
+        # Pre-rendered text (the Prometheus exposition); version 0.0.4
+        # is the text-format identifier scrapers negotiate on.
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         f"\r\n"
     ).encode("ascii")
     writer.write(head + body)
@@ -552,6 +698,9 @@ def run_server(
     max_batch_size: int = 32,
     max_wait_ms: float = 2.0,
     cache_capacity: int = 1024,
+    tracing: bool = True,
+    slowlog_capacity: int = 32,
+    slow_threshold_ms: float | None = None,
     announce: Callable[[str], None] = print,
 ) -> None:
     """Serve ``ranker`` until interrupted (the CLI's blocking entry point)."""
@@ -562,6 +711,9 @@ def run_server(
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
         cache_capacity=cache_capacity,
+        tracing=tracing,
+        slowlog_capacity=slowlog_capacity,
+        slow_threshold_ms=slow_threshold_ms,
     )
 
     async def _main() -> None:

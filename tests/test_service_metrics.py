@@ -1,0 +1,311 @@
+"""Tests for the metrics sink: histogram ring exactness and thread-safety.
+
+Satellite coverage for the observability PR: the LatencyHistogram ring
+buffer must be *exact* at its wraparound boundaries (window percentiles
+over precisely the last ``capacity`` observations, lifetime bucket
+counts never losing an observation), and ServiceMetrics must add up
+under concurrent writers — the event loop, the engine worker and load
+generator threads all report into one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.search import SearchStats
+from repro.obs.trace import Trace
+from repro.service.metrics import DEFAULT_BUCKETS, LatencyHistogram, ServiceMetrics
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class TestLatencyHistogramWindow:
+    """Ring-buffer exactness at the capacity boundaries."""
+
+    def test_exact_below_capacity(self):
+        histogram = LatencyHistogram(capacity=8)
+        values = [0.010, 0.020, 0.030]
+        for value in values:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["max_ms"] == pytest.approx(30.0)
+        assert summary["mean_ms"] == pytest.approx(20.0)
+        assert summary["p50_ms"] == pytest.approx(
+            1e3 * float(np.percentile(values, 50))
+        )
+
+    def test_exact_at_capacity(self):
+        capacity = 16
+        histogram = LatencyHistogram(capacity=capacity)
+        values = [(i + 1) / 1e3 for i in range(capacity)]
+        for value in values:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == capacity
+        assert summary["max_ms"] == pytest.approx(capacity)
+        for q in (50, 95, 99):
+            assert summary[f"p{q}_ms"] == pytest.approx(
+                1e3 * float(np.percentile(values, q))
+            )
+
+    def test_wraparound_drops_exactly_the_oldest(self):
+        capacity = 8
+        histogram = LatencyHistogram(capacity=capacity)
+        # One giant outlier, then enough fresh samples to overwrite it.
+        histogram.observe(10.0)
+        fresh = [(i + 1) / 1e3 for i in range(capacity)]
+        for value in fresh:
+            histogram.observe(value)
+        summary = histogram.summary()
+        # The window holds exactly the last `capacity` observations: the
+        # outlier was overwritten, so the windowed max decays ...
+        assert summary["max_ms"] == pytest.approx(1e3 * max(fresh))
+        assert summary["p99_ms"] == pytest.approx(
+            1e3 * float(np.percentile(fresh, 99))
+        )
+        # ... while the lifetime max and total count never decrease.
+        assert summary["lifetime_max_ms"] == pytest.approx(10_000.0)
+        assert summary["count"] == capacity + 1
+
+    def test_double_wraparound_window_contents(self):
+        capacity = 4
+        histogram = LatencyHistogram(capacity=capacity)
+        for i in range(2 * capacity + 1):  # 9 observations through a 4-ring
+            histogram.observe(float(i))
+        window_expected = [5.0, 6.0, 7.0, 8.0]
+        summary = histogram.summary()
+        assert summary["count"] == 2 * capacity + 1
+        assert summary["max_ms"] == pytest.approx(1e3 * 8.0)
+        assert summary["p50_ms"] == pytest.approx(
+            1e3 * float(np.percentile(window_expected, 50))
+        )
+        # Mean is lifetime (sum/total), not windowed.
+        assert summary["mean_ms"] == pytest.approx(1e3 * np.mean(range(9)))
+
+    def test_lifetime_max_survives_any_number_of_wraps(self):
+        histogram = LatencyHistogram(capacity=2)
+        histogram.observe(5.0)
+        for _ in range(10):
+            histogram.observe(0.001)
+        summary = histogram.summary()
+        assert summary["max_ms"] == pytest.approx(1.0)
+        assert summary["lifetime_max_ms"] == pytest.approx(5_000.0)
+
+    def test_empty_summary_is_all_zero(self):
+        summary = LatencyHistogram().summary()
+        assert summary["count"] == 0
+        for key in ("mean_ms", "max_ms", "lifetime_max_ms", "p50_ms", "p99_ms"):
+            assert summary[key] == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(0.1, 0.1, 0.2))
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(0.2, 0.1))
+
+
+class TestLatencyHistogramBuckets:
+    """Lifetime bucket counts: the Prometheus-facing half of the class."""
+
+    def test_bucket_assignment_inclusive_upper_bound(self):
+        histogram = LatencyHistogram(capacity=4, buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.001, 0.0011, 0.05, 0.5):
+            histogram.observe(value)
+        bounds, counts, total, total_sum = histogram.bucket_counts()
+        assert bounds == (0.001, 0.01, 0.1)
+        # le-buckets: 0.001 catches {0.0005, 0.001}; 0.5 overflows to +Inf.
+        assert counts == (2, 1, 1)
+        assert total == 5
+        assert total_sum == pytest.approx(0.5526)
+
+    def test_buckets_survive_window_wraparound(self):
+        capacity = 4
+        histogram = LatencyHistogram(capacity=capacity)
+        n = 10 * capacity
+        for _ in range(n):
+            histogram.observe(0.003)
+        bounds, counts, total, _ = histogram.bucket_counts()
+        assert total == n  # every observation counted, none windowed away
+        assert sum(counts) == n
+        assert counts[bounds.index(0.005)] == n
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_concurrent_observers_lose_nothing(self):
+        histogram = LatencyHistogram(capacity=64)
+        n_threads, per_thread = 8, 500
+
+        def worker(tid):
+            for i in range(per_thread):
+                histogram.observe((tid * per_thread + i + 1) / 1e6)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = n_threads * per_thread
+        assert histogram.count == expected
+        _, counts, total, total_sum = histogram.bucket_counts()
+        assert total == expected
+        assert sum(counts) == expected  # nothing above 10s
+        exact_sum = sum(
+            (t * per_thread + i + 1) / 1e6
+            for t in range(n_threads)
+            for i in range(per_thread)
+        )
+        assert total_sum == pytest.approx(exact_sum)
+        assert histogram.summary()["lifetime_max_ms"] == pytest.approx(
+            1e3 * expected / 1e6
+        )
+
+
+class TestServiceMetricsConcurrency:
+    """One ServiceMetrics instance written by many threads must add up."""
+
+    def test_concurrent_request_writers(self):
+        metrics = ServiceMetrics()
+        n_threads, per_thread = 8, 250
+
+        def worker(tid):
+            for i in range(per_thread):
+                error = (i % 10) == 0
+                metrics.record_request("search", 0.001, error=error)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == n_threads * per_thread
+        assert snapshot["errors_total"] == n_threads * (per_thread // 10)
+        # Errored requests are excluded from the latency histogram.
+        assert metrics.latency["search"].count == n_threads * (
+            per_thread - per_thread // 10
+        )
+
+    def test_concurrent_batch_writers_aggregate_stats(self):
+        metrics = ServiceMetrics()
+        n_threads, per_thread = 6, 200
+
+        def worker(tid):
+            for i in range(per_thread):
+                stats = SearchStats(
+                    clusters_pruned=1, clusters_scored=2, nodes_scored=3
+                )
+                metrics.record_batch(tid + 1, stats=stats)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        n_batches = n_threads * per_thread
+        assert snapshot["batches_total"] == n_batches
+        assert snapshot["queries_batched"] == per_thread * sum(
+            range(1, n_threads + 1)
+        )
+        assert snapshot["max_batch_size"] == n_threads
+        assert snapshot["engine"]["clusters_pruned"] == n_batches
+        assert snapshot["engine"]["clusters_scored"] == 2 * n_batches
+        assert snapshot["engine"]["nodes_scored"] == 3 * n_batches
+        assert metrics.mean_batch_size == pytest.approx(
+            snapshot["queries_batched"] / n_batches
+        )
+
+    def test_concurrent_stage_writers_create_one_histogram_each(self):
+        metrics = ServiceMetrics()
+        stages = [f"stage.{i}" for i in range(4)]
+        n_threads, per_thread = 8, 200
+
+        def worker(tid):
+            for i in range(per_thread):
+                metrics.record_stage(stages[i % len(stages)], 0.001)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        histograms = metrics.stage_histograms()
+        assert sorted(histograms) == stages
+        per_stage = n_threads * per_thread // len(stages)
+        for stage in stages:
+            assert histograms[stage].count == per_stage
+
+    def test_mixed_writers_snapshot_is_consistent(self):
+        """Snapshots taken *during* writes must stay self-consistent."""
+        metrics = ServiceMetrics()
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            while not stop.is_set():
+                metrics.record_request("search", 0.002)
+                metrics.record_batch(4)
+                metrics.record_stage("scheduler.wait", 0.0005)
+
+        def reader():
+            while not stop.is_set():
+                snapshot = metrics.snapshot()
+                if snapshot["queries_batched"] != 4 * snapshot["batches_total"]:
+                    problems.append(snapshot)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not problems
+        assert metrics.snapshot()["requests_total"] > 0
+
+    def test_record_trace_feeds_stage_histograms_and_skips_root(self):
+        metrics = ServiceMetrics()
+        trace = Trace("search")
+        trace.root.add_span("scheduler.wait", started=0.0, ended=0.010)
+        engine = trace.root.add_span("engine.dispatch", started=0.0, ended=0.050)
+        engine.add_span("tier.nominate", started=0.0, ended=0.020)
+        trace.finish()
+        metrics.record_trace(trace)
+        histograms = metrics.stage_histograms()
+        assert sorted(histograms) == [
+            "engine.dispatch",
+            "scheduler.wait",
+            "tier.nominate",
+        ]
+        assert "search" not in histograms  # root excluded: that is the
+        assert histograms["scheduler.wait"].count == 1  # endpoint histogram
+        assert histograms["tier.nominate"].summary()["max_ms"] == pytest.approx(
+            20.0
+        )
+        # The stage summaries surface in the snapshot for JSON /metrics.
+        assert "scheduler.wait" in metrics.snapshot()["stages"]
+
+    def test_unknown_endpoint_counts_without_histogram(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("debug_slow", 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 1
+        assert set(snapshot["latency"]) == {"search", "search_oos"}
