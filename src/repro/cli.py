@@ -289,6 +289,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the most recent requests at least this slow instead "
         "of the all-time slowest (default: slowest-N policy)",
     )
+    serve.add_argument(
+        "--request-timeout-ms",
+        type=_nonnegative_float,
+        default=30_000.0,
+        metavar="MS",
+        help="default per-request deadline for search endpoints "
+        "(default 30000; 0 disables; requests override with "
+        "?deadline_ms= or the X-Repro-Deadline-Ms header)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="admission-control threshold: past this many queued "
+        "requests, new ones are degraded or shed per --overload-policy "
+        "(default 1024; 0 disables admission control — unbounded queues)",
+    )
+    serve.add_argument(
+        "--overload-policy",
+        choices=("shed", "degrade", "degrade-then-shed"),
+        default="degrade-then-shed",
+        help="what to do past the queue threshold: shed (429 + "
+        "Retry-After), degrade (downgrade dialable requests to the fast "
+        "tier), or degrade-then-shed (degrade what can be, shed the "
+        "rest; the default)",
+    )
+    serve.add_argument(
+        "--max-queue-delay-ms",
+        type=_nonnegative_float,
+        default=None,
+        metavar="MS",
+        help="also shed/degrade when the estimated queue delay (from the "
+        "per-stage histograms) crosses this budget (default: depth "
+        "threshold only)",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=_positive_int,
+        default=8 * 1024 * 1024,
+        metavar="BYTES",
+        help="largest accepted request body; larger answers 413 "
+        "(default 8 MiB)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="ARM THE CHAOS HARNESS (tests/CI only): comma-separated "
+        "site:kind[:value_ms][:probability] rules, e.g. "
+        "'engine.solve:latency:25,server.response:error:0:0.05'; the "
+        "REPRO_FAULTS environment variable is honoured when this flag "
+        "is absent",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     slowlog = sub.add_parser(
@@ -329,6 +383,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument("-k", type=int, default=10, help="answers per query")
     loadtest.add_argument("--seed", type=int, default=0, help="query sampling seed")
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=_nonnegative_float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline sent as X-Repro-Deadline-Ms "
+        "(default: the server's own default; 0 opts out)",
+    )
+    loadtest.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="budgeted client retries per request with exponential "
+        "backoff + full jitter, honouring Retry-After (default 0)",
+    )
     loadtest.add_argument(
         "--json",
         action="store_true",
@@ -643,7 +713,23 @@ def _search_batch(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.faults import FaultInjector
     from repro.service.server import run_server
+
+    if args.faults:
+        faults = FaultInjector.parse(args.faults)
+    else:
+        faults = FaultInjector.from_env()
+
+    def _overload_kwargs() -> dict:
+        return dict(
+            request_timeout_ms=args.request_timeout_ms or None,
+            max_queue_depth=args.max_queue_depth or None,
+            overload_policy=args.overload_policy,
+            max_queue_delay_ms=args.max_queue_delay_ms,
+            max_body_bytes=args.max_body_bytes,
+            faults=faults,
+        )
 
     index = load_any_index(args.index)
     features = _load_features(args)
@@ -691,6 +777,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracing=not args.no_tracing,
             slowlog_capacity=args.slowlog_capacity,
             slow_threshold_ms=args.slow_threshold_ms,
+            **_overload_kwargs(),
         )
         return 0
 
@@ -715,6 +802,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracing=not args.no_tracing,
             slowlog_capacity=args.slowlog_capacity,
             slow_threshold_ms=args.slow_threshold_ms,
+            **_overload_kwargs(),
         )
     finally:
         # Let an in-flight background rebuild settle, then persist the
@@ -739,6 +827,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         duration_seconds=args.duration,
         k=args.k,
         seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        retries=args.retries,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))

@@ -55,9 +55,33 @@ _HELP = {
         "counter",
         "Requests retained by the slow-query flight recorder.",
     ),
+    "repro_sheds_total": (
+        "counter",
+        "Requests refused by admission control (429 Too Many Requests).",
+    ),
+    "repro_degraded_total": (
+        "counter",
+        "Requests downgraded to the fast tier under overload.",
+    ),
+    "repro_deadline_timeouts_total": (
+        "counter",
+        "Requests whose deadline expired before an answer (504).",
+    ),
+    "repro_deadline_expired_in_queue_total": (
+        "counter",
+        "Deadline expiries caught at batch assembly (never dispatched).",
+    ),
+    "repro_faults_injected_total": (
+        "counter",
+        "Artificial faults injected by the armed chaos harness.",
+    ),
     "repro_request_latency_seconds": (
         "histogram",
         "Request latency by endpoint.",
+    ),
+    "repro_error_latency_seconds": (
+        "histogram",
+        "Latency of requests that ended in an error status.",
     ),
     "repro_stage_duration_seconds": (
         "histogram",
@@ -173,10 +197,27 @@ def render_prometheus(
     )
     if slowlog_stats:
         writer.sample("repro_slowlog_recorded_total", slowlog_stats["recorded"])
+    admission = snapshot.get("admission", {})
+    writer.sample("repro_sheds_total", admission.get("sheds_total", 0))
+    writer.sample("repro_degraded_total", admission.get("degraded_total", 0))
+    writer.sample(
+        "repro_deadline_timeouts_total",
+        admission.get("deadline_timeouts_total", 0),
+    )
+    writer.sample(
+        "repro_deadline_expired_in_queue_total",
+        admission.get("expired_in_queue_total", 0),
+    )
+    writer.sample(
+        "repro_faults_injected_total", admission.get("faults_injected_total", 0)
+    )
     for endpoint, histogram in sorted(metrics.latency.items()):
         writer.histogram(
             "repro_request_latency_seconds", histogram, endpoint=endpoint
         )
+    error_latency = getattr(metrics, "error_latency", None)
+    if error_latency is not None:
+        writer.histogram("repro_error_latency_seconds", error_latency)
     for stage, histogram in sorted(metrics.stage_histograms().items()):
         writer.histogram("repro_stage_duration_seconds", histogram, stage=stage)
     if tier_counters:

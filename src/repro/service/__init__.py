@@ -10,12 +10,17 @@ the request-lifecycle layer that makes that happen in a live system:
 * :mod:`repro.service.server` — a stdlib-only asyncio HTTP front end
   (``POST /search``, ``POST /search_oos``, ``GET /healthz`` /
   ``/metrics`` / ``/stats``),
+* :mod:`repro.service.admission` — deadline-aware admission control:
+  bounded queues, load shedding (429 + ``Retry-After``) and graceful
+  degradation to the fast accuracy tier under overload,
+* :mod:`repro.service.faults` — a fault-injection chaos harness
+  (env/CLI-armed, off by default) for overload and resilience tests,
 * :mod:`repro.service.cache` — an LRU result cache with hit/miss
   accounting, invalidated on dynamic database updates,
 * :mod:`repro.service.metrics` — latency histograms, throughput and
   aggregated engine counters,
-* :mod:`repro.service.client` — an HTTP client plus a concurrent
-  load generator,
+* :mod:`repro.service.client` — an HTTP client with budgeted
+  backoff-and-jitter retries, plus a concurrent load generator,
 * :mod:`repro.service.encoding` — the JSON response encoding, shared
   with the CLI's ``search --json`` mode.
 
@@ -23,13 +28,26 @@ Surface from the shell: ``python -m repro serve`` and
 ``python -m repro loadtest``.
 """
 
+from repro.service.admission import (
+    OVERLOAD_POLICIES,
+    AdmissionController,
+    DeadlineExceededError,
+    SchedulerStoppedError,
+    ShedLoadError,
+)
 from repro.service.cache import ResultCache
-from repro.service.client import LoadReport, RetrievalClient, run_load_test
+from repro.service.client import (
+    LoadReport,
+    RequestFailedError,
+    RetrievalClient,
+    run_load_test,
+)
 from repro.service.encoding import (
     search_result_payload,
     stats_to_dict,
     topk_to_dict,
 )
+from repro.service.faults import FaultInjector, FaultRule, InjectedFault
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.scheduler import (
     MicroBatchScheduler,
@@ -39,16 +57,25 @@ from repro.service.scheduler import (
 from repro.service.server import BackgroundServer, RetrievalServer, run_server
 
 __all__ = [
+    "AdmissionController",
     "BackgroundServer",
+    "DeadlineExceededError",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
     "LatencyHistogram",
     "LoadReport",
     "MicroBatchScheduler",
+    "OVERLOAD_POLICIES",
     "ReadOnlyEngineError",
+    "RequestFailedError",
     "ResultCache",
     "RetrievalClient",
     "RetrievalServer",
     "ScheduledResult",
+    "SchedulerStoppedError",
     "ServiceMetrics",
+    "ShedLoadError",
     "run_load_test",
     "run_server",
     "search_result_payload",

@@ -1,0 +1,285 @@
+"""Admission control: bounded queues, load shedding and graceful degradation.
+
+A serving stack without admission control fails collectively: under
+overload every queue grows without bound, every request's latency grows
+with the queue, and by the time answers emerge nobody is still waiting
+for them.  The remedy is old and simple — refuse (or cheapen) work you
+cannot finish in time, so the work you *do* accept finishes fast.
+
+:class:`AdmissionController` is the scheduler's gatekeeper.  Every
+search request consults it before enqueueing; the controller looks at
+the current queue depth (and, optionally, the *estimated queue delay*
+derived from the per-stage latency histograms) and answers with one of
+three decisions:
+
+``ADMIT``
+    Below the threshold — enqueue normally.
+``DEGRADE``
+    Over the threshold, and the engine has an accuracy dial
+    (:class:`repro.core.TieredEngine`): downgrade the request to the
+    cheap ``fast`` tier before enqueueing.  Brownout instead of
+    blackout — the client gets a slightly approximate answer *now*
+    rather than an exact answer never.  Degraded responses are flagged
+    (``degraded: true``) so nobody mistakes them for full-accuracy
+    answers.
+``SHED``
+    Over the threshold and degradation is unavailable (or the policy
+    forbids it, or even the degraded lanes are saturated): fail fast
+    with 429 + ``Retry-After`` *before* the request burns queue space
+    or engine time.  A shed request provably never executed, so clients
+    may retry it safely — which is exactly what
+    :class:`repro.service.client.RetrievalClient` does.
+
+Three policies select between the overload responses (the threshold
+itself is ``max_queue_depth``):
+
+* ``shed`` — never degrade; 429 at the threshold.
+* ``degrade`` — downgrade dialable requests at the threshold; requests
+  that cannot be degraded are still admitted until the *hard* limit
+  (``hard_limit_factor * max_queue_depth``), past which everything
+  sheds (the bound is a bound).
+* ``degrade-then-shed`` (default) — downgrade dialable requests at the
+  threshold, shed everything else; the hard limit sheds even dialable
+  requests once the degraded lanes are saturated too.
+
+Deadlines are the controller's companion (see
+:class:`DeadlineExceededError` and the scheduler's drain-time expiry
+check): admission bounds how much work enters the queue, deadlines
+bound how stale the work we dispatch may be.  Together they give the
+benchmarked guarantee of ``benchmarks/bench_overload.py``: under 4x
+saturation offered load, the p99 of *accepted* requests stays within a
+small multiple of the unloaded p99, and goodput stays near capacity.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: The three overload policies accepted by ``--overload-policy``.
+OVERLOAD_POLICIES = ("shed", "degrade", "degrade-then-shed")
+
+#: Decision constants returned by :meth:`AdmissionController.decide`.
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline expired before the engine answered.
+
+    Raised *before* enqueueing when the request arrives already expired,
+    and at batch-assembly time for requests whose deadline lapsed while
+    they waited in the queue — in both cases without dispatching to the
+    engine.  The server maps this to ``504 Gateway Timeout``.  The
+    request was never executed, so idempotent retries are safe.
+    """
+
+    def __init__(self, message: str, queued_ms: float | None = None):
+        super().__init__(message)
+        #: How long the request sat in the queue (``None`` when it
+        #: arrived at the server already expired).
+        self.queued_ms = queued_ms
+
+
+class ShedLoadError(RuntimeError):
+    """The request was refused by admission control (load shedding).
+
+    The server maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header carrying :attr:`retry_after_seconds`.  A shed
+    request provably never reached the engine, so retrying it (after
+    backing off) is always safe — including mutations.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+
+class SchedulerStoppedError(RuntimeError):
+    """The scheduler shut down while the request was queued.
+
+    Distinguishes "the server is going away" (503 + ``Connection:
+    close`` — pick another replica, or retry later) from an engine bug
+    (500).  Requests failed this way were never dispatched.
+    """
+
+
+class AdmissionController:
+    """Bounded-queue admission decisions for the micro-batching scheduler.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        The overload threshold: when the scheduler's total queued
+        request count reaches this depth, new requests are degraded or
+        shed according to ``policy``.  ``None`` disables admission
+        control entirely (every decision is ``ADMIT`` — the pre-PR
+        behaviour, kept for benchmarks' no-admission baseline).
+    policy:
+        One of :data:`OVERLOAD_POLICIES`.
+    hard_limit_factor:
+        Queues are *hard*-bounded at ``hard_limit_factor *
+        max_queue_depth``: past that depth every request sheds, whatever
+        the policy — degradation moved load to cheaper lanes, but the
+        cheaper lanes are saturated too.
+    max_queue_delay_ms:
+        Optional second overload signal: when set, the controller also
+        sheds/degrades when the *estimated* queue delay (current depth x
+        mean engine-dispatch seconds / mean batch size, both read from
+        the live service metrics) crosses this budget.  Catches the case
+        where a modest queue of expensive requests is worth more delay
+        than a deep queue of cheap ones.
+    metrics:
+        Optional :class:`repro.service.metrics.ServiceMetrics`; used for
+        the delay estimate and to publish shed/degrade counters.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int | None = None,
+        policy: str = "degrade-then-shed",
+        hard_limit_factor: float = 2.0,
+        max_queue_delay_ms: float | None = None,
+        metrics=None,
+    ):
+        if policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload policy {policy!r}; expected one of "
+                f"{OVERLOAD_POLICIES}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 (or None), got {max_queue_depth}"
+            )
+        if hard_limit_factor < 1.0:
+            raise ValueError(
+                f"hard_limit_factor must be >= 1.0, got {hard_limit_factor}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.policy = policy
+        self.hard_limit_factor = float(hard_limit_factor)
+        self.max_queue_delay_ms = max_queue_delay_ms
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self.admitted_total = 0
+        self.degraded_total = 0
+        self.shed_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when the controller admits unconditionally."""
+        return self.max_queue_depth is not None
+
+    @property
+    def hard_limit(self) -> int | None:
+        if self.max_queue_depth is None:
+            return None
+        return max(
+            self.max_queue_depth,
+            int(math.ceil(self.hard_limit_factor * self.max_queue_depth)),
+        )
+
+    # -- overload signals -------------------------------------------------
+
+    def estimated_queue_delay_seconds(self, depth: int) -> float | None:
+        """Expected wait of a request enqueued *now*, from live metrics.
+
+        ``depth / mean_batch_size`` dispatches must drain ahead of it,
+        each costing the mean observed ``engine.dispatch`` stage time.
+        Returns ``None`` until tracing has fed the per-stage histograms
+        (the depth threshold alone governs admission until then).
+        """
+        if self.metrics is None or depth <= 0:
+            return None
+        dispatch = self.metrics.stage_histograms().get("engine.dispatch")
+        if dispatch is None or dispatch.count == 0:
+            return None
+        batch = max(1.0, self.metrics.mean_batch_size)
+        return (depth / batch) * dispatch.mean_seconds
+
+    def overloaded(self, depth: int) -> bool:
+        """Whether a request arriving at ``depth`` queued faces overload."""
+        if self.max_queue_depth is None:
+            return False
+        if depth >= self.max_queue_depth:
+            return True
+        if self.max_queue_delay_ms is not None:
+            estimate = self.estimated_queue_delay_seconds(depth)
+            if estimate is not None and 1e3 * estimate >= self.max_queue_delay_ms:
+                return True
+        return False
+
+    # -- the decision ------------------------------------------------------
+
+    def decide(self, depth: int, can_degrade: bool) -> str:
+        """One admission decision: :data:`ADMIT`, :data:`DEGRADE` or :data:`SHED`.
+
+        ``can_degrade`` is the scheduler's judgement of whether *this*
+        request has a cheaper tier to fall to (the engine is tiered and
+        the request is not already at the floor).
+        """
+        if self.max_queue_depth is None:
+            self._count(ADMIT)
+            return ADMIT
+        if depth >= self.hard_limit:
+            # Past the hard bound nothing enters, degradable or not:
+            # the cheap lanes are saturated too and memory is finite.
+            self._count(SHED)
+            return SHED
+        if not self.overloaded(depth):
+            self._count(ADMIT)
+            return ADMIT
+        if self.policy == "shed":
+            self._count(SHED)
+            return SHED
+        if can_degrade:
+            self._count(DEGRADE)
+            return DEGRADE
+        if self.policy == "degrade-then-shed":
+            self._count(SHED)
+            return SHED
+        # policy == "degrade" with nothing to degrade: admit until the
+        # hard limit — this policy trades bounded-ness for availability.
+        self._count(ADMIT)
+        return ADMIT
+
+    def _count(self, decision: str) -> None:
+        with self._lock:
+            if decision == ADMIT:
+                self.admitted_total += 1
+            elif decision == DEGRADE:
+                self.degraded_total += 1
+            else:
+                self.shed_total += 1
+
+    # -- client guidance ---------------------------------------------------
+
+    def retry_after_seconds(self, depth: int) -> float:
+        """How long a shed client should wait before retrying.
+
+        The estimated time for the current queue to drain, clamped to
+        [1, 10] seconds (whole seconds — the HTTP ``Retry-After`` header
+        is integral).  Without a delay estimate, 1 second.
+        """
+        estimate = self.estimated_queue_delay_seconds(depth)
+        if estimate is None:
+            return 1.0
+        return float(min(10, max(1, math.ceil(estimate))))
+
+    def snapshot(self) -> dict:
+        """Configuration and counters for ``GET /stats``."""
+        with self._lock:
+            counters = {
+                "admitted_total": self.admitted_total,
+                "degraded_total": self.degraded_total,
+                "shed_total": self.shed_total,
+            }
+        return {
+            "enabled": self.enabled,
+            "policy": self.policy,
+            "max_queue_depth": self.max_queue_depth,
+            "hard_limit": self.hard_limit,
+            "max_queue_delay_ms": self.max_queue_delay_ms,
+            **counters,
+        }

@@ -1,0 +1,238 @@
+"""Fault injection for the serving stack (chaos harness, off by default).
+
+Robustness claims that were never exercised are wishes.  This module
+lets tests, benchmarks and operators *arm* controlled faults at named
+sites inside the serving path and watch the stack degrade the way the
+overload design says it should: deadlines fire, admission sheds,
+clients retry, and nothing deadlocks.
+
+Injection sites
+---------------
+``engine.solve``
+    Inside the engine worker thread, immediately before the batch is
+    dispatched to the engine.  ``error`` raises :class:`InjectedFault`
+    (every request in the batch fails with a 500); ``latency`` sleeps
+    synchronously, simulating a slow solve (the worker thread is the
+    bottleneck resource, so this inflates queue depth and triggers
+    admission control).
+``scheduler.queue``
+    On the event loop, after a batch is assembled but before it is
+    handed to the worker.  Only ``stall`` rules apply here — the
+    scheduler *awaits* the stall so the event loop stays responsive
+    (new requests keep arriving and piling into the queue, which is
+    exactly the overload scenario deadline tests need).
+``server.response``
+    In the HTTP layer, after the engine answered but before the
+    response is written.  ``error`` turns a successful search into a
+    500 — the scenario client retries must cope with.
+
+Arming
+------
+Off by default; a disarmed injector is a few attribute loads per site.
+Arm via the ``--faults`` CLI flag or the ``REPRO_FAULTS`` environment
+variable, both of which take a comma-separated spec:
+
+    site:kind[:value_ms][:probability]
+
+Examples::
+
+    engine.solve:latency:25            # every solve sleeps 25 ms
+    engine.solve:error:0:0.1           # 10% of solves raise
+    scheduler.queue:stall:50:0.5       # half the batches stall 50 ms
+    engine.solve:latency:20:1,server.response:error:0:0.05
+
+``kind`` is ``error``, ``latency`` or ``stall``; ``value_ms`` is the
+sleep/stall duration (ignored for ``error``); ``probability`` defaults
+to 1.0.  Draws use a dedicated seeded :class:`random.Random` so chaos
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+#: Sites the serving stack consults, and the fault kinds they honor.
+FAULT_SITES = {
+    "engine.solve": ("error", "latency"),
+    "scheduler.queue": ("stall",),
+    "server.response": ("error",),
+}
+
+FAULT_KINDS = ("error", "latency", "stall")
+
+#: Environment variable checked by :meth:`FaultInjector.from_env`.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by an armed :class:`FaultInjector`.
+
+    Deliberately a plain ``RuntimeError`` subclass: the serving stack
+    must handle it through the same paths as a real engine bug (500 to
+    the client, error metrics recorded, scheduler still alive).
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at {site}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault: at ``site``, do ``kind`` with ``probability``."""
+
+    site: str
+    kind: str  # "error" | "latency" | "stall"
+    value_ms: float = 0.0
+    probability: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.site in FAULT_SITES and self.kind not in FAULT_SITES[self.site]:
+            raise ValueError(
+                f"site {self.site!r} does not support kind {self.kind!r} "
+                f"(supported: {FAULT_SITES[self.site]})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.value_ms < 0:
+            raise ValueError(f"value_ms must be >= 0, got {self.value_ms}")
+
+
+def parse_fault_spec(spec: str) -> tuple[FaultRule, ...]:
+    """Parse a ``site:kind[:value_ms][:probability]`` comma list."""
+    rules = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(
+                f"bad fault spec {chunk!r}: expected "
+                "site:kind[:value_ms][:probability]"
+            )
+        site, kind = parts[0], parts[1]
+        try:
+            value_ms = float(parts[2]) if len(parts) > 2 else 0.0
+            probability = float(parts[3]) if len(parts) > 3 else 1.0
+        except ValueError:
+            raise ValueError(
+                f"bad fault spec {chunk!r}: value_ms and probability "
+                "must be numeric"
+            ) from None
+        rules.append(
+            FaultRule(site=site, kind=kind, value_ms=value_ms, probability=probability)
+        )
+    return tuple(rules)
+
+
+class FaultInjector:
+    """Holds armed :class:`FaultRule` s and applies them at named sites.
+
+    Thread-safe: ``maybe`` runs on the engine worker thread while
+    ``stall_seconds`` runs on the event loop.  A disarmed injector
+    (no rules) short-circuits immediately at every site.
+    """
+
+    def __init__(self, rules: tuple[FaultRule, ...] = (), seed: int = 0):
+        self._by_site: dict[str, tuple[FaultRule, ...]] = {}
+        for rule in rules:
+            self._by_site.setdefault(rule.site, ())
+            self._by_site[rule.site] = self._by_site[rule.site] + (rule,)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {}
+        #: Optional zero-arg callback fired once per injected fault; the
+        #: server points it at ``ServiceMetrics.record_fault`` so armed
+        #: chaos shows up in ``/metrics`` and the Prometheus exposition.
+        self.on_inject = None
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        return cls(parse_fault_spec(spec), seed=seed)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultInjector | None":
+        """Build an injector from ``REPRO_FAULTS``; None when unset/empty."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(FAULTS_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._by_site)
+
+    def _trigger(self, rule: FaultRule) -> bool:
+        if rule.probability >= 1.0:
+            fired = True
+        else:
+            with self._lock:
+                fired = self._rng.random() < rule.probability
+        if fired:
+            key = f"{rule.site}:{rule.kind}"
+            with self._lock:
+                self.injected[key] = self.injected.get(key, 0) + 1
+            if self.on_inject is not None:
+                self.on_inject()
+        return fired
+
+    def maybe(self, site: str) -> None:
+        """Apply faults at a synchronous site (worker thread or HTTP layer).
+
+        Sleeps for triggered ``latency`` rules, then raises
+        :class:`InjectedFault` if any ``error`` rule triggered.
+        """
+        rules = self._by_site.get(site)
+        if not rules:
+            return
+        raise_fault = False
+        for rule in rules:
+            if rule.kind == "error":
+                raise_fault = self._trigger(rule) or raise_fault
+            elif rule.kind == "latency" and self._trigger(rule):
+                time.sleep(rule.value_ms / 1e3)
+        if raise_fault:
+            raise InjectedFault(site)
+
+    def stall_seconds(self, site: str) -> float:
+        """Seconds an *async* site should ``await asyncio.sleep`` for.
+
+        Stalls must never block the event loop (that would freeze the
+        whole server rather than simulate a slow stage), so async sites
+        ask for the duration and sleep cooperatively themselves.
+        """
+        rules = self._by_site.get(site)
+        if not rules:
+            return 0.0
+        total = 0.0
+        for rule in rules:
+            if rule.kind == "stall" and self._trigger(rule):
+                total += rule.value_ms / 1e3
+        return total
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.injected)
+
+    def snapshot(self) -> dict:
+        rules = [
+            {
+                "site": rule.site,
+                "kind": rule.kind,
+                "value_ms": rule.value_ms,
+                "probability": rule.probability,
+            }
+            for site_rules in self._by_site.values()
+            for rule in site_rules
+        ]
+        return {"armed": self.armed, "rules": rules, "injected": self.counters()}

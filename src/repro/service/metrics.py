@@ -110,6 +110,18 @@ class LatencyHistogram:
         with self._lock:
             return self._total
 
+    @property
+    def mean_seconds(self) -> float:
+        """Lifetime mean latency in seconds; 0.0 when empty.
+
+        Cheap (no window copy) — the admission controller reads this on
+        every queue-delay estimate.
+        """
+        with self._lock:
+            if self._total == 0:
+                return 0.0
+            return self._sum / self._total
+
     def percentile(self, q: float) -> float:
         """The q-th percentile (seconds) over the window; 0.0 when empty."""
         with self._lock:
@@ -177,6 +189,17 @@ class ServiceMetrics:
             "search": LatencyHistogram(),
             "search_oos": LatencyHistogram(),
         }
+        #: Failed requests get their own histogram: their latencies are
+        #: real signal (how long did callers wait to hear "no"?) but
+        #: would poison the per-endpoint success percentiles — a fleet
+        #: of fast 429s must not make ``search`` look fast.
+        self.error_latency = LatencyHistogram()
+        # Overload-management counters (admission control + deadlines).
+        self.sheds_total = 0
+        self.degraded_total = 0
+        self.deadline_timeouts_total = 0
+        self.expired_in_queue_total = 0
+        self.faults_injected_total = 0
         #: Per-stage histograms keyed by span name ("scheduler.wait",
         #: "tier.nominate", ...), created lazily as traces arrive.
         self._stages: dict[str, LatencyHistogram] = {}
@@ -187,9 +210,39 @@ class ServiceMetrics:
             self.requests_total += 1
             if error:
                 self.errors_total += 1
+        if error:
+            self.error_latency.observe(seconds)
+            return
         histogram = self.latency.get(endpoint)
-        if histogram is not None and not error:
+        if histogram is not None:
             histogram.observe(seconds)
+
+    def record_shed(self) -> None:
+        """Count one request refused by admission control (a 429)."""
+        with self._lock:
+            self.sheds_total += 1
+
+    def record_degraded(self) -> None:
+        """Count one request downgraded to the fast tier under overload."""
+        with self._lock:
+            self.degraded_total += 1
+
+    def record_timeout(self, queued: bool = False) -> None:
+        """Count one deadline expiry (a 504).
+
+        ``queued`` marks deadlines that lapsed while the request waited
+        in the scheduler queue — the subset the overload benchmark
+        asserts never reached the engine.
+        """
+        with self._lock:
+            self.deadline_timeouts_total += 1
+            if queued:
+                self.expired_in_queue_total += 1
+
+    def record_fault(self) -> None:
+        """Count one artificially injected fault (chaos harness armed)."""
+        with self._lock:
+            self.faults_injected_total += 1
 
     def record_batch(self, batch_size: int, stats: SearchStats | None = None) -> None:
         """Count one engine dispatch of ``batch_size`` coalesced queries."""
@@ -248,6 +301,13 @@ class ServiceMetrics:
             largest = self.max_batch_size
             engine = self.engine_totals
             stages = dict(self._stages)
+            admission = {
+                "sheds_total": self.sheds_total,
+                "degraded_total": self.degraded_total,
+                "deadline_timeouts_total": self.deadline_timeouts_total,
+                "expired_in_queue_total": self.expired_in_queue_total,
+                "faults_injected_total": self.faults_injected_total,
+            }
         return {
             "uptime_seconds": uptime,
             "requests_total": requests,
@@ -257,10 +317,12 @@ class ServiceMetrics:
             "queries_batched": queries,
             "mean_batch_size": queries / batches if batches else 0.0,
             "max_batch_size": largest,
+            "admission": admission,
             "latency": {
                 name: histogram.summary()
                 for name, histogram in self.latency.items()
             },
+            "error_latency": self.error_latency.summary(),
             "stages": {
                 name: histogram.summary() for name, histogram in sorted(stages.items())
             },

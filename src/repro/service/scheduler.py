@@ -42,7 +42,16 @@ from repro.core.search import SearchStats
 from repro.core.topk import truncate_result
 from repro.obs.trace import Span, Trace, activate
 from repro.ranking.base import TopKResult
+from repro.service.admission import (
+    DEGRADE,
+    SHED,
+    AdmissionController,
+    DeadlineExceededError,
+    SchedulerStoppedError,
+    ShedLoadError,
+)
 from repro.service.cache import ResultCache
+from repro.service.faults import FaultInjector
 from repro.service.metrics import ServiceMetrics
 
 
@@ -73,6 +82,11 @@ class ScheduledResult:
     accuracy:
         The resolved accuracy level that produced this answer (``None``
         on a non-tiered engine, where there is no dial).
+    degraded:
+        ``True`` when admission control downgraded this request to the
+        fast tier under overload — the answer is honest about being
+        approximate (``accuracy`` then names the degraded level, not
+        the one the client asked for).
     """
 
     result: TopKResult
@@ -80,6 +94,7 @@ class ScheduledResult:
     batch_size: int
     cached: bool = False
     accuracy: str | None = None
+    degraded: bool = False
 
 
 @dataclass
@@ -98,6 +113,11 @@ class _Pending:
     trace: Trace | None = None
     #: ``perf_counter`` at enqueue — the start of the scheduler wait.
     enqueued_at: float = 0.0
+    #: ``perf_counter`` deadline; the batch assembler drops the request
+    #: (504, never dispatched) if this lapses while it is queued.
+    deadline_at: float | None = None
+    #: Whether admission control downgraded this request to the fast tier.
+    degraded: bool = False
 
 
 class MicroBatchScheduler:
@@ -125,6 +145,18 @@ class MicroBatchScheduler:
     metrics:
         Optional :class:`ServiceMetrics` receiving batch-size and engine
         counters.
+    admission:
+        Optional :class:`repro.service.admission.AdmissionController`
+        consulted before every search enqueue (after the cache probe —
+        cache hits cost nothing and are always served).  Its decision
+        may shed the request (:class:`ShedLoadError` → 429) or downgrade
+        it to the fast tier (``degraded: true`` in the answer).
+        ``None`` admits everything — unbounded queues, the
+        pre-admission behaviour.
+    faults:
+        Optional armed :class:`repro.service.faults.FaultInjector`; the
+        scheduler consults the ``engine.solve`` and ``scheduler.queue``
+        sites.  ``None`` (the default) injects nothing.
     exclude_query:
         Whether in-database answers exclude the query node itself
         (the retrieval default, matching ``MogulRanker.top_k``).
@@ -146,6 +178,8 @@ class MicroBatchScheduler:
         max_wait_ms: float = 2.0,
         cache: ResultCache | None = None,
         metrics: ServiceMetrics | None = None,
+        admission: AdmissionController | None = None,
+        faults: FaultInjector | None = None,
         exclude_query: bool = True,
         sequential_singletons: bool = True,
     ):
@@ -158,8 +192,13 @@ class MicroBatchScheduler:
         self.max_wait_ms = max_wait_ms
         self.cache = cache
         self.metrics = metrics
+        self.admission = admission
+        self.faults = faults
         self.exclude_query = exclude_query
         self.sequential_singletons = sequential_singletons
+        #: Lazily resolved ``(label, engine_kwargs)`` of the degradation
+        #: target tier (``(None, None)`` on engines without a dial).
+        self._degrade_target_cache: tuple[str | None, dict | None] | None = None
         self._queues: dict[str, asyncio.Queue] = {}
         #: Per-lane engine kwargs (the resolved accuracy dial); the base
         #: ``node`` / ``oos`` lanes carry none.
@@ -170,6 +209,11 @@ class MicroBatchScheduler:
         #: for the heavy kernels anyway.
         self._executor: ThreadPoolExecutor | None = None
         self._running = False
+        #: Requests handed to the engine worker but not yet answered.
+        #: Admission must see these: the dispatcher pulls whole batches
+        #: off the queues instantly, so queue depth alone under-counts
+        #: the real backlog by up to (lanes x max_batch_size).
+        self._in_flight = 0
         self.batches_dispatched = 0
         self.queries_dispatched = 0
         self.mutations_dispatched = 0
@@ -211,7 +255,10 @@ class MicroBatchScheduler:
         """Drain nothing, cancel the dispatchers, shut the worker down.
 
         In-flight engine calls finish (the executor shutdown waits);
-        requests still queued are failed with ``CancelledError``.
+        requests still queued are failed with
+        :class:`SchedulerStoppedError` — the server maps it to 503 +
+        ``Connection: close``, so clients can tell "server going away"
+        (retry elsewhere) from an engine bug (500).
         """
         if not self._running:
             return
@@ -224,7 +271,12 @@ class MicroBatchScheduler:
             while not queue.empty():
                 pending: _Pending = queue.get_nowait()
                 if not pending.future.done():
-                    pending.future.cancel()
+                    pending.future.set_exception(
+                        SchedulerStoppedError(
+                            "scheduler stopped while the request was queued; "
+                            "the request was never dispatched"
+                        )
+                    )
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -241,17 +293,41 @@ class MicroBatchScheduler:
         """Requests currently enqueued (all lanes), excluding in-flight solves."""
         return sum(queue.qsize() for queue in self._queues.values())
 
+    @property
+    def in_flight(self) -> int:
+        """Requests assembled into batches and awaiting the engine worker."""
+        return self._in_flight
+
+    @property
+    def backlog(self) -> int:
+        """Total outstanding requests: queued plus in-flight.
+
+        The admission controller's depth signal.  Queue depth alone is
+        gameable by the dispatcher itself (it drains whole batches off
+        the queues the instant they arrive, parking them in front of the
+        single engine worker), so a bound on the queue would not bound
+        the wait.  Backlog is what an arriving request actually stands
+        behind.
+        """
+        return self.queue_depth + self._in_flight
+
     def snapshot(self) -> dict:
         """Scheduler configuration and live counters for ``GET /stats``."""
-        return {
+        out = {
             "max_batch_size": self.max_batch_size,
             "max_wait_ms": self.max_wait_ms,
             "queue_depth": self.queue_depth if self._running else 0,
+            "in_flight": self._in_flight if self._running else 0,
             "lanes": sorted(self._queues) if self._running else [],
             "batches_dispatched": self.batches_dispatched,
             "queries_dispatched": self.queries_dispatched,
             "mutations_dispatched": self.mutations_dispatched,
         }
+        if self.admission is not None:
+            out["admission"] = self.admission.snapshot()
+        if self.faults is not None and self.faults.armed:
+            out["faults"] = self.faults.snapshot()
+        return out
 
     # -- request entry points --------------------------------------------
 
@@ -284,8 +360,15 @@ class MicroBatchScheduler:
         accuracy: str | None = None,
         m: int | None = None,
         trace: Trace | None = None,
+        deadline_at: float | None = None,
     ) -> ScheduledResult:
-        """Top-k for an in-database node (validated before enqueueing)."""
+        """Top-k for an in-database node (validated before enqueueing).
+
+        ``deadline_at`` is a ``time.perf_counter`` instant: past it the
+        request fails with :class:`DeadlineExceededError` — immediately
+        if already expired, or at batch assembly if it lapses while
+        queued (in both cases without touching the engine).
+        """
         node = int(node)
         if not 0 <= node < self.ranker.n_nodes:
             raise ValueError(
@@ -293,15 +376,20 @@ class MicroBatchScheduler:
             )
         k = self._cap_k(k)
         label, extra = self._resolve_accuracy(accuracy, m)
-        key = None
-        if self.cache is not None:
+
+        def make_key(lbl: str | None):
+            if self.cache is None:
+                return None
             # The resolved level is part of the answer's identity: a
             # `fast` answer must never satisfy an `exact` request.
             params = {"exclude": self.exclude_query}
-            if label is not None:
-                params["accuracy"] = label
-            key = ResultCache.node_key(node, k, **params)
-        return await self._submit("node", node, k, key, label, extra, trace)
+            if lbl is not None:
+                params["accuracy"] = lbl
+            return ResultCache.node_key(node, k, **params)
+
+        return await self._submit(
+            "node", node, k, label, extra, trace, deadline_at, make_key
+        )
 
     async def search_out_of_sample(
         self,
@@ -310,6 +398,7 @@ class MicroBatchScheduler:
         accuracy: str | None = None,
         m: int | None = None,
         trace: Trace | None = None,
+        deadline_at: float | None = None,
     ) -> ScheduledResult:
         """Top-k for a feature vector outside the database."""
         feature = np.asarray(feature, dtype=np.float64)
@@ -320,11 +409,16 @@ class MicroBatchScheduler:
             )
         k = self._cap_k(k)
         label, extra = self._resolve_accuracy(accuracy, m)
-        key = None
-        if self.cache is not None:
-            params = {} if label is None else {"accuracy": label}
-            key = ResultCache.feature_key(feature, k, **params)
-        return await self._submit("oos", feature, k, key, label, extra, trace)
+
+        def make_key(lbl: str | None):
+            if self.cache is None:
+                return None
+            params = {} if lbl is None else {"accuracy": lbl}
+            return ResultCache.feature_key(feature, k, **params)
+
+        return await self._submit(
+            "oos", feature, k, label, extra, trace, deadline_at, make_key
+        )
 
     # -- mutation entry points -------------------------------------------
 
@@ -394,39 +488,112 @@ class MicroBatchScheduler:
             raise ValueError(f"k must be positive, got {k}")
         return min(int(k), self.ranker.n_nodes)
 
+    def _degrade_target(self) -> tuple[str | None, dict | None]:
+        """The tier overloaded requests degrade to (``(None, None)``: no dial)."""
+        if self._degrade_target_cache is None:
+            resolver = getattr(self.ranker, "resolve_accuracy", None)
+            if resolver is None:
+                self._degrade_target_cache = (None, None)
+            else:
+                self._degrade_target_cache = resolver(accuracy="fast")
+        return self._degrade_target_cache
+
+    def _probe_cache(
+        self,
+        cache_key: object | None,
+        lane: str,
+        label: str | None,
+        degraded: bool,
+        trace: Trace | None,
+    ) -> ScheduledResult | None:
+        if cache_key is None:
+            return None
+        probed = time.perf_counter()
+        hit = self.cache.get(cache_key)
+        if hit is None:
+            return None
+        result, stats = hit
+        if trace is not None:
+            # The cache short-circuit: the whole engine path was
+            # skipped, so the lookup is the only stage there is.
+            trace.root.add_span("cache.hit", started=probed, lane=lane)
+        return ScheduledResult(
+            result=result,
+            stats=stats,
+            batch_size=0,
+            cached=True,
+            accuracy=label,
+            degraded=degraded,
+        )
+
     async def _submit(
         self,
-        lane: str,
+        kind: str,
         payload: object,
         k: int,
-        cache_key: object | None,
-        accuracy: str | None = None,
-        extra: dict | None = None,
-        trace: Trace | None = None,
+        label: str | None,
+        extra: dict,
+        trace: Trace | None,
+        deadline_at: float | None,
+        make_key,
     ) -> ScheduledResult:
         if not self._running:
             raise RuntimeError("scheduler is not running (call start() first)")
-        if accuracy is not None:
-            lane = f"{lane}:{accuracy}"
-            self._ensure_lane(lane, extra or {})
-        if cache_key is not None:
-            probed = time.perf_counter()
-            hit = self.cache.get(cache_key)
-            if hit is not None:
-                result, stats = hit
-                if trace is not None:
-                    # The cache short-circuit: the whole engine path was
-                    # skipped, so the lookup is the only stage there is.
-                    trace.root.add_span(
-                        "cache.hit", started=probed, lane=lane
-                    )
-                return ScheduledResult(
-                    result=result,
-                    stats=stats,
-                    batch_size=0,
-                    cached=True,
-                    accuracy=accuracy,
+        if deadline_at is not None and time.perf_counter() >= deadline_at:
+            # Arrived already expired (slow network, tiny deadline):
+            # nobody is waiting for the answer, so don't queue the work.
+            if self.metrics is not None:
+                self.metrics.record_timeout()
+            raise DeadlineExceededError(
+                "deadline expired before the request could be queued"
+            )
+        degraded = False
+        cache_key = make_key(label)
+        lane = kind if label is None else f"{kind}:{label}"
+        hit = self._probe_cache(cache_key, lane, label, degraded, trace)
+        if hit is not None:
+            return hit
+        if self.admission is not None and self.admission.enabled:
+            depth = self.backlog
+            degrade_label, degrade_extra = self._degrade_target()
+            # Degradable: the engine has a dial, the request is not
+            # already at the floor tier, and it did not pin an explicit
+            # candidate budget (``m=``) we would be second-guessing.
+            can_degrade = (
+                degrade_label is not None
+                and label is not None
+                and label != degrade_label
+                and not label.startswith("m=")
+            )
+            decision = self.admission.decide(depth, can_degrade)
+            if decision == SHED:
+                if self.metrics is not None:
+                    self.metrics.record_shed()
+                raise ShedLoadError(
+                    f"server overloaded (queue depth {depth}); request shed",
+                    retry_after_seconds=self.admission.retry_after_seconds(depth),
                 )
+            if decision == DEGRADE:
+                degraded = True
+                if self.metrics is not None:
+                    self.metrics.record_degraded()
+                if trace is not None:
+                    now = time.perf_counter()
+                    trace.root.add_span(
+                        "admission.degrade",
+                        started=now,
+                        ended=now,
+                        source=label,
+                        target=degrade_label,
+                    )
+                label, extra = degrade_label, dict(degrade_extra)
+                cache_key = make_key(label)
+                lane = f"{kind}:{label}"
+                hit = self._probe_cache(cache_key, lane, label, degraded, trace)
+                if hit is not None:
+                    return hit
+        if label is not None:
+            self._ensure_lane(lane, extra)
         generation = None if self.cache is None else self.cache.generation
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await self._queues[lane].put(
@@ -438,6 +605,8 @@ class MicroBatchScheduler:
                 cache_generation=generation,
                 trace=trace,
                 enqueued_at=time.perf_counter(),
+                deadline_at=deadline_at,
+                degraded=degraded,
             )
         )
         return await future
@@ -450,69 +619,156 @@ class MicroBatchScheduler:
         while True:
             first: _Pending = await queue.get()
             batch = [first]
-            deadline = (
-                loop.time() + self.max_wait_ms / 1e3 if self.max_wait_ms > 0 else None
-            )
-            while len(batch) < self.max_batch_size:
-                # Drain-first: whatever is already queued (typically the
-                # requests that arrived while the previous batch was
-                # solving) joins for free, without touching the deadline
-                # machinery.  The timed wait runs only against an empty
-                # queue, so a full batch never stalls on its deadline
-                # and the common case costs zero extra tasks.
-                if not queue.empty():
-                    batch.append(queue.get_nowait())
-                    continue
-                if deadline is None:
-                    break
-                timeout = deadline - loop.time()
-                if timeout <= 0:
-                    break
-                try:
-                    batch.append(await asyncio.wait_for(queue.get(), timeout))
-                except asyncio.TimeoutError:
-                    break
+            try:
+                deadline = (
+                    loop.time() + self.max_wait_ms / 1e3
+                    if self.max_wait_ms > 0
+                    else None
+                )
+                while len(batch) < self.max_batch_size:
+                    # Drain-first: whatever is already queued (typically the
+                    # requests that arrived while the previous batch was
+                    # solving) joins for free, without touching the deadline
+                    # machinery.  The timed wait runs only against an empty
+                    # queue, so a full batch never stalls on its deadline
+                    # and the common case costs zero extra tasks.
+                    if not queue.empty():
+                        batch.append(queue.get_nowait())
+                        continue
+                    if deadline is None:
+                        break
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(queue.get(), timeout))
+                    except asyncio.TimeoutError:
+                        break
+                if self.faults is not None and self.faults.armed:
+                    # Chaos site: hold the assembled batch on the event loop
+                    # (cooperatively — new requests keep arriving and piling
+                    # into the queue, which is the overload scenario the
+                    # deadline and admission tests need to provoke).
+                    stall = self.faults.stall_seconds("scheduler.queue")
+                    if stall > 0:
+                        await asyncio.sleep(stall)
+            except asyncio.CancelledError:
+                # stop() cancelled the dispatcher while it held requests
+                # pulled off the queue but not yet dispatched: they are
+                # invisible to stop()'s queue drain, so fail them here —
+                # 503, not a hung future or an opaque 500.
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            SchedulerStoppedError(
+                                "scheduler stopped while the request awaited "
+                                "batch assembly; the request was never "
+                                "dispatched"
+                            )
+                        )
+                raise
             await self._run_batch(lane, batch)
+
+    def _expire(self, pending: _Pending, lane: str, now: float) -> None:
+        """Fail one queued request whose deadline lapsed (never dispatched)."""
+        queued_ms = 1e3 * (now - pending.enqueued_at)
+        if pending.trace is not None:
+            pending.trace.root.add_span(
+                "admission.expired",
+                started=pending.enqueued_at,
+                ended=now,
+                lane=lane,
+            )
+        if self.metrics is not None:
+            self.metrics.record_timeout(queued=True)
+        if not pending.future.done():
+            pending.future.set_exception(
+                DeadlineExceededError(
+                    f"deadline expired after {queued_ms:.1f} ms in queue; "
+                    "the request was not dispatched to the engine",
+                    queued_ms=queued_ms,
+                )
+            )
 
     async def _run_batch(self, lane: str, batch: list[_Pending]) -> None:
         loop = asyncio.get_running_loop()
-        k_max = max(pending.k for pending in batch)
-        payloads = [pending.payload for pending in batch]
+        # Skip members whose deadline lapsed while they waited: solving
+        # them would burn engine time nobody is waiting for, and under
+        # overload that waste is exactly what collapses goodput.
+        now = time.perf_counter()
+        live = []
+        for pending in batch:
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                self._expire(pending, lane, now)
+            else:
+                live.append(pending)
+        if not live:
+            return
+        batch = live
         # One engine span tree is built per dispatch (on the worker
         # thread) and shared by every coalesced member's trace: the
         # engine ran once for all of them, and the shared subtree is the
         # honest record of that.
         traced = any(pending.trace is not None for pending in batch)
+        deadlines = [pending.deadline_at for pending in batch]
+        ks = [pending.k for pending in batch]
+        payloads = [pending.payload for pending in batch]
         dispatched = time.perf_counter()
+        self._in_flight += len(batch)
         try:
-            results, per_query, engine_span = await loop.run_in_executor(
-                self._executor, self._execute, lane, payloads, k_max, traced
+            results, per_query, engine_span, kept = await loop.run_in_executor(
+                self._executor,
+                self._execute,
+                lane,
+                payloads,
+                ks,
+                deadlines,
+                traced,
             )
         except asyncio.CancelledError:
+            # The dispatcher was cancelled (scheduler.stop) mid-flight:
+            # surface shutdown, not an opaque CancelledError/500.
             for pending in batch:
                 if not pending.future.done():
-                    pending.future.cancel()
+                    pending.future.set_exception(
+                        SchedulerStoppedError(
+                            "scheduler stopped while the batch was in flight"
+                        )
+                    )
             raise
         except Exception as error:  # engine rejected the batch
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(error)
             return
+        finally:
+            self._in_flight -= len(batch)
+        # Members whose deadline lapsed while the batch waited for the
+        # worker thread were dropped at solve start (the second, last
+        # possible expiry check): 504 them now, on the event loop.
+        kept_set = set(kept)
+        ended = time.perf_counter()
+        for index, pending in enumerate(batch):
+            if index not in kept_set:
+                self._expire(pending, lane, ended)
+        solved = [batch[index] for index in kept]
+        if not solved:
+            return
         self.batches_dispatched += 1
-        self.queries_dispatched += len(batch)
+        self.queries_dispatched += len(solved)
         if self.metrics is not None:
             self.metrics.record_batch(
-                len(batch), SearchStats.aggregate(per_query)
+                len(solved), SearchStats.aggregate(per_query)
             )
         label = lane.partition(":")[2] or None
-        for pending, result, stats in zip(batch, results, per_query):
+        for pending, result, stats in zip(solved, results, per_query):
             if pending.trace is not None:
                 pending.trace.root.add_span(
                     "scheduler.wait",
                     started=pending.enqueued_at,
                     ended=dispatched,
                     lane=lane,
-                    batch_size=len(batch),
+                    batch_size=len(solved),
                 )
                 if engine_span is not None:
                     pending.trace.root.attach(engine_span)
@@ -528,15 +784,29 @@ class MicroBatchScheduler:
                     ScheduledResult(
                         result=answer,
                         stats=stats,
-                        batch_size=len(batch),
+                        batch_size=len(solved),
                         accuracy=label,
+                        degraded=pending.degraded,
                     )
                 )
 
     def _execute(
-        self, lane: str, payloads: list, k: int, traced: bool = False
-    ) -> tuple[list[TopKResult], tuple[SearchStats, ...], Span | None]:
+        self,
+        lane: str,
+        payloads: list,
+        ks: list[int],
+        deadlines: list[float | None],
+        traced: bool = False,
+    ) -> tuple[list[TopKResult], tuple[SearchStats, ...], Span | None, list[int]]:
         """Run one coalesced batch on the engine (worker thread).
+
+        Deadlines are re-checked here, at the last instant before the
+        solve: a batch can sit behind other lanes' dispatches in the
+        single-worker executor after passing the assembly-time check,
+        and solving a member nobody is waiting for is pure waste.  The
+        returned ``kept`` index list names the members actually solved
+        (``results``/``per_query`` align with it); the dispatcher fails
+        the dropped ones with 504.
 
         A singleton batch takes the sequential fast path when
         ``sequential_singletons`` is on (the default); its answers are
@@ -551,6 +821,23 @@ class MicroBatchScheduler:
         it; the finished tree is returned for the dispatcher to graft
         onto each coalesced request's trace.
         """
+        now = time.perf_counter()
+        kept = [
+            index
+            for index, deadline_at in enumerate(deadlines)
+            if deadline_at is None or now < deadline_at
+        ]
+        if not kept:
+            return [], (), None, kept
+        if self.faults is not None and self.faults.armed:
+            # Chaos site: a raised InjectedFault flows through the same
+            # path as a real engine failure (every coalesced member's
+            # future gets the exception, the client sees a 500); latency
+            # rules sleep right here on the worker thread — the
+            # bottleneck resource — so queues genuinely back up.
+            self.faults.maybe("engine.solve")
+        payloads = [payloads[index] for index in kept]
+        k = max(ks[index] for index in kept)
         ranker = self.ranker
         kind = lane.partition(":")[0]
         extra = self._lane_extra.get(lane, {})
@@ -592,7 +879,7 @@ class MicroBatchScheduler:
                 per_query = ranker.last_batch_stats.per_query
         if engine_span is not None:
             engine_span.end()
-        return results, per_query, engine_span
+        return results, per_query, engine_span, kept
 
 
 def _truncate(result: TopKResult, k: int) -> TopKResult:

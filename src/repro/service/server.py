@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 from typing import Callable
@@ -71,14 +72,32 @@ import numpy as np
 from repro.obs.flight import FlightRecorder
 from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import Trace
+from repro.service.admission import (
+    AdmissionController,
+    DeadlineExceededError,
+    SchedulerStoppedError,
+    ShedLoadError,
+)
 from repro.service.cache import ResultCache
 from repro.service.encoding import search_result_payload
+from repro.service.faults import FaultInjector
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import MicroBatchScheduler, ReadOnlyEngineError
 
 #: Largest accepted request body (a feature vector is ~16 bytes/dim as
 #: JSON text; 8 MiB covers any sane dimensionality with huge headroom).
+#: The per-server limit is tunable below this via ``--max-body-bytes``.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default per-request deadline (``--request-timeout-ms``); individual
+#: requests override it with ``?deadline_ms=`` / ``X-Repro-Deadline-Ms``
+#: (``deadline_ms=0`` opts out entirely).
+DEFAULT_REQUEST_TIMEOUT_MS = 30_000.0
+
+#: Default admission-control threshold (``--max-queue-depth``).  Far
+#: above anything a healthy scheduler accumulates (batches drain tens of
+#: requests per dispatch), so it only engages under genuine overload.
+DEFAULT_MAX_QUEUE_DEPTH = 1024
 
 _STATUS_TEXT = {
     200: "OK",
@@ -87,7 +106,10 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -122,6 +144,22 @@ class RetrievalServer:
         slowest requests ever (default), or — with a threshold — the
         most recent requests at least that slow.  ``slowlog_capacity=0``
         disables the recorder.
+    request_timeout_ms:
+        Default per-request deadline for search endpoints; a request's
+        own ``?deadline_ms=`` / ``X-Repro-Deadline-Ms`` overrides it
+        (``0`` opts the request out).  ``None`` disables the default.
+    max_queue_depth, overload_policy, max_queue_delay_ms:
+        Admission control (see :mod:`repro.service.admission`):
+        ``max_queue_depth`` is the shed/degrade threshold (``None``
+        disables admission — unbounded queues), ``overload_policy`` is
+        ``shed`` | ``degrade`` | ``degrade-then-shed``, and
+        ``max_queue_delay_ms`` optionally sheds on estimated queue
+        delay as well as raw depth.
+    max_body_bytes:
+        Largest accepted request body (413 past it).
+    faults:
+        Optional armed :class:`repro.service.faults.FaultInjector`
+        (chaos harness — tests/CI only; ``None`` in production).
     """
 
     def __init__(
@@ -135,22 +173,45 @@ class RetrievalServer:
         tracing: bool = True,
         slowlog_capacity: int = 32,
         slow_threshold_ms: float | None = None,
+        request_timeout_ms: float | None = DEFAULT_REQUEST_TIMEOUT_MS,
+        max_queue_depth: int | None = DEFAULT_MAX_QUEUE_DEPTH,
+        overload_policy: str = "degrade-then-shed",
+        max_queue_delay_ms: float | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        faults: FaultInjector | None = None,
     ):
         self.ranker = ranker
         self.host = host
         self.port = port
         self.tracing = tracing
+        if request_timeout_ms is not None and request_timeout_ms <= 0:
+            request_timeout_ms = None
+        self.request_timeout_ms = request_timeout_ms
+        if max_body_bytes <= 0:
+            raise ValueError(f"max_body_bytes must be positive, got {max_body_bytes}")
+        self.max_body_bytes = max_body_bytes
         self.metrics = ServiceMetrics()
         self.cache = ResultCache(cache_capacity)
         self.flight = FlightRecorder(
             capacity=slowlog_capacity, threshold_ms=slow_threshold_ms
         )
+        self.admission = AdmissionController(
+            max_queue_depth=max_queue_depth,
+            policy=overload_policy,
+            max_queue_delay_ms=max_queue_delay_ms,
+            metrics=self.metrics,
+        )
+        self.faults = faults
+        if faults is not None:
+            faults.on_inject = self.metrics.record_fault
         self.scheduler = MicroBatchScheduler(
             ranker,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             cache=self.cache,
             metrics=self.metrics,
+            admission=self.admission,
+            faults=faults,
         )
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.time()
@@ -197,14 +258,18 @@ class RetrievalServer:
     ) -> None:
         try:
             while True:
-                request = await _read_request(reader)
+                request = await _read_request(reader, self.max_body_bytes)
                 if request is None:  # client closed between requests
                     break
                 method, path, headers, body = request
                 status, payload, extra_headers = await self._route(
-                    method, path, body
+                    method, path, headers, body
                 )
                 keep_alive = headers.get("connection", "keep-alive") != "close"
+                if extra_headers.pop("Connection", None) == "close":
+                    # The handler wants the connection gone after this
+                    # response (e.g. 503 during shutdown).
+                    keep_alive = False
                 await _write_response(
                     writer, status, payload, keep_alive, extra_headers
                 )
@@ -242,13 +307,14 @@ class RetrievalServer:
                 pass
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, request_headers: dict, body: bytes
     ) -> tuple[int, dict | str, dict]:
         """Dispatch one request; returns ``(status, payload, headers)``.
 
         ``payload`` is a dict (JSON response) or a pre-rendered string
         (the Prometheus exposition); ``headers`` carries per-response
-        extras such as ``X-Repro-Trace-Id``.
+        extras such as ``X-Repro-Trace-Id`` (a ``Connection: close``
+        entry asks the connection handler to drop keep-alive).
         """
         started = time.perf_counter()
         endpoint, _, query_string = path.partition("?")
@@ -291,13 +357,13 @@ class RetrievalServer:
             if endpoint == "/search":
                 _require(method, "POST")
                 payload = await self._search(
-                    _parse_json(body), started, params, headers
+                    _parse_json(body), started, params, request_headers, headers
                 )
                 return 200, payload, headers
             if endpoint == "/search_oos":
                 _require(method, "POST")
                 payload = await self._search_oos(
-                    _parse_json(body), started, params, headers
+                    _parse_json(body), started, params, request_headers, headers
                 )
                 return 200, payload, headers
             if endpoint == "/insert":
@@ -314,17 +380,50 @@ class RetrievalServer:
                 return 200, payload, headers
             raise _HttpError(404, f"unknown path {endpoint}")
         except _HttpError as error:
-            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            self._record_error(endpoint, started)
             return error.status, {"error": str(error)}, headers
+        except ShedLoadError as error:
+            # Admission control refused the request before it was
+            # enqueued: 429, with drain-time guidance for the retry.
+            self._record_error(endpoint, started)
+            retry_after = max(1, int(math.ceil(error.retry_after_seconds)))
+            headers["Retry-After"] = str(retry_after)
+            return (
+                429,
+                {"error": str(error), "retry_after_seconds": retry_after},
+                headers,
+            )
+        except DeadlineExceededError as error:
+            self._record_error(endpoint, started)
+            return 504, {"error": str(error)}, headers
+        except SchedulerStoppedError as error:
+            # Shutdown, not an engine bug: 503 and close the connection
+            # so the client reconnects elsewhere (or later).
+            self._record_error(endpoint, started)
+            headers["Connection"] = "close"
+            return 503, {"error": str(error)}, headers
         except ReadOnlyEngineError as error:
-            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            self._record_error(endpoint, started)
             return 403, {"error": str(error)}, headers
         except (ValueError, KeyError, TypeError) as error:
-            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            self._record_error(endpoint, started)
             return 400, {"error": str(error)}, headers
         except Exception as error:  # engine failure — report, keep serving
-            self.metrics.record_request(endpoint.lstrip("/"), 0.0, error=True)
+            self._record_error(endpoint, started)
             return 500, {"error": f"{type(error).__name__}: {error}"}, headers
+
+    def _record_error(self, endpoint: str, started: float) -> None:
+        """Count one failed request with its *actual* elapsed time.
+
+        Failed requests used to be recorded with a latency of 0.0; real
+        elapsed time matters — a 504 that waited out a 30 s deadline and
+        a 400 rejected in microseconds are very different events — and
+        it lands in the dedicated error histogram, not the success
+        percentiles.
+        """
+        self.metrics.record_request(
+            endpoint.lstrip("/"), time.perf_counter() - started, error=True
+        )
 
     # -- endpoints --------------------------------------------------------
 
@@ -361,21 +460,72 @@ class RetrievalServer:
         if "trace" in params.get("debug", ()):
             payload["trace"] = rendered
 
+    def _deadline_at(
+        self, started: float, params: dict, request_headers: dict
+    ) -> float | None:
+        """The request's ``perf_counter`` deadline, or ``None``.
+
+        Precedence: ``?deadline_ms=`` query parameter, then the
+        ``X-Repro-Deadline-Ms`` header, then the server default
+        (``--request-timeout-ms``).  An explicit ``0`` opts the request
+        out of any deadline; garbage is a 400, not a silent default —
+        the caller believes a deadline is armed and it would not be.
+        """
+        raw = None
+        if "deadline_ms" in params:
+            raw = params["deadline_ms"][-1]
+        elif "x-repro-deadline-ms" in request_headers:
+            raw = request_headers["x-repro-deadline-ms"]
+        if raw is None:
+            deadline_ms = self.request_timeout_ms
+        else:
+            try:
+                deadline_ms = float(raw)
+            except ValueError:
+                raise _HttpError(
+                    400, f"invalid deadline_ms {raw!r}: must be milliseconds"
+                ) from None
+            if not math.isfinite(deadline_ms) or deadline_ms < 0:
+                raise _HttpError(
+                    400,
+                    f"invalid deadline_ms {raw!r}: must be a finite "
+                    "non-negative number of milliseconds",
+                )
+            if deadline_ms == 0:
+                deadline_ms = None
+        if deadline_ms is None:
+            return None
+        return started + deadline_ms / 1e3
+
+    def _maybe_fault_response(self) -> None:
+        """The ``server.response`` chaos site (a successful answer → 500)."""
+        if self.faults is not None and self.faults.armed:
+            self.faults.maybe("server.response")
+
     async def _search(
-        self, document: dict, started: float, params: dict, headers: dict
+        self,
+        document: dict,
+        started: float,
+        params: dict,
+        request_headers: dict,
+        headers: dict,
     ) -> dict:
         query = document.get("query")
         if not isinstance(query, int) or isinstance(query, bool):
             raise _HttpError(400, "body must carry an integer 'query' node id")
         k = _get_k(document)
         accuracy, m = _get_accuracy(document, params)
+        deadline_at = self._deadline_at(started, params, request_headers)
         trace = self._start_trace("search", query=query, k=k)
         scheduled = await self.scheduler.search(
-            query, k, accuracy=accuracy, m=m, trace=trace
+            query, k, accuracy=accuracy, m=m, trace=trace, deadline_at=deadline_at
         )
+        self._maybe_fault_response()
         elapsed = time.perf_counter() - started
         self.metrics.record_request("search", elapsed)
         extra = {} if scheduled.accuracy is None else {"accuracy": scheduled.accuracy}
+        if scheduled.degraded:
+            extra["degraded"] = True
         payload = search_result_payload(
             scheduled.result,
             k,
@@ -390,7 +540,12 @@ class RetrievalServer:
         return payload
 
     async def _search_oos(
-        self, document: dict, started: float, params: dict, headers: dict
+        self,
+        document: dict,
+        started: float,
+        params: dict,
+        request_headers: dict,
+        headers: dict,
     ) -> dict:
         feature = document.get("feature")
         if not isinstance(feature, list) or not feature:
@@ -400,13 +555,17 @@ class RetrievalServer:
             raise _HttpError(400, "'feature' must be a flat list of numbers")
         k = _get_k(document)
         accuracy, m = _get_accuracy(document, params)
+        deadline_at = self._deadline_at(started, params, request_headers)
         trace = self._start_trace("search_oos", dim=vector.shape[0], k=k)
         scheduled = await self.scheduler.search_out_of_sample(
-            vector, k, accuracy=accuracy, m=m, trace=trace
+            vector, k, accuracy=accuracy, m=m, trace=trace, deadline_at=deadline_at
         )
+        self._maybe_fault_response()
         elapsed = time.perf_counter() - started
         self.metrics.record_request("search_oos", elapsed)
         extra = {} if scheduled.accuracy is None else {"accuracy": scheduled.accuracy}
+        if scheduled.degraded:
+            extra["degraded"] = True
         payload = search_result_payload(
             scheduled.result,
             k,
@@ -583,6 +742,7 @@ class RetrievalServer:
 
 async def _read_request(
     reader: asyncio.StreamReader,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> tuple[str, str, dict, bytes] | None:
     """Parse one HTTP/1.1 request; ``None`` when the peer closed cleanly."""
     request_line = await reader.readline()
@@ -605,8 +765,12 @@ async def _read_request(
         raise _HttpError(400, "invalid Content-Length header") from None
     if length < 0:
         raise _HttpError(400, "invalid Content-Length header")
-    if length > MAX_BODY_BYTES:
-        raise _HttpError(413, f"request body of {length} bytes is too large")
+    if length > max_body_bytes:
+        raise _HttpError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
     body = await reader.readexactly(length) if length else b""
     return method.upper(), path, headers, body
 
@@ -701,6 +865,12 @@ def run_server(
     tracing: bool = True,
     slowlog_capacity: int = 32,
     slow_threshold_ms: float | None = None,
+    request_timeout_ms: float | None = DEFAULT_REQUEST_TIMEOUT_MS,
+    max_queue_depth: int | None = DEFAULT_MAX_QUEUE_DEPTH,
+    overload_policy: str = "degrade-then-shed",
+    max_queue_delay_ms: float | None = None,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    faults: FaultInjector | None = None,
     announce: Callable[[str], None] = print,
 ) -> None:
     """Serve ``ranker`` until interrupted (the CLI's blocking entry point)."""
@@ -714,7 +884,15 @@ def run_server(
         tracing=tracing,
         slowlog_capacity=slowlog_capacity,
         slow_threshold_ms=slow_threshold_ms,
+        request_timeout_ms=request_timeout_ms,
+        max_queue_depth=max_queue_depth,
+        overload_policy=overload_policy,
+        max_queue_delay_ms=max_queue_delay_ms,
+        max_body_bytes=max_body_bytes,
+        faults=faults,
     )
+    if faults is not None and faults.armed:
+        announce(f"chaos harness ARMED: {faults.snapshot()['rules']}")
 
     async def _main() -> None:
         bound = await server.start()
@@ -762,9 +940,17 @@ class BackgroundServer:
         )
         self._thread.start()
         if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
-            raise RuntimeError("server failed to start within 30s")
+            raise RuntimeError(
+                f"server thread failed to signal readiness within 30s "
+                f"(requested bind {self.server.host}:{self.server.port}); "
+                "the thread is still running but never bound its socket"
+            )
         if self._startup_error is not None:
-            raise RuntimeError("server failed to start") from self._startup_error
+            raise RuntimeError(
+                f"server failed to start on "
+                f"{self.server.host}:{self.server.port}: "
+                f"{type(self._startup_error).__name__}: {self._startup_error}"
+            ) from self._startup_error
 
     @property
     def port(self) -> int:
@@ -820,6 +1006,12 @@ class BackgroundServer:
                 except RuntimeError:
                     pass  # loop closed between the check and the call
         self._thread.join(timeout=30)
+        if self._thread.is_alive():  # pragma: no cover - hang guard
+            raise RuntimeError(
+                f"server thread on {self.server.host}:{self.server.port} "
+                "failed to stop within 30s (event loop did not unwind; "
+                "an engine call may be wedged)"
+            )
 
     def __enter__(self) -> "BackgroundServer":
         return self
