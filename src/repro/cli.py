@@ -219,6 +219,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="answer through the tiered engine with an explicit candidate "
         "budget of M nominations (requires the spectral sidecar)",
     )
+    search.add_argument(
+        "--query-jobs",
+        type=_positive_int,
+        default=1,
+        metavar="J",
+        help="threads for a sharded index's per-shard scans (default 1; "
+        "answers are identical at any setting; no-op on flat/spectral "
+        "indexes)",
+    )
     search.set_defaults(handler=_cmd_search)
 
     serve = sub.add_parser(
@@ -248,6 +257,25 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="LRU result-cache entries (default 1024; 0 disables)",
+    )
+    serve.add_argument(
+        "--query-workers",
+        type=_positive_int,
+        default=1,
+        metavar="W",
+        help="engine worker threads solving dispatched batches "
+        "(default 1 = serialize every dispatch; more workers overlap "
+        "solves on multi-core hosts; answers are identical at any "
+        "setting)",
+    )
+    serve.add_argument(
+        "--query-jobs",
+        type=_positive_int,
+        default=1,
+        metavar="J",
+        help="threads for a sharded index's per-shard scans inside one "
+        "solve (default 1; no-op on flat/spectral indexes; composes "
+        "with --query-workers — total engine threads ~ W*J)",
     )
     serve.add_argument(
         "--mutable",
@@ -608,7 +636,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 f"--accuracy/--m need a spectral tier next to {args.index}; "
                 "build one with `build --spectral-rank R`"
             )
-    ranker = engine_from_index(graph, index, spectral=spectral)
+    ranker = engine_from_index(
+        graph, index, spectral=spectral, query_jobs=args.query_jobs
+    )
     label = ranker.resolve_accuracy(**dial)[0] if dial else None
     if args.batch:
         # Batch queries are independent; repeats are answered repeatedly.
@@ -760,6 +790,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             auto_rebuild_fraction=args.auto_rebuild_fraction or None,
         ),
         spectral=spectral,
+        query_jobs=args.query_jobs,
     )
     if spectral is not None:
         print(
@@ -777,6 +808,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracing=not args.no_tracing,
             slowlog_capacity=args.slowlog_capacity,
             slow_threshold_ms=args.slow_threshold_ms,
+            query_workers=args.query_workers,
             **_overload_kwargs(),
         )
         return 0
@@ -802,6 +834,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tracing=not args.no_tracing,
             slowlog_capacity=args.slowlog_capacity,
             slow_threshold_ms=args.slow_threshold_ms,
+            query_workers=args.query_workers,
             **_overload_kwargs(),
         )
     finally:

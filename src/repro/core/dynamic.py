@@ -58,7 +58,7 @@ from repro.core.topk import dedupe_ranked, truncate_result
 from repro.graph.adjacency import KnnGraph
 from repro.graph.build import build_knn_graph
 from repro.graph.knn import knn_search
-from repro.ranking.base import DEFAULT_ALPHA, TopKResult
+from repro.ranking.base import DEFAULT_ALPHA, AmbientStatsMixin, TopKResult
 from repro.utils.validation import check_alpha, check_positive_int
 
 
@@ -107,7 +107,7 @@ class LiveSnapshot:
     n_total: int
 
 
-class DynamicMogulRanker:
+class DynamicMogulRanker(AmbientStatsMixin):
     """Mogul with buffered insertions and tombstone deletions.
 
     Node ids are *stable across rebuilds*: the i-th point ever added
@@ -226,10 +226,13 @@ class DynamicMogulRanker:
         self.use_pruning = True
         self.use_sparsity = True
         self.cluster_order = "index"
-        #: Stats of the most recent single / batched query (the
-        #: :class:`repro.core.engine.Engine` protocol surface).
-        self.last_stats: SearchStats | None = None
-        self.last_batch_stats: BatchStats | None = None
+        self.query_jobs = 1
+        # Stats of the most recent single / batched query (the
+        # :class:`repro.core.engine.Engine` protocol surface).  These
+        # assignments route through AmbientStatsMixin's thread-local
+        # descriptors, so concurrent queries never tear each other's.
+        self.last_stats = None
+        self.last_batch_stats = None
 
     # -- sizes -----------------------------------------------------------
 
@@ -555,6 +558,7 @@ class DynamicMogulRanker:
                 use_pruning=self.use_pruning,
                 cluster_order=self.cluster_order,
                 jobs=self.jobs,
+                query_jobs=self.query_jobs,
             )
         else:
             ranker = MogulRanker(

@@ -41,13 +41,23 @@ class Engine(Protocol):
     answers identical to their sequential counterparts — batching is an
     execution strategy, never a semantic: the scheduler coalesces
     requests relying on it.
+
+    Entry points are **reentrant**: concurrent calls from different
+    threads are safe, and the ambient stats attributes are per-thread
+    (each caller reads back its own most recent call's counters, never
+    another thread's — see
+    :class:`repro.ranking.base.AmbientStatsMixin`).  Callers that want
+    the stats explicitly use the ``*_with_stats`` wrappers the mixin
+    provides (``top_k_with_stats`` et al.), which return
+    ``(answer, stats)`` without relying on ambient state at all — the
+    serving scheduler's multi-worker pool uses exactly those.
     """
 
     #: Human-readable method name (used by /healthz and result tables).
     name: str
-    #: Stats of the most recent single-query call.
+    #: Stats of this thread's most recent single-query call.
     last_stats: "SearchStats | None"
-    #: Stats of the most recent batched call.
+    #: Stats of this thread's most recent batched call.
     last_batch_stats: "BatchStats | None"
     #: The feature graph queries are answered against.
     graph: "KnnGraph"
@@ -103,7 +113,11 @@ def engine_from_index(
     :class:`repro.core.spectral.SpectralIndex` (``.npz`` with the
     spectral marker).  ``search_kwargs`` are forwarded to the engine
     constructor (``use_pruning``, ``cluster_order``, ...); a standalone
-    spectral artifact takes none.
+    spectral artifact takes none.  ``query_jobs`` is accepted for *any*
+    artifact so deployment flags need not know the artifact kind: it
+    parallelises the sharded engine's per-shard scans and is a
+    documented no-op on flat and spectral engines (they have no
+    shard-level parallelism to unlock).
 
     ``spectral`` composes a tiered engine: pass a
     :class:`repro.core.spectral.SpectralIndex` (e.g. from
@@ -126,8 +140,13 @@ def engine_from_index(
     from repro.core.sharded import ShardedMogulIndex, ShardedMogulRanker
     from repro.core.spectral import SpectralEngine, SpectralIndex
 
+    # query_jobs only means something to the sharded engine's scatter
+    # stage; popping it here lets callers pass it unconditionally.
+    query_jobs = int(search_kwargs.pop("query_jobs", 1))
     if isinstance(index, ShardedMogulIndex):
-        base = ShardedMogulRanker.from_index(graph, index, **search_kwargs)
+        base = ShardedMogulRanker.from_index(
+            graph, index, query_jobs=query_jobs, **search_kwargs
+        )
     elif isinstance(index, MogulIndex):
         base = MogulRanker.from_index(graph, index, **search_kwargs)
     elif isinstance(index, SpectralIndex):

@@ -337,14 +337,14 @@ class MogulRanker(Ranker):
             jobs=jobs,
             factor_backend=factor_backend,
         )
-        #: :class:`SearchStats` of the most recent :meth:`top_k` call.
-        self.last_stats: SearchStats | None = None
-        #: :class:`BatchStats` of the most recent :meth:`top_k_batch` /
-        #: :meth:`top_k_out_of_sample_batch` call (per-query + totals).
-        self.last_batch_stats: BatchStats | None = None
-        #: Wall-clock breakdown of the most recent out-of-sample query,
-        #: keys ``nearest_neighbor`` / ``top_k`` / ``overall`` (Table 2).
-        self.last_breakdown: dict[str, float] | None = None
+        # Ambient stats (thread-local descriptors via Ranker): each
+        # thread reads back only its own most recent call's stats —
+        # :class:`SearchStats` (top_k), :class:`BatchStats` (the batch
+        # entry points) and the out-of-sample wall-clock breakdown with
+        # keys ``nearest_neighbor`` / ``top_k`` / ``overall`` (Table 2).
+        self.last_stats = None
+        self.last_batch_stats = None
+        self.last_breakdown = None
 
     @classmethod
     def from_index(

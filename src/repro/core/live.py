@@ -159,11 +159,10 @@ class LiveEngine(DynamicMogulRanker):
       bitwise identical for the same buffer snapshot).
 
     Answers are fully thread-safe.  The informational stats attributes
-    (``last_stats`` / ``last_batch_stats``) are published as plain
-    instance state, like the base rankers' — under unsynchronized
-    concurrent calls a reader may observe another call's counters; the
-    serving scheduler serializes engine calls on one worker, so served
-    stats are always attributed correctly.
+    (``last_stats`` / ``last_batch_stats``) are thread-local (see
+    :class:`repro.ranking.base.AmbientStatsMixin`), so under concurrent
+    calls — including the serving scheduler's multi-worker pool — each
+    thread reads back exactly its own call's counters.
     """
 
     def __init__(
@@ -230,8 +229,9 @@ class LiveEngine(DynamicMogulRanker):
         built with).
 
         Rebuilds replay the adopted engine's search configuration
-        (``use_pruning`` / ``use_sparsity`` / ``cluster_order``) so a
-        rebuilt epoch answers the same way epoch 0 did.  ``fill_level``
+        (``use_pruning`` / ``use_sparsity`` / ``cluster_order`` /
+        ``query_jobs``) so a rebuilt epoch answers the same way epoch 0
+        did.  ``fill_level``
         is *not* recorded in index artifacts — pass the value the
         artifact was built with if it was non-zero, or the first rebuild
         reverts to the paper's ICF (fill 0).
@@ -259,6 +259,7 @@ class LiveEngine(DynamicMogulRanker):
         live.use_pruning = engine.use_pruning
         live.use_sparsity = getattr(engine, "use_sparsity", True)
         live.cluster_order = engine.cluster_order
+        live.query_jobs = int(getattr(engine, "query_jobs", 1))
         live._epoch = cls._adopted_epoch(engine)
         live._artifact_n = live.n_total
         return live

@@ -41,7 +41,7 @@ and served:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +74,7 @@ from repro.ranking.base import (
     DEFAULT_ALPHA,
     Ranker,
     TopKResult,
+    ambient_stat,
     normalize_seed_weights,
 )
 from repro.ranking.normalize import ranking_matrix
@@ -988,12 +989,40 @@ class ShardedMogulIndex:
 # -- scatter-gather search -------------------------------------------------
 
 
+def _run_shard_scans(index, n_shards: int, query_jobs: int, pool, scan_one):
+    """Run ``scan_one(shard_id)`` for every shard, serially or in parallel.
+
+    The scan bodies are pure with respect to shared state — they read the
+    router's border scores and thresholds, write ``x_mat`` only inside
+    their own shard's disjoint row span, and return their counters
+    instead of mutating shared stats — so running them on threads is
+    safe and (because each shard's scan is independent and deterministic)
+    bitwise identical to the serial loop.  numpy's triangular solves and
+    SpMMs release the GIL, which is where the parallel speedup comes
+    from.  Results are returned in shard id order either way.
+    """
+    jobs = min(int(query_jobs), n_shards)
+    if jobs <= 1 or n_shards <= 1:
+        return [scan_one(shard_id) for shard_id in range(n_shards)]
+    # Materialise lazily-loaded shard states up front on this thread:
+    # shard_state's first-touch carve is not synchronized, and two
+    # threads racing it would carve the same shard twice.
+    for shard_id in range(n_shards):
+        index.shard_state(shard_id)
+    if pool is not None:
+        return list(pool.map(scan_one, range(n_shards)))
+    with ThreadPoolExecutor(max_workers=jobs) as ephemeral:
+        return list(ephemeral.map(scan_one, range(n_shards)))
+
+
 def scatter_gather_search(
     index: ShardedMogulIndex,
     queries,
     k: int,
     use_pruning: bool = True,
     cluster_order: str = "index",
+    query_jobs: int = 1,
+    pool: ThreadPoolExecutor | None = None,
 ) -> tuple[list[list[tuple[int, float]]], BatchStats, list[SearchStats]]:
     """Answer a batch of queries across the shards, merging local top-k.
 
@@ -1006,6 +1035,11 @@ def scatter_gather_search(
     unsharded engine's — scores come from the same factor via the same
     packed solves, pruning is conservative under any threshold schedule,
     and the merge order matches the heap's.
+
+    ``query_jobs`` runs the per-shard scans on a thread pool (``pool``
+    reuses a caller-owned executor; otherwise an ephemeral one is
+    created); 1 keeps the serial loop.  Answers and stats are bitwise
+    identical at any ``query_jobs``.
 
     Returns ``(answers, per-query stats, per-shard aggregate stats)``.
     """
@@ -1091,11 +1125,16 @@ def scatter_gather_search(
 
     # Stage 3 — scatter: every shard scans its clusters against its own
     # frontier, seeded at the router threshold (a valid lower bound on
-    # the global k-th best, so shard-local pruning stays exact).
+    # the global k-th best, so shard-local pruning stays exact).  The
+    # shard body is pure with respect to shared state: it reads the
+    # frozen border scores/thresholds, writes x_mat only inside its own
+    # shard's disjoint row span, keeps its accumulators local, and
+    # returns its per-query counter deltas instead of mutating ``stats``
+    # — which is exactly what lets ``query_jobs > 1`` run shards on
+    # threads with bitwise-identical answers *and* counters.
     x_border_abs = np.abs(x_mat[border_start:, :])
-    shard_answer_lists: list[list[list[tuple[int, float]]]] = []
-    shard_totals: list[SearchStats] = []
-    for shard_id in range(n_shards):
+
+    def scan_shard(shard_id: int):
         shard = index.shard_state(shard_id)
         n_local = shard.n_clusters
         first = shard.first_cluster
@@ -1114,10 +1153,8 @@ def scatter_gather_search(
             for cid in scored:
                 if cid != border_id and first <= cid < first + n_local:
                     eligible[cid - first, j] = False
-        eligible_counts = eligible.sum(axis=0)
-        for j in range(n_queries):
-            stats[j].bound_evaluations += int(eligible_counts[j])
-        shard_stats.bound_evaluations = int(eligible_counts.sum())
+        bound_evals = eligible.sum(axis=0).astype(np.int64)
+        shard_stats.bound_evaluations = int(bound_evals.sum())
 
         pruned_clusters = np.zeros(n_queries, dtype=np.int64)
         pruned_nodes = np.zeros(n_queries, dtype=np.int64)
@@ -1174,17 +1211,33 @@ def scatter_gather_search(
                     if use_pruning:
                         thresholds[j] = acc.threshold
 
-        for j in range(n_queries):
-            stats[j].clusters_pruned += int(pruned_clusters[j])
-            stats[j].pruned_nodes += int(pruned_nodes[j])
-            stats[j].clusters_scored += int(scored_clusters[j])
-            stats[j].nodes_scored += int(scored_nodes[j])
         shard_stats.clusters_pruned = int(pruned_clusters.sum())
         shard_stats.pruned_nodes = int(pruned_nodes.sum())
         shard_stats.clusters_scored = int(scored_clusters.sum())
         shard_stats.nodes_scored = int(scored_nodes.sum())
+        deltas = (
+            bound_evals,
+            pruned_clusters,
+            pruned_nodes,
+            scored_clusters,
+            scored_nodes,
+        )
+        return shard_stats, [acc.collect() for acc in accs], deltas
+
+    shard_answer_lists: list[list[list[tuple[int, float]]]] = []
+    shard_totals: list[SearchStats] = []
+    for shard_stats, answer_list, deltas in _run_shard_scans(
+        index, n_shards, query_jobs, pool, scan_shard
+    ):
         shard_totals.append(shard_stats)
-        shard_answer_lists.append([acc.collect() for acc in accs])
+        shard_answer_lists.append(answer_list)
+        bound_evals, pruned_c, pruned_n, scored_c, scored_n = deltas
+        for j in range(n_queries):
+            stats[j].bound_evaluations += int(bound_evals[j])
+            stats[j].clusters_pruned += int(pruned_c[j])
+            stats[j].pruned_nodes += int(pruned_n[j])
+            stats[j].clusters_scored += int(scored_c[j])
+            stats[j].nodes_scored += int(scored_n[j])
 
     # Gather — merge the disjoint frontiers under the canonical order.
     answers = [
@@ -1207,6 +1260,8 @@ def scatter_gather_rerank(
     candidates_list,
     use_pruning: bool = True,
     cluster_order: str = "index",
+    query_jobs: int = 1,
+    pool: ThreadPoolExecutor | None = None,
 ) -> tuple[list[list[tuple[int, float]]], BatchStats, list[SearchStats]]:
     """Candidate-restricted scatter-gather: the sharded exact re-rank.
 
@@ -1325,11 +1380,13 @@ def scatter_gather_rerank(
         [acc.threshold for acc in router_accs], dtype=np.float64
     )
 
-    # Stage 3 — scatter over candidate-owning clusters only.
+    # Stage 3 — scatter over candidate-owning clusters only.  Same
+    # purity contract as scatter_gather_search's shard scan: disjoint
+    # x_mat row spans, local accumulators, counter deltas returned — so
+    # ``query_jobs > 1`` is bitwise identical to the serial loop.
     x_border_abs = np.abs(x_mat[border_start:, :])
-    shard_answer_lists: list[list[list[tuple[int, float]]]] = []
-    shard_totals: list[SearchStats] = []
-    for shard_id in range(n_shards):
+
+    def scan_shard(shard_id: int):
         shard = index.shard_state(shard_id)
         n_local = shard.n_clusters
         first = shard.first_cluster
@@ -1350,10 +1407,8 @@ def scatter_gather_rerank(
                 if first <= cid < first + n_local:
                     eligible[cid - first, j] = True
                     cand_counts[cid - first, j] = members.size
-        eligible_counts = eligible.sum(axis=0)
-        for j in range(n_queries):
-            stats[j].bound_evaluations += int(eligible_counts[j])
-        shard_stats.bound_evaluations = int(eligible_counts.sum())
+        bound_evals = eligible.sum(axis=0).astype(np.int64)
+        shard_stats.bound_evaluations = int(bound_evals.sum())
 
         pruned_clusters = np.zeros(n_queries, dtype=np.int64)
         pruned_nodes = np.zeros(n_queries, dtype=np.int64)
@@ -1401,17 +1456,33 @@ def scatter_gather_rerank(
                 if use_pruning:
                     thresholds[j] = acc.threshold
 
-        for j in range(n_queries):
-            stats[j].clusters_pruned += int(pruned_clusters[j])
-            stats[j].pruned_nodes += int(pruned_nodes[j])
-            stats[j].clusters_scored += int(scored_clusters[j])
-            stats[j].nodes_scored += int(scored_nodes[j])
         shard_stats.clusters_pruned = int(pruned_clusters.sum())
         shard_stats.pruned_nodes = int(pruned_nodes.sum())
         shard_stats.clusters_scored = int(scored_clusters.sum())
         shard_stats.nodes_scored = int(scored_nodes.sum())
+        deltas = (
+            bound_evals,
+            pruned_clusters,
+            pruned_nodes,
+            scored_clusters,
+            scored_nodes,
+        )
+        return shard_stats, [acc.collect() for acc in accs], deltas
+
+    shard_answer_lists: list[list[list[tuple[int, float]]]] = []
+    shard_totals: list[SearchStats] = []
+    for shard_stats, answer_list, deltas in _run_shard_scans(
+        index, n_shards, query_jobs, pool, scan_shard
+    ):
         shard_totals.append(shard_stats)
-        shard_answer_lists.append([acc.collect() for acc in accs])
+        shard_answer_lists.append(answer_list)
+        bound_evals, pruned_c, pruned_n, scored_c, scored_n = deltas
+        for j in range(n_queries):
+            stats[j].bound_evaluations += int(bound_evals[j])
+            stats[j].clusters_pruned += int(pruned_c[j])
+            stats[j].pruned_nodes += int(pruned_n[j])
+            stats[j].clusters_scored += int(scored_c[j])
+            stats[j].nodes_scored += int(scored_n[j])
 
     answers = [
         merge_answer_pairs(
@@ -1437,8 +1508,20 @@ class ShardedMogulRanker(Ranker):
     out-of-sample queries — routing each through the scatter-gather
     engine.  Answers are identical to the unsharded engine for every
     entry point; ``last_shard_stats`` additionally exposes the per-shard
-    aggregate pruning counters of the most recent call.
+    aggregate pruning counters of the most recent call (per-thread, like
+    every ambient stats attribute).
+
+    ``query_jobs > 1`` scans shards on a persistent thread pool at query
+    time — bitwise identical answers and stats, with the speedup coming
+    from numpy releasing the GIL inside the per-shard solves.
     """
+
+    #: Per-shard aggregate stats of this thread's most recent engine call.
+    last_shard_stats = ambient_stat(
+        "last_shard_stats",
+        "Per-shard aggregate :class:`SearchStats` of this thread's most "
+        "recent engine call (``None`` before the first).",
+    )
 
     def __init__(
         self,
@@ -1454,6 +1537,7 @@ class ShardedMogulRanker(Ranker):
         jobs: int = 1,
         factor_backend: str = DEFAULT_BACKEND,
         parallel: str = "auto",
+        query_jobs: int = 1,
     ):
         super().__init__(graph, alpha)
         index = ShardedMogulIndex.build(
@@ -1468,7 +1552,7 @@ class ShardedMogulRanker(Ranker):
             factor_backend=factor_backend,
             parallel=parallel,
         )
-        self._init_from_index(index, use_pruning, cluster_order)
+        self._init_from_index(index, use_pruning, cluster_order, query_jobs)
 
     @classmethod
     def from_index(
@@ -1477,6 +1561,7 @@ class ShardedMogulRanker(Ranker):
         index: ShardedMogulIndex,
         use_pruning: bool = True,
         cluster_order: str = "index",
+        query_jobs: int = 1,
     ) -> "ShardedMogulRanker":
         """Attach a prebuilt (e.g. loaded) sharded index to a feature graph."""
         if graph.n_nodes != index.n_nodes:
@@ -1491,11 +1576,15 @@ class ShardedMogulRanker(Ranker):
             )
         ranker = cls.__new__(cls)
         Ranker.__init__(ranker, graph, index.alpha)
-        ranker._init_from_index(index, use_pruning, cluster_order)
+        ranker._init_from_index(index, use_pruning, cluster_order, query_jobs)
         return ranker
 
     def _init_from_index(
-        self, index: ShardedMogulIndex, use_pruning: bool, cluster_order: str
+        self,
+        index: ShardedMogulIndex,
+        use_pruning: bool,
+        cluster_order: str,
+        query_jobs: int = 1,
     ) -> None:
         self.index = index
         self.exact = index.factorization == "complete"
@@ -1505,14 +1594,34 @@ class ShardedMogulRanker(Ranker):
         )
         self.use_pruning = use_pruning
         self.cluster_order = cluster_order
-        #: :class:`SearchStats` of the most recent single-query call.
-        self.last_stats: SearchStats | None = None
-        #: :class:`BatchStats` of the most recent batched call.
-        self.last_batch_stats: BatchStats | None = None
-        #: Per-shard aggregate stats of the most recent engine call.
-        self.last_shard_stats: list[SearchStats] | None = None
-        #: Wall-clock breakdown of the most recent out-of-sample query.
-        self.last_breakdown: dict[str, float] | None = None
+        self.query_jobs = check_positive_int(query_jobs, "query_jobs")
+        # Ambient stats (thread-local descriptors): start every slot
+        # empty for the constructing thread.
+        self.last_stats = None
+        self.last_batch_stats = None
+        self.last_shard_stats = None
+        self.last_breakdown = None
+
+    def _scan_pool(self) -> ThreadPoolExecutor | None:
+        """The persistent shard-scan pool (``None`` when scans are serial).
+
+        Created lazily and raced safely: ``dict.setdefault`` is atomic
+        under the GIL, and a losing candidate pool has spawned no
+        threads yet (ThreadPoolExecutor starts threads on first submit),
+        so discarding it is free.
+        """
+        if self.query_jobs <= 1 or self.index.n_shards <= 1:
+            return None
+        pool = self.__dict__.get("_scan_pool_obj")
+        if pool is None:
+            candidate = ThreadPoolExecutor(
+                max_workers=min(self.query_jobs, self.index.n_shards),
+                thread_name_prefix="shard-scan",
+            )
+            pool = self.__dict__.setdefault("_scan_pool_obj", candidate)
+            if pool is not candidate:
+                candidate.shutdown(wait=False)
+        return pool
 
     # -- scoring ----------------------------------------------------------
 
@@ -1772,7 +1881,10 @@ class ShardedMogulRanker(Ranker):
         single: bool = False,
     ) -> list[TopKResult]:
         with obs_span(
-            "shards.scan", shards=self.index.n_shards, batch=len(batch)
+            "shards.scan",
+            shards=self.index.n_shards,
+            batch=len(batch),
+            query_jobs=self.query_jobs,
         ) as node:
             answers, batch_stats, shard_stats = scatter_gather_rerank(
                 self.index,
@@ -1781,6 +1893,8 @@ class ShardedMogulRanker(Ranker):
                 candidates_list,
                 use_pruning=self.use_pruning,
                 cluster_order=self.cluster_order,
+                query_jobs=self.query_jobs,
+                pool=self._scan_pool(),
             )
             node.annotate(
                 scored=[int(s.clusters_scored) for s in shard_stats],
@@ -1803,7 +1917,10 @@ class ShardedMogulRanker(Ranker):
         self, batch: list[BatchQuery], k: int, single: bool = False
     ) -> list[TopKResult]:
         with obs_span(
-            "shards.scan", shards=self.index.n_shards, batch=len(batch)
+            "shards.scan",
+            shards=self.index.n_shards,
+            batch=len(batch),
+            query_jobs=self.query_jobs,
         ) as node:
             answers, batch_stats, shard_stats = scatter_gather_search(
                 self.index,
@@ -1811,6 +1928,8 @@ class ShardedMogulRanker(Ranker):
                 k,
                 use_pruning=self.use_pruning,
                 cluster_order=self.cluster_order,
+                query_jobs=self.query_jobs,
+                pool=self._scan_pool(),
             )
             node.annotate(
                 scored=[int(s.clusters_scored) for s in shard_stats],

@@ -43,7 +43,7 @@ from repro.core.search import SearchStats
 from repro.obs.trace import span as obs_span
 from repro.core.spectral import SpectralEngine, nominate_from_scores
 from repro.linalg.spectral import project_seeds, spectral_scores
-from repro.ranking.base import Ranker, TopKResult
+from repro.ranking.base import Ranker, TopKResult, ambient_stat
 from repro.utils.validation import check_positive_int
 
 #: The named positions of the accuracy dial.
@@ -77,6 +77,13 @@ class TieredEngine(Ranker):
         ``m``.
     """
 
+    #: Per-tier timing of this thread's most recent call (any entry point).
+    last_tier_breakdown = ambient_stat(
+        "last_tier_breakdown",
+        "Per-tier timing of this thread's most recent call (``None`` "
+        "before the first).",
+    )
+
     def __init__(
         self,
         base: Ranker,
@@ -103,14 +110,13 @@ class TieredEngine(Ranker):
         self.spectral = spectral
         self.default_accuracy = default_accuracy
         self.name = f"Tiered({spectral.name}->{base.name})"
-        #: :class:`SearchStats` of the most recent single-query call.
-        self.last_stats: SearchStats | None = None
-        #: :class:`BatchStats` of the most recent batched call.
-        self.last_batch_stats: BatchStats | None = None
-        #: Wall-clock breakdown of the most recent out-of-sample query.
-        self.last_breakdown: dict[str, float] | None = None
-        #: Per-tier timing of the most recent call (any entry point).
-        self.last_tier_breakdown: dict | None = None
+        # Ambient stats (thread-local descriptors via Ranker): reads of
+        # self.base.last_* below happen on the thread that made the base
+        # call, so delegation stays race-free under concurrent queries.
+        self.last_stats = None
+        self.last_batch_stats = None
+        self.last_breakdown = None
+        self.last_tier_breakdown = None
         self._counter_lock = threading.Lock()
         self._counters: dict[str, dict[str, float]] = {}
 

@@ -28,6 +28,15 @@ _HELP = {
     ),
     "repro_max_batch_size": ("gauge", "Largest batch dispatched so far."),
     "repro_queue_depth": ("gauge", "Requests currently queued in the scheduler."),
+    "repro_query_workers": ("gauge", "Size of the engine worker pool."),
+    "repro_workers_busy": (
+        "gauge",
+        "Engine workers currently inside a solve.",
+    ),
+    "repro_engine_wait_seconds_total": (
+        "counter",
+        "Seconds dispatched batches spent waiting for a free engine worker.",
+    ),
     "repro_cache_hits_total": ("counter", "Result-cache hits."),
     "repro_cache_misses_total": ("counter", "Result-cache misses."),
     "repro_cache_invalidations_total": (
@@ -163,14 +172,18 @@ def render_prometheus(
     cache_stats: dict | None = None,
     tier_counters: dict | None = None,
     slowlog_stats: dict | None = None,
+    worker_stats: dict | None = None,
 ) -> str:
     """The full exposition document for one scrape.
 
     ``metrics`` is a :class:`repro.service.metrics.ServiceMetrics`
     (duck-typed: anything exposing ``snapshot()``, ``latency`` and
     ``stage_histograms()``); the optional dicts carry the surfaces owned
-    by other components (scheduler queue, cache, tiered engine, flight
-    recorder), mirroring the JSON ``/metrics`` assembly in the server.
+    by other components (scheduler queue + worker pool, cache, tiered
+    engine, flight recorder), mirroring the JSON ``/metrics`` assembly
+    in the server.  ``worker_stats`` carries ``query_workers``,
+    ``workers_busy`` and ``engine_wait_seconds`` from the scheduler
+    snapshot.
     """
     snapshot = metrics.snapshot()
     writer = _Writer()
@@ -181,6 +194,13 @@ def render_prometheus(
     writer.sample("repro_queries_batched_total", snapshot["queries_batched"])
     writer.sample("repro_max_batch_size", snapshot["max_batch_size"])
     writer.sample("repro_queue_depth", queue_depth)
+    if worker_stats:
+        writer.sample("repro_query_workers", worker_stats.get("query_workers", 1))
+        writer.sample("repro_workers_busy", worker_stats.get("workers_busy", 0))
+        writer.sample(
+            "repro_engine_wait_seconds_total",
+            worker_stats.get("engine_wait_seconds", 0.0),
+        )
     if cache_stats:
         writer.sample("repro_cache_hits_total", cache_stats["hits"])
         writer.sample("repro_cache_misses_total", cache_stats["misses"])

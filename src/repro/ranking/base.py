@@ -15,6 +15,7 @@ implement :meth:`Ranker.top_k_out_of_sample`.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -25,6 +26,88 @@ from repro.utils.validation import check_alpha, check_positive_int
 
 #: The damping value used throughout the paper's experiments (§5).
 DEFAULT_ALPHA = 0.99
+
+
+def ambient_stat(attr: str, doc: str) -> property:
+    """A per-thread ambient attribute (data descriptor) for query stats.
+
+    Rankers historically published their instrumentation by assigning
+    plain instance attributes (``self.last_stats = stats``) after every
+    query.  That made engines non-reentrant: two threads solving on the
+    same engine tear each other's stats.  This factory keeps the exact
+    assignment syntax — a data descriptor shadows the instance
+    ``__dict__``, so every existing ``self.last_stats = ...`` routes
+    through the setter — but stores the value in a lazily created
+    ``threading.local``: each thread reads back only the stats of *its
+    own* most recent call, and an unset slot reads as ``None``.
+    """
+
+    def slots(self) -> threading.local:
+        found = self.__dict__.get("_ambient_stats")
+        if found is None:
+            # dict.setdefault is atomic under the GIL: two racing first
+            # writers agree on one threading.local instance.
+            found = self.__dict__.setdefault("_ambient_stats", threading.local())
+        return found
+
+    def getter(self):
+        return getattr(slots(self), attr, None)
+
+    def setter(self, value) -> None:
+        setattr(slots(self), attr, value)
+
+    return property(getter, setter, doc=doc)
+
+
+class AmbientStatsMixin:
+    """Thread-local ``last_*`` stats plus explicit ``*_with_stats`` wrappers.
+
+    Mixed into :class:`Ranker` (and the dynamic live engine, which is not
+    a ``Ranker`` subclass).  The ambient attributes remain a convenience
+    — callers that probe one query at a time from one thread keep
+    working untouched — but they are no longer load-bearing for
+    concurrent callers: the ``*_with_stats`` entry points return the
+    stats explicitly, and because the ambient slot is per-thread the
+    read-back inside them cannot observe another thread's query.
+    """
+
+    last_stats = ambient_stat(
+        "last_stats",
+        "This thread's :class:`repro.core.search.SearchStats` from its most "
+        "recent single-query call (``None`` before the first).",
+    )
+    last_batch_stats = ambient_stat(
+        "last_batch_stats",
+        "This thread's :class:`repro.core.batch.BatchStats` from its most "
+        "recent batch call (``None`` before the first).",
+    )
+    last_breakdown = ambient_stat(
+        "last_breakdown",
+        "This thread's per-stage timing breakdown from its most recent "
+        "call, on rankers that record one (``None`` otherwise).",
+    )
+
+    # -- explicit-stats entry points (reentrant; the scheduler uses these)
+
+    def top_k_with_stats(self, query: int, k: int, **kwargs):
+        """``top_k`` plus this call's stats, race-free under concurrency."""
+        result = self.top_k(query, k, **kwargs)
+        return result, self.last_stats
+
+    def top_k_batch_with_stats(self, queries, k: int, **kwargs):
+        """``top_k_batch`` plus this call's :class:`BatchStats`."""
+        results = self.top_k_batch(queries, k, **kwargs)
+        return results, self.last_batch_stats
+
+    def top_k_out_of_sample_with_stats(self, feature, k: int, **kwargs):
+        """``top_k_out_of_sample`` plus this call's stats."""
+        result = self.top_k_out_of_sample(feature, k, **kwargs)
+        return result, self.last_stats
+
+    def top_k_out_of_sample_batch_with_stats(self, features, k: int, **kwargs):
+        """``top_k_out_of_sample_batch`` plus this call's :class:`BatchStats`."""
+        results = self.top_k_out_of_sample_batch(features, k, **kwargs)
+        return results, self.last_batch_stats
 
 
 @dataclass(frozen=True)
@@ -53,8 +136,15 @@ class TopKResult:
         return int(self.indices.shape[0])
 
 
-class Ranker(ABC):
-    """Base class: a Manifold Ranking scorer bound to one graph."""
+class Ranker(AmbientStatsMixin, ABC):
+    """Base class: a Manifold Ranking scorer bound to one graph.
+
+    Query entry points are **reentrant**: per-call instrumentation
+    (``last_stats`` and friends, via :class:`AmbientStatsMixin`) is
+    thread-local, so two threads may solve concurrently on one ranker
+    and each reads back its own stats — or uses the explicit
+    ``*_with_stats`` wrappers and never touches ambient state.
+    """
 
     #: Human-readable method name used in experiment tables.
     name: str = "ranker"

@@ -161,6 +161,12 @@ class AdmissionController:
         self.hard_limit_factor = float(hard_limit_factor)
         self.max_queue_delay_ms = max_queue_delay_ms
         self.metrics = metrics
+        #: Engine worker pool size, set by the scheduler at construction
+        #: (1 until then).  The delay estimate drains the backlog
+        #: through this many concurrent solvers, so a pool of 4 halves
+        #: the estimated wait twice over — without it the controller
+        #: would shed at a quarter of the real capacity.
+        self.query_workers = 1
         self._lock = threading.Lock()
         self.admitted_total = 0
         self.degraded_total = 0
@@ -186,7 +192,8 @@ class AdmissionController:
         """Expected wait of a request enqueued *now*, from live metrics.
 
         ``depth / mean_batch_size`` dispatches must drain ahead of it,
-        each costing the mean observed ``engine.dispatch`` stage time.
+        each costing the mean observed ``engine.dispatch`` stage time,
+        spread across :attr:`query_workers` concurrent engine workers.
         Returns ``None`` until tracing has fed the per-stage histograms
         (the depth threshold alone governs admission until then).
         """
@@ -196,7 +203,8 @@ class AdmissionController:
         if dispatch is None or dispatch.count == 0:
             return None
         batch = max(1.0, self.metrics.mean_batch_size)
-        return (depth / batch) * dispatch.mean_seconds
+        workers = max(1, int(self.query_workers))
+        return (depth / batch) * dispatch.mean_seconds / workers
 
     def overloaded(self, depth: int) -> bool:
         """Whether a request arriving at ``depth`` queued faces overload."""
@@ -281,5 +289,6 @@ class AdmissionController:
             "max_queue_depth": self.max_queue_depth,
             "hard_limit": self.hard_limit,
             "max_queue_delay_ms": self.max_queue_delay_ms,
+            "query_workers": self.query_workers,
             **counters,
         }

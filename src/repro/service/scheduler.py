@@ -7,9 +7,13 @@ serving systems use for GPU inference: requests are enqueued as they
 arrive, a dispatcher coalesces them under a **max-batch-size +
 max-wait-deadline** policy (the first request in an empty queue opens a
 window of ``max_wait_ms``; the batch departs when the window expires or
-the batch is full, whichever is first), the engine runs in a worker
-thread so the event loop keeps accepting requests mid-solve, and the
-per-query answers fan back out through futures.
+the batch is full, whichever is first), the engine runs on a pool of
+``query_workers`` worker threads so the event loop keeps accepting
+requests mid-solve, and the per-query answers fan back out through
+futures.  Engines are reentrant (per-thread ambient stats, see
+:class:`repro.ranking.base.AmbientStatsMixin`), so multiple workers may
+solve concurrently — numpy releases the GIL for the heavy kernels, so
+on a multi-core host ``--query-workers 4`` genuinely overlaps solves.
 
 Correctness is inherited, not approximated: batching is purely an
 execution strategy (answers are bitwise identical to per-request
@@ -20,7 +24,7 @@ ordered by (score desc, id asc), so the top-k prefix of a top-K answer
 
 In-database and out-of-sample requests are scheduled in separate lanes
 (they enter different engine entry points); each lane has its own queue
-and dispatcher, all feeding the single engine worker thread.  When the
+and dispatcher, all feeding the shared engine worker pool.  When the
 engine is tiered (:class:`repro.core.TieredEngine`), requests carry an
 accuracy dial, and each resolved accuracy level gets its **own** lane
 (``node:fast``, ``node:balanced``, ...): only requests answered by the
@@ -32,6 +36,7 @@ request.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -169,6 +174,15 @@ class MicroBatchScheduler:
         setting.  ``False`` forces every dispatch through the batch
         engine, which is what benchmarks use to isolate the coalescing
         policy at batch size 1.
+    query_workers:
+        Size of the engine worker pool.  1 (the default) reproduces the
+        historical single-worker behaviour: every dispatch serializes on
+        one thread.  Larger values let batches from different lanes (or
+        consecutive batches of one busy lane) solve concurrently —
+        answers are unchanged at any setting (engines are reentrant and
+        batching is semantics-free), only the overlap changes.  Sizing
+        guidance lives in the README's "Parallel query execution"
+        section; more workers than cores buys nothing.
     """
 
     def __init__(
@@ -182,17 +196,26 @@ class MicroBatchScheduler:
         faults: FaultInjector | None = None,
         exclude_query: bool = True,
         sequential_singletons: bool = True,
+        query_workers: int = 1,
     ):
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        query_workers = int(query_workers)
+        if query_workers < 1:
+            raise ValueError(f"query_workers must be >= 1, got {query_workers}")
         self.ranker = ranker
+        self.query_workers = query_workers
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.cache = cache
         self.metrics = metrics
         self.admission = admission
+        if admission is not None:
+            # The delay estimate drains `depth` requests through
+            # `query_workers` concurrent solvers, not one.
+            admission.query_workers = query_workers
         self.faults = faults
         self.exclude_query = exclude_query
         self.sequential_singletons = sequential_singletons
@@ -204,16 +227,25 @@ class MicroBatchScheduler:
         #: ``node`` / ``oos`` lanes carry none.
         self._lane_extra: dict[str, dict] = {}
         self._dispatchers: list[asyncio.Task] = []
-        #: One worker thread serializes engine access: MogulRanker keeps
-        #: per-call state (last_batch_stats) and numpy releases the GIL
-        #: for the heavy kernels anyway.
+        #: The engine worker pool.  Engines are reentrant (per-thread
+        #: ambient stats; numpy releases the GIL for the heavy kernels),
+        #: so `query_workers` threads may solve concurrently — the
+        #: answers are identical at any pool size.
         self._executor: ThreadPoolExecutor | None = None
         self._running = False
-        #: Requests handed to the engine worker but not yet answered.
+        #: Requests handed to the engine workers but not yet answered.
         #: Admission must see these: the dispatcher pulls whole batches
         #: off the queues instantly, so queue depth alone under-counts
         #: the real backlog by up to (lanes x max_batch_size).
         self._in_flight = 0
+        #: Guards the worker gauges below (touched from pool threads).
+        self._workers_lock = threading.Lock()
+        #: Workers currently inside an engine solve (gauge for /metrics).
+        self._workers_busy = 0
+        #: Cumulative seconds batches spent waiting for a free engine
+        #: worker after dispatch (the serialization stall the pool is
+        #: meant to shrink; benchmarks read it before/after).
+        self._engine_wait_seconds = 0.0
         self.batches_dispatched = 0
         self.queries_dispatched = 0
         self.mutations_dispatched = 0
@@ -221,12 +253,12 @@ class MicroBatchScheduler:
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
-        """Create the queues, the engine worker and one dispatcher per lane."""
+        """Create the queues, the worker pool and one dispatcher per lane."""
         if self._running:
             raise RuntimeError("scheduler is already running")
         self._running = True
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="mogul-engine"
+            max_workers=self.query_workers, thread_name_prefix="mogul-engine"
         )
         self._queues = {"node": asyncio.Queue(), "oos": asyncio.Queue()}
         self._lane_extra = {"node": {}, "oos": {}}
@@ -295,7 +327,7 @@ class MicroBatchScheduler:
 
     @property
     def in_flight(self) -> int:
-        """Requests assembled into batches and awaiting the engine worker."""
+        """Requests assembled into batches and awaiting an engine worker."""
         return self._in_flight
 
     @property
@@ -304,18 +336,41 @@ class MicroBatchScheduler:
 
         The admission controller's depth signal.  Queue depth alone is
         gameable by the dispatcher itself (it drains whole batches off
-        the queues the instant they arrive, parking them in front of the
-        single engine worker), so a bound on the queue would not bound
-        the wait.  Backlog is what an arriving request actually stands
-        behind.
+        the queues the instant they arrive, parking them in front of
+        the engine worker pool), so a bound on the queue would not
+        bound the wait.  Backlog is what an arriving request actually
+        stands behind — the admission controller converts it to an
+        expected delay by dividing through the pool size (its
+        ``query_workers``, set by this scheduler at construction).
         """
         return self.queue_depth + self._in_flight
+
+    @property
+    def workers_busy(self) -> int:
+        """Workers currently inside an engine solve (0..query_workers)."""
+        with self._workers_lock:
+            return self._workers_busy
+
+    @property
+    def engine_wait_seconds(self) -> float:
+        """Cumulative seconds dispatched batches waited for a free worker.
+
+        The serialization stall: with one worker every concurrent batch
+        queues behind the solve in progress; with a pool the wait
+        shrinks toward zero until all workers are busy.  Monotonic —
+        benchmarks difference it across runs.
+        """
+        with self._workers_lock:
+            return self._engine_wait_seconds
 
     def snapshot(self) -> dict:
         """Scheduler configuration and live counters for ``GET /stats``."""
         out = {
             "max_batch_size": self.max_batch_size,
             "max_wait_ms": self.max_wait_ms,
+            "query_workers": self.query_workers,
+            "workers_busy": self.workers_busy if self._running else 0,
+            "engine_wait_seconds": self.engine_wait_seconds,
             "queue_depth": self.queue_depth if self._running else 0,
             "in_flight": self._in_flight if self._running else 0,
             "lanes": sorted(self._queues) if self._running else [],
@@ -724,6 +779,7 @@ class MicroBatchScheduler:
                 ks,
                 deadlines,
                 traced,
+                dispatched,
             )
         except asyncio.CancelledError:
             # The dispatcher was cancelled (scheduler.stop) mid-flight:
@@ -797,16 +853,29 @@ class MicroBatchScheduler:
         ks: list[int],
         deadlines: list[float | None],
         traced: bool = False,
+        dispatched: float | None = None,
     ) -> tuple[list[TopKResult], tuple[SearchStats, ...], Span | None, list[int]]:
-        """Run one coalesced batch on the engine (worker thread).
+        """Run one coalesced batch on the engine (a pool worker thread).
 
         Deadlines are re-checked here, at the last instant before the
-        solve: a batch can sit behind other lanes' dispatches in the
-        single-worker executor after passing the assembly-time check,
-        and solving a member nobody is waiting for is pure waste.  The
+        solve: a batch can sit behind other dispatches waiting for a
+        free pool worker after passing the assembly-time check, and
+        solving a member nobody is waiting for is pure waste.  The
+        check runs on whichever worker picked the batch up, against
+        that worker's own start time — per-worker by construction.  The
         returned ``kept`` index list names the members actually solved
         (``results``/``per_query`` align with it); the dispatcher fails
         the dropped ones with 504.
+
+        ``dispatched`` is the dispatcher's ``perf_counter`` at submit;
+        the gap to solve start is the time this batch spent waiting for
+        a free worker, accumulated into :attr:`engine_wait_seconds`.
+
+        Stats come back through the engines' explicit ``*_with_stats``
+        entry points, never ambient engine attributes — with several
+        pool workers solving concurrently, an ambient read could
+        otherwise observe a sibling dispatch's counters.  (The ambient
+        attributes are per-thread too, so this is belt and braces.)
 
         A singleton batch takes the sequential fast path when
         ``sequential_singletons`` is on (the default); its answers are
@@ -815,71 +884,90 @@ class MicroBatchScheduler:
         kwargs to the engine on every call.
 
         When ``traced``, the whole dispatch runs under an activated
-        ``engine.dispatch`` span, so the instrumentation points down in
+        ``engine.dispatch`` span (whose meta names the ``worker_id``
+        that ran it), so the instrumentation points down in
         :mod:`repro.core` (tier nominate/re-rank, seed/border solves,
         shard scans, live snapshots) attach their stage spans beneath
         it; the finished tree is returned for the dispatcher to graft
         onto each coalesced request's trace.
         """
         now = time.perf_counter()
-        kept = [
-            index
-            for index, deadline_at in enumerate(deadlines)
-            if deadline_at is None or now < deadline_at
-        ]
-        if not kept:
-            return [], (), None, kept
-        if self.faults is not None and self.faults.armed:
-            # Chaos site: a raised InjectedFault flows through the same
-            # path as a real engine failure (every coalesced member's
-            # future gets the exception, the client sees a 500); latency
-            # rules sleep right here on the worker thread — the
-            # bottleneck resource — so queues genuinely back up.
-            self.faults.maybe("engine.solve")
-        payloads = [payloads[index] for index in kept]
-        k = max(ks[index] for index in kept)
-        ranker = self.ranker
-        kind = lane.partition(":")[0]
-        extra = self._lane_extra.get(lane, {})
-        singleton = len(payloads) == 1 and self.sequential_singletons
-        engine_span = (
-            Span(
-                "engine.dispatch",
-                meta={
-                    "lane": lane,
-                    "batch_size": len(payloads),
-                    "engine": ranker.name,
-                },
-            )
-            if traced
-            else None
-        )
-        with activate(engine_span):
-            if kind == "node":
-                if singleton:
-                    result = ranker.top_k(
-                        int(payloads[0]), k, exclude_query=self.exclude_query, **extra
-                    )
-                    results, per_query = [result], (ranker.last_stats,)
-                else:
-                    results = ranker.top_k_batch(
-                        np.asarray(payloads, dtype=np.int64),
-                        k,
-                        exclude_query=self.exclude_query,
-                        **extra,
-                    )
-                    per_query = ranker.last_batch_stats.per_query
-            elif singleton:
-                result = ranker.top_k_out_of_sample(payloads[0], k, **extra)
-                results, per_query = [result], (ranker.last_stats,)
-            else:
-                results = ranker.top_k_out_of_sample_batch(
-                    np.asarray(payloads), k, **extra
+        with self._workers_lock:
+            if dispatched is not None:
+                self._engine_wait_seconds += max(0.0, now - dispatched)
+            self._workers_busy += 1
+        try:
+            kept = [
+                index
+                for index, deadline_at in enumerate(deadlines)
+                if deadline_at is None or now < deadline_at
+            ]
+            if not kept:
+                return [], (), None, kept
+            if self.faults is not None and self.faults.armed:
+                # Chaos site: a raised InjectedFault flows through the same
+                # path as a real engine failure (every coalesced member's
+                # future gets the exception, the client sees a 500); latency
+                # rules sleep right here on the worker thread — the
+                # bottleneck resource — so queues genuinely back up.
+                self.faults.maybe("engine.solve")
+            payloads = [payloads[index] for index in kept]
+            k = max(ks[index] for index in kept)
+            ranker = self.ranker
+            kind = lane.partition(":")[0]
+            extra = self._lane_extra.get(lane, {})
+            singleton = len(payloads) == 1 and self.sequential_singletons
+            # "mogul-engine_3" -> worker 3 (executor thread names are
+            # `<prefix>_<index>`); the raw name if the pattern changes.
+            thread_name = threading.current_thread().name
+            worker_id = thread_name.rpartition("_")[2] or thread_name
+            engine_span = (
+                Span(
+                    "engine.dispatch",
+                    meta={
+                        "lane": lane,
+                        "batch_size": len(payloads),
+                        "engine": ranker.name,
+                        "worker_id": worker_id,
+                    },
                 )
-                per_query = ranker.last_batch_stats.per_query
-        if engine_span is not None:
-            engine_span.end()
-        return results, per_query, engine_span, kept
+                if traced
+                else None
+            )
+            with activate(engine_span):
+                if kind == "node":
+                    if singleton:
+                        result, stats = ranker.top_k_with_stats(
+                            int(payloads[0]),
+                            k,
+                            exclude_query=self.exclude_query,
+                            **extra,
+                        )
+                        results, per_query = [result], (stats,)
+                    else:
+                        results, batch_stats = ranker.top_k_batch_with_stats(
+                            np.asarray(payloads, dtype=np.int64),
+                            k,
+                            exclude_query=self.exclude_query,
+                            **extra,
+                        )
+                        per_query = batch_stats.per_query
+                elif singleton:
+                    result, stats = ranker.top_k_out_of_sample_with_stats(
+                        payloads[0], k, **extra
+                    )
+                    results, per_query = [result], (stats,)
+                else:
+                    results, batch_stats = ranker.top_k_out_of_sample_batch_with_stats(
+                        np.asarray(payloads), k, **extra
+                    )
+                    per_query = batch_stats.per_query
+            if engine_span is not None:
+                engine_span.end()
+            return results, per_query, engine_span, kept
+        finally:
+            with self._workers_lock:
+                self._workers_busy -= 1
 
 
 def _truncate(result: TopKResult, k: int) -> TopKResult:

@@ -160,6 +160,11 @@ class RetrievalServer:
     faults:
         Optional armed :class:`repro.service.faults.FaultInjector`
         (chaos harness — tests/CI only; ``None`` in production).
+    query_workers:
+        Size of the scheduler's engine worker pool (``--query-workers``).
+        1 serializes every dispatch on one thread (the historical
+        behaviour); more workers overlap solves on multi-core hosts.
+        Answers are identical at any setting.
     """
 
     def __init__(
@@ -179,6 +184,7 @@ class RetrievalServer:
         max_queue_delay_ms: float | None = None,
         max_body_bytes: int = MAX_BODY_BYTES,
         faults: FaultInjector | None = None,
+        query_workers: int = 1,
     ):
         self.ranker = ranker
         self.host = host
@@ -212,6 +218,7 @@ class RetrievalServer:
             metrics=self.metrics,
             admission=self.admission,
             faults=faults,
+            query_workers=query_workers,
         )
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.time()
@@ -644,9 +651,19 @@ class RetrievalServer:
             payload["epoch"] = self.ranker.epoch
         return payload
 
+    def _worker_stats(self) -> dict:
+        """The scheduler's worker-pool gauges (shared by both metric views)."""
+        scheduler = self.scheduler
+        return {
+            "query_workers": scheduler.query_workers,
+            "workers_busy": scheduler.workers_busy,
+            "engine_wait_seconds": scheduler.engine_wait_seconds,
+        }
+
     def _metrics(self) -> dict:
         snapshot = self.metrics.snapshot()
         snapshot["queue_depth"] = self.scheduler.queue_depth
+        snapshot.update(self._worker_stats())
         snapshot["cache"] = self.cache.stats()
         snapshot["tracing"] = self.tracing
         snapshot["slowlog"] = self.flight.stats()
@@ -663,6 +680,7 @@ class RetrievalServer:
             cache_stats=self.cache.stats(),
             tier_counters=self._tier_counters(),
             slowlog_stats=self.flight.stats(),
+            worker_stats=self._worker_stats(),
         )
 
     def _slowlog(self) -> dict:
@@ -871,6 +889,7 @@ def run_server(
     max_queue_delay_ms: float | None = None,
     max_body_bytes: int = MAX_BODY_BYTES,
     faults: FaultInjector | None = None,
+    query_workers: int = 1,
     announce: Callable[[str], None] = print,
 ) -> None:
     """Serve ``ranker`` until interrupted (the CLI's blocking entry point)."""
@@ -890,6 +909,7 @@ def run_server(
         max_queue_delay_ms=max_queue_delay_ms,
         max_body_bytes=max_body_bytes,
         faults=faults,
+        query_workers=query_workers,
     )
     if faults is not None and faults.armed:
         announce(f"chaos harness ARMED: {faults.snapshot()['rules']}")
@@ -899,7 +919,8 @@ def run_server(
         announce(
             f"serving {ranker.name} index of {ranker.n_nodes} nodes on "
             f"http://{server.host}:{bound} "
-            f"(max_batch_size={max_batch_size}, max_wait_ms={max_wait_ms})"
+            f"(max_batch_size={max_batch_size}, max_wait_ms={max_wait_ms}, "
+            f"query_workers={query_workers})"
         )
         try:
             await server.serve_forever()
