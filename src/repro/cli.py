@@ -85,6 +85,21 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type for flags that must be a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
@@ -228,6 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "answers are identical at any setting; no-op on flat/spectral "
         "indexes)",
     )
+    _add_memory_budget_flags(search)
     search.set_defaults(handler=_cmd_search)
 
     serve = sub.add_parser(
@@ -371,6 +387,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_FAULTS environment variable is honoured when this flag "
         "is absent",
     )
+    _add_memory_budget_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     slowlog = sub.add_parser(
@@ -435,6 +452,36 @@ def _build_parser() -> argparse.ArgumentParser:
     loadtest.set_defaults(handler=_cmd_loadtest)
 
     return parser
+
+
+def _add_memory_budget_flags(parser: argparse.ArgumentParser) -> None:
+    """Shard-residency flags shared by ``search`` and ``serve``.
+
+    Both are no-ops on flat and spectral artifacts (loaded whole); on a
+    sharded index they configure LRU eviction and compact bound tables
+    with answers bitwise identical to the unbudgeted engine.
+    """
+    from repro.core.bounds import BOUND_TABLE_DTYPES
+
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=_positive_float,
+        default=None,
+        metavar="MB",
+        help="cap a sharded index's evictable shard-state bytes; least-"
+        "recently-used shards are evicted back to their mmap loaders and "
+        "re-faulted on demand (default: everything stays resident; no-op "
+        "on flat/spectral indexes; answers are identical at any budget)",
+    )
+    parser.add_argument(
+        "--bounds-dtype",
+        choices=BOUND_TABLE_DTYPES,
+        default="float64",
+        help="bound-table representation kept resident per shard: float64 "
+        "(exact, default), float32 or int8 (compact, with certified exact "
+        "fallback for clusters within quantization error of the pruning "
+        "threshold; answers are identical under any setting)",
+    )
 
 
 def _add_feature_source(parser: argparse.ArgumentParser) -> None:
@@ -637,7 +684,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 "build one with `build --spectral-rank R`"
             )
     ranker = engine_from_index(
-        graph, index, spectral=spectral, query_jobs=args.query_jobs
+        graph,
+        index,
+        spectral=spectral,
+        query_jobs=args.query_jobs,
+        memory_budget_mb=args.memory_budget_mb,
+        bounds_dtype=args.bounds_dtype,
     )
     label = ranker.resolve_accuracy(**dial)[0] if dial else None
     if args.batch:
@@ -791,6 +843,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         spectral=spectral,
         query_jobs=args.query_jobs,
+        memory_budget_mb=args.memory_budget_mb,
+        bounds_dtype=args.bounds_dtype,
     )
     if spectral is not None:
         print(

@@ -248,6 +248,202 @@ class BoundsTable:
         return np.where(base <= 0.0, 0.0, bounds)
 
 
+#: Relative slack applied when widening compact bound estimates into a
+#: certified [lo, hi] band.  It must dominate the float32 representation
+#: error of a matrix entry (2^-24 ~ 6e-8) plus the float64 accumulation
+#: drift of the SpMV (n * 2^-53 per row); 1e-6 covers both with orders
+#: of magnitude to spare for any realistic row length.
+COMPACT_RELATIVE_SLACK = 1e-6
+
+#: Bound-table representations accepted by the memory-budgeted engine.
+BOUND_TABLE_DTYPES = ("float64", "float32", "int8")
+
+
+@dataclass(frozen=True)
+class CompactBoundsTable:
+    """A quantized :class:`BoundsTable` with *certified* error bands.
+
+    The exact table stores float64 column maxima; serving an index much
+    larger than RAM wants those resident always (pruning consults every
+    shard's bounds on every batch) but small.  This table stores them as
+    float32 (half the bytes; int32 indices halve the index arrays too)
+    or as per-row scaled uint8 quanta (a quarter), and evaluates a
+    conservative band ``[lo, hi]`` guaranteed to bracket the exact
+    float64 estimate:
+
+    * ``hi <  threshold``  — the exact bound is below too: prune, certain.
+    * ``lo >= threshold``  — the exact bound is at least it: visit, certain.
+    * otherwise — *ambiguous*: the caller falls back to the exact table
+      (re-materializing the shard if evicted) so the final decision is
+      bitwise identical to the unbudgeted engine's.
+
+    Certification argument.  All matrix entries and border magnitudes are
+    nonnegative, so every intermediate sum is nonnegative and monotone in
+    the entries.  float32 mode: each stored entry has relative error at
+    most ``2^-24`` (rows where an entry underflowed float32's normal
+    range are flagged ``lossy`` and always ambiguous), and the float64
+    SpMV accumulation adds ``~n*2^-53``; both are dominated by
+    :data:`COMPACT_RELATIVE_SLACK`, so
+    ``est' * (1 -/+ slack)`` brackets the exact estimate.  int8 mode:
+    entry ``v`` is stored as ``q = rint(v / scale)`` with per-row
+    ``scale = max_entry / 255``, so ``|v - q*scale| <= scale/2`` and the
+    row's dot product lies within ``scale * 0.5 * (P @ x)`` of
+    ``scale * (Q @ x)``, where ``P`` is the 0/1 pattern matrix (stored as
+    uint8 sharing the index arrays).  ``P @ x > 0`` also decides
+    *exactly* whether the exact base sum is positive, preserving the
+    exact table's hard zero (``base <= 0 -> bound 0``) semantics.  The
+    growth factor stays float64 and is shared bitwise with the exact
+    table (``+inf`` saturation included: an infinite ``hi`` merely forces
+    the ambiguous path).
+    """
+
+    dtype: str
+    matrix: "object"  # csr: float32 data, or uint8 quanta (int8 mode)
+    pattern: "object | None"  # int8 mode: uint8 ones sharing indices/indptr
+    scale: "np.ndarray | None"  # int8 mode: per-row float64 scale
+    growth: np.ndarray
+    lossy: np.ndarray  # per-row bool: compact entry lost information
+
+    @classmethod
+    def from_table(
+        cls, table: BoundsTable, dtype: str = "float32"
+    ) -> "CompactBoundsTable":
+        """Quantize an exact table.  ``dtype`` is ``float32`` or ``int8``."""
+        import scipy.sparse as sp
+
+        if dtype not in ("float32", "int8"):
+            raise ValueError(
+                f"compact bound-table dtype must be float32 or int8, "
+                f"got {dtype!r}"
+            )
+        exact = table.matrix.tocsr()
+        indices = exact.indices.astype(np.int32, copy=True)
+        indptr = exact.indptr.astype(np.int32, copy=True)
+        n_rows = exact.shape[0]
+        growth = np.array(table.growth, dtype=np.float64, copy=True)
+        lossy = np.zeros(n_rows, dtype=bool)
+
+        def _flag_rows(entry_mask: np.ndarray) -> None:
+            # Map flagged entries back to their rows via the indptr.
+            for entry in np.flatnonzero(entry_mask):
+                row = int(np.searchsorted(indptr, entry, side="right")) - 1
+                lossy[row] = True
+
+        if dtype == "float32":
+            data = exact.data.astype(np.float32)
+            # A positive float64 entry that rounded to zero or to a
+            # subnormal float32 has unbounded *relative* error: the
+            # multiplicative band cannot cover it, so the row is
+            # permanently ambiguous instead.
+            tiny = np.finfo(np.float32).tiny
+            _flag_rows((exact.data > 0.0) & (data < tiny))
+            matrix = sp.csr_matrix(
+                (data, indices, indptr), shape=exact.shape
+            )
+            return cls(
+                dtype=dtype,
+                matrix=matrix,
+                pattern=None,
+                scale=None,
+                growth=growth,
+                lossy=lossy,
+            )
+
+        # int8 mode: per-row scale, uint8 quanta, uint8 pattern sharing
+        # the same index arrays (2 bytes/entry of payload total).
+        row_max = np.zeros(n_rows, dtype=np.float64)
+        if exact.data.size:
+            counts = np.diff(exact.indptr)
+            occupied = np.flatnonzero(counts)
+            maxima = np.maximum.reduceat(
+                exact.data, exact.indptr[occupied].astype(np.int64)
+            )
+            row_max[occupied] = maxima
+        scale = row_max / 255.0
+        entry_scale = np.repeat(scale, np.diff(exact.indptr))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            quanta = np.rint(exact.data / entry_scale)
+        quanta = np.nan_to_num(quanta, nan=0.0, posinf=255.0)
+        quanta = np.clip(quanta, 0.0, 255.0).astype(np.uint8)
+        # Rows whose scale saturates the band math (zero or non-finite
+        # entries) stay ambiguous forever rather than risk a bad band.
+        _flag_rows(~np.isfinite(exact.data) | ~np.isfinite(entry_scale))
+        matrix = sp.csr_matrix((quanta, indices, indptr), shape=exact.shape)
+        pattern = sp.csr_matrix(
+            (np.ones(exact.data.size, dtype=np.uint8), indices, indptr),
+            shape=exact.shape,
+        )
+        return cls(
+            dtype=dtype,
+            matrix=matrix,
+            pattern=pattern,
+            scale=scale,
+            growth=growth,
+            lossy=lossy,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the compact arrays (memory-accounting surface)."""
+        total = (
+            self.matrix.data.nbytes
+            + self.matrix.indices.nbytes
+            + self.matrix.indptr.nbytes
+            + self.growth.nbytes
+            + self.lossy.nbytes
+        )
+        if self.pattern is not None:
+            # indices/indptr are shared with ``matrix``; only the ones
+            # payload is extra.
+            total += self.pattern.data.nbytes
+        if self.scale is not None:
+            total += self.scale.nbytes
+        return total
+
+    def estimate_bands(
+        self, x_border_abs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Certified ``(lo, hi)`` bracketing the exact ``estimate_all``.
+
+        Accepts a ``(n_border,)`` vector or ``(n_border, b)`` batch like
+        the exact table; the bands have the same shape as its output.
+        Rows flagged ``lossy`` answer ``(0, +inf)`` — always ambiguous —
+        which is sound because exact estimates are nonnegative and an
+        infinite ``hi`` never certifies a prune.
+        """
+        batched = x_border_abs.ndim > 1
+        growth = self.growth[:, None] if batched else self.growth
+        if self.dtype == "float32":
+            base = self.matrix @ x_border_abs
+            with np.errstate(invalid="ignore"):
+                est = base * growth
+            est = np.where(base <= 0.0, 0.0, est)
+            lo = est * (1.0 - COMPACT_RELATIVE_SLACK)
+            hi = est * (1.0 + COMPACT_RELATIVE_SLACK)
+        else:
+            scale = self.scale[:, None] if batched else self.scale
+            quanta_sum = self.matrix @ x_border_abs
+            pattern_sum = self.pattern @ x_border_abs
+            err = scale * 0.5 * pattern_sum
+            base_lo = scale * quanta_sum - err
+            base_hi = scale * quanta_sum + err
+            with np.errstate(invalid="ignore"):
+                raw_lo = base_lo * growth
+                raw_hi = base_hi * growth
+            # pattern_sum == 0 <=> the exact base sum is exactly zero
+            # (entries and |x| are nonnegative), so the exact estimate is
+            # a hard 0 there.
+            lo = np.where((pattern_sum <= 0.0) | (base_lo <= 0.0), 0.0, raw_lo)
+            hi = np.where(pattern_sum <= 0.0, 0.0, raw_hi)
+            lo = lo * (1.0 - COMPACT_RELATIVE_SLACK)
+            hi = hi * (1.0 + COMPACT_RELATIVE_SLACK)
+        if self.lossy.any():
+            mask = self.lossy[:, None] if batched else self.lossy
+            lo = np.where(mask, 0.0, lo)
+            hi = np.where(mask, np.inf, hi)
+        return lo, hi
+
+
 def node_estimate(
     factors: LDLFactors,
     permutation: Permutation,

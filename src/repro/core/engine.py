@@ -117,7 +117,13 @@ def engine_from_index(
     artifact so deployment flags need not know the artifact kind: it
     parallelises the sharded engine's per-shard scans and is a
     documented no-op on flat and spectral engines (they have no
-    shard-level parallelism to unlock).
+    shard-level parallelism to unlock).  ``memory_budget_mb`` and
+    ``bounds_dtype`` are accepted the same way: on a sharded artifact
+    they configure LRU shard residency and compact bound tables via
+    :meth:`repro.core.sharded.ShardedMogulIndex.configure_memory_budget`
+    before the engine attaches; on flat and spectral artifacts they are
+    no-ops (those artifacts are loaded whole — there is no per-shard
+    state to evict).
 
     ``spectral`` composes a tiered engine: pass a
     :class:`repro.core.spectral.SpectralIndex` (e.g. from
@@ -140,10 +146,17 @@ def engine_from_index(
     from repro.core.sharded import ShardedMogulIndex, ShardedMogulRanker
     from repro.core.spectral import SpectralEngine, SpectralIndex
 
-    # query_jobs only means something to the sharded engine's scatter
-    # stage; popping it here lets callers pass it unconditionally.
+    # query_jobs / memory_budget_mb / bounds_dtype only mean something
+    # to the sharded engine; popping them here lets callers pass them
+    # unconditionally whatever the artifact kind.
     query_jobs = int(search_kwargs.pop("query_jobs", 1))
+    memory_budget_mb = search_kwargs.pop("memory_budget_mb", None)
+    bounds_dtype = str(search_kwargs.pop("bounds_dtype", "float64"))
     if isinstance(index, ShardedMogulIndex):
+        if memory_budget_mb is not None or bounds_dtype != "float64":
+            index.configure_memory_budget(
+                memory_budget_mb, bounds_dtype=bounds_dtype
+            )
         base = ShardedMogulRanker.from_index(
             graph, index, query_jobs=query_jobs, **search_kwargs
         )

@@ -527,6 +527,103 @@ def _reconstruct_permutation(order: np.ndarray, starts: np.ndarray):
     )
 
 
+class ShardRowsLoader:
+    """Loads one shard's factor rows, *owning* the mmap lifecycle.
+
+    The loader is a shard's ``source`` on :class:`ShardedMogulIndex`:
+    calling it maps (or re-maps, after an eviction) the shard file and
+    returns the validated CSR rows, whose arrays stay memmap-backed when
+    the file stores them uncompressed.  Unlike the closure it replaces,
+    it keeps references to the maps it created so :meth:`close` can
+    release the underlying file handles — eviction calls it, so a
+    long-running server cycling shards under a memory budget holds a
+    stable fd count instead of leaking one mmap per reload.  A close
+    while some consumer still holds the arrays is safe: the buffers are
+    exported, ``mmap.close`` raises ``BufferError``, and the handle is
+    simply left for the garbage collector as before.
+    """
+
+    def __init__(self, directory: str, file_name: str, span, n: int, profile):
+        self._path = os.path.join(directory, file_name)
+        self._file_name = file_name
+        self._directory = directory
+        self._span = (int(span[0]), int(span[1]))
+        self._n = int(n)
+        self._profile = profile
+        self._mapped: dict[str, np.ndarray] = {}
+
+    def __call__(self) -> sp.csr_matrix:
+        # A re-load (fault after eviction) first drops the previous
+        # generation's maps; anything still in use survives via its
+        # consumers' references.
+        self.close()
+        shard_mapped = _mmap_stored_members(self._path, _SHARD_MMAP)
+        self._mapped = shard_mapped
+        with np.load(self._path, allow_pickle=False) as shard_archive:
+            for key in ("data", "indices", "indptr"):
+                if key not in shard_archive:
+                    raise ValueError(
+                        f"corrupt sharded index: {self._file_name} "
+                        f"missing {key!r}"
+                    )
+            shard_unmapped = sorted(
+                key
+                for key in _SHARD_MMAP
+                if key in shard_archive and key not in shard_mapped
+            )
+
+            def fetch_shard(key: str) -> np.ndarray:
+                return (
+                    shard_mapped[key]
+                    if key in shard_mapped
+                    else shard_archive[key]
+                )
+
+            data = fetch_shard("data")
+            indices = fetch_shard("indices")
+            indptr = fetch_shard("indptr")
+            m = self._span[1] - self._span[0]
+            _check_row_block_csr(
+                data, indices, indptr, m, self._n, self._span[0],
+                self._file_name,
+            )
+            rows = sp.csr_matrix(
+                (
+                    np.asarray(data, dtype=np.float64),
+                    np.asarray(indices, dtype=np.int64),
+                    np.asarray(indptr, dtype=np.int64),
+                ),
+                shape=(m, self._n),
+            )
+        if shard_unmapped:
+            message = (
+                f"memory-map fallback: {self._file_name} members "
+                + ", ".join(shard_unmapped)
+                + " were read through the zip reader"
+            )
+            logger.warning("%s: %s", self._directory, message)
+            self._profile.load_warnings.append(message)
+        return rows
+
+    def close(self) -> None:
+        """Release the file handles behind this loader's memory maps.
+
+        Maps whose buffers are still exported (a consumer holds the
+        arrays) refuse to close with ``BufferError`` and are left to the
+        garbage collector — exactly the pre-close behaviour, so this is
+        never less safe than not calling it.
+        """
+        mapped, self._mapped = self._mapped, {}
+        for array in mapped.values():
+            handle = getattr(array, "_mmap", None)
+            if handle is None:
+                continue
+            try:
+                handle.close()
+            except (BufferError, ValueError):
+                pass
+
+
 def load_sharded_index(path: "str | os.PathLike", lazy: bool = True):
     """Read a sharded index directory written by :func:`save_sharded_index`.
 
@@ -681,60 +778,15 @@ def load_sharded_index(path: "str | os.PathLike", lazy: bool = True):
             "boundaries"
         )
 
-    def make_loader(shard_id: int, file_name: str):
-        span = layout.spans[shard_id]
-
-        def load_rows() -> sp.csr_matrix:
-            shard_path = os.path.join(target, file_name)
-            shard_mapped = _mmap_stored_members(shard_path, _SHARD_MMAP)
-            with np.load(shard_path, allow_pickle=False) as shard_archive:
-                for key in ("data", "indices", "indptr"):
-                    if key not in shard_archive:
-                        raise ValueError(
-                            f"corrupt sharded index: {file_name} missing {key!r}"
-                        )
-                shard_unmapped = sorted(
-                    key
-                    for key in _SHARD_MMAP
-                    if key in shard_archive and key not in shard_mapped
-                )
-
-                def fetch_shard(key: str) -> np.ndarray:
-                    return (
-                        shard_mapped[key]
-                        if key in shard_mapped
-                        else shard_archive[key]
-                    )
-
-                data = fetch_shard("data")
-                indices = fetch_shard("indices")
-                indptr = fetch_shard("indptr")
-                m = span[1] - span[0]
-                _check_row_block_csr(
-                    data, indices, indptr, m, n, span[0], file_name
-                )
-                rows = sp.csr_matrix(
-                    (
-                        np.asarray(data, dtype=np.float64),
-                        np.asarray(indices, dtype=np.int64),
-                        np.asarray(indptr, dtype=np.int64),
-                    ),
-                    shape=(m, n),
-                )
-            if shard_unmapped:
-                message = (
-                    f"memory-map fallback: {file_name} members "
-                    + ", ".join(shard_unmapped)
-                    + " were read through the zip reader"
-                )
-                logger.warning("%s: %s", target, message)
-                profile.load_warnings.append(message)
-            return rows
-
-        return load_rows
-
     sources = [
-        make_loader(shard_id, name) for shard_id, name in enumerate(shard_files)
+        ShardRowsLoader(
+            directory=target,
+            file_name=name,
+            span=layout.spans[shard_id],
+            n=n,
+            profile=profile,
+        )
+        for shard_id, name in enumerate(shard_files)
     ]
     members = tuple(
         permutation.order[sl] for sl in permutation.cluster_slices

@@ -40,6 +40,7 @@ and served:
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -49,7 +50,12 @@ import scipy.sparse as sp
 
 from repro.clustering.louvain import louvain
 from repro.core.batch import BatchQuery, BatchStats, _offer_border_batch
-from repro.core.bounds import BoundsTable, ClusterBoundData
+from repro.core.bounds import (
+    BOUND_TABLE_DTYPES,
+    BoundsTable,
+    ClusterBoundData,
+    CompactBoundsTable,
+)
 from repro.core.out_of_sample import build_query_seeds, build_query_seeds_batch
 from repro.core.permutation import ClusterFn, Permutation, build_permutation
 from repro.core.profile import BuildProfile
@@ -400,6 +406,255 @@ def _carve_shard_state(
     )
 
 
+# -- memory-budgeted residency ---------------------------------------------
+
+
+def _csr_member_nbytes(matrix) -> int:
+    """Bytes of a CSR matrix's three member arrays."""
+    return int(
+        matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+    )
+
+
+def _bounds_table_nbytes(table: BoundsTable) -> int:
+    """Bytes of an exact bound table's packed arrays."""
+    return _csr_member_nbytes(table.matrix) + int(table.growth.nbytes)
+
+
+def _shard_state_nbytes(state: ShardState, bounds_dtype: str) -> int:
+    """``sizeof``-style accounting of one shard's *evictable* bytes.
+
+    Sums the CSR members of the factor rows and couplings, the packed
+    cluster solvers and the per-cluster bound ingredients.  The exact
+    bound table counts only under a compact ``bounds_dtype``: with
+    float64 bounds the table itself is the always-resident pruning
+    surface (held by the shard's :class:`ShardBounds` view), so evicting
+    the state cannot reclaim it.
+    """
+    total = _csr_member_nbytes(state.rows)
+    total += sum(block.nbytes for block in state.blocks)
+    total += sum(_csr_member_nbytes(c) for c in state.couplings)
+    total += sum(
+        int(b.border_cols.nbytes + b.border_maxima.nbytes)
+        for b in state.bounds
+    )
+    if bounds_dtype != "float64":
+        total += _bounds_table_nbytes(state.bounds_table)
+    return int(total)
+
+
+class ShardBounds:
+    """One shard's always-resident pruning surface.
+
+    Every query batch evaluates every shard's cluster bounds, so the
+    bound table can never be evicted without defeating pruning.  This
+    view pins down exactly what stays resident when the heavy
+    :class:`ShardState` (factor rows, packed solvers, couplings) is
+    evicted: the cluster geometry plus either the exact float64 table
+    (``bounds_dtype="float64"``) or its compact representation
+    (``float32`` / ``int8``), whose ambiguous decisions fall back to the
+    exact table by re-materialising the shard.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "first_cluster",
+        "cluster_slices",
+        "sizes",
+        "table",
+        "compact",
+        "nbytes",
+    )
+
+    def __init__(self, state: ShardState, bounds_dtype: str):
+        self.shard_id = state.shard_id
+        self.first_cluster = state.first_cluster
+        self.cluster_slices = state.cluster_slices
+        self.sizes = state.sizes
+        if bounds_dtype == "float64":
+            self.table: BoundsTable | None = state.bounds_table
+            self.compact: CompactBoundsTable | None = None
+            self.nbytes = _bounds_table_nbytes(state.bounds_table)
+        else:
+            self.table = None
+            self.compact = CompactBoundsTable.from_table(
+                state.bounds_table, bounds_dtype
+            )
+            self.nbytes = self.compact.nbytes
+
+    @property
+    def n_clusters(self) -> int:
+        """Interior clusters owned by this shard."""
+        return len(self.cluster_slices)
+
+
+class ShardResidencyManager:
+    """Byte accounting, refcounted pins and LRU policy for shard states.
+
+    The manager is pure bookkeeping: it never touches shard state
+    itself.  :class:`ShardedMogulIndex` drives it — registering bytes on
+    materialisation, pinning around in-flight scans, asking for LRU
+    victims when the budget is exceeded — under the manager's single
+    lock, so ``query_jobs`` workers and eviction cannot race the
+    counters.  A ``budget_bytes`` of ``None`` disables eviction but
+    keeps the accounting surface (``/stats`` residency) live.
+    """
+
+    def __init__(self, budget_bytes: int | None, n_shards: int):
+        self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
+        self.n_shards = int(n_shards)
+        self._lock = threading.Lock()
+        self._resident = [False] * n_shards
+        self._bytes = [0] * n_shards
+        self._pins = [0] * n_shards
+        self._last_used = [0] * n_shards
+        self._evicted_once = [False] * n_shards
+        self._clock = 0
+        self._resident_total = 0
+        self.loads_total = 0
+        self.faults_total = 0
+        self.evictions_total = 0
+        self.evicted_bytes_total = 0
+        self.bound_fallbacks_total = 0
+        self.peak_resident_bytes = 0
+
+    # -- transitions (driven by the index) --------------------------------
+
+    def on_materialize(self, shard_id: int, nbytes: int) -> None:
+        """Register a freshly materialised shard (idempotent while resident)."""
+        with self._lock:
+            if self._resident[shard_id]:
+                return
+            self._resident[shard_id] = True
+            self._bytes[shard_id] = int(nbytes)
+            self._resident_total += int(nbytes)
+            self.loads_total += 1
+            if self._evicted_once[shard_id]:
+                self.faults_total += 1
+            if self._resident_total > self.peak_resident_bytes:
+                self.peak_resident_bytes = self._resident_total
+            self._touch_locked(shard_id)
+
+    def begin_evict(self, shard_id: int) -> bool:
+        """Claim a shard for eviction; ``False`` if pinned or already gone."""
+        with self._lock:
+            if not self._resident[shard_id] or self._pins[shard_id] > 0:
+                return False
+            nbytes = self._bytes[shard_id]
+            self._resident[shard_id] = False
+            self._bytes[shard_id] = 0
+            self._resident_total -= nbytes
+            self._evicted_once[shard_id] = True
+            self.evictions_total += 1
+            self.evicted_bytes_total += nbytes
+            return True
+
+    def touch(self, shard_id: int) -> None:
+        """Mark a shard most-recently-used."""
+        with self._lock:
+            self._touch_locked(shard_id)
+
+    def _touch_locked(self, shard_id: int) -> None:
+        self._last_used[shard_id] = self._clock
+        self._clock += 1
+
+    def pin(self, shard_id: int) -> None:
+        """Take a refcounted pin: a pinned shard is never an LRU victim."""
+        with self._lock:
+            self._pins[shard_id] += 1
+            self._touch_locked(shard_id)
+
+    def unpin(self, shard_id: int) -> None:
+        """Drop one pin (clamped at zero for late-configured managers)."""
+        with self._lock:
+            self._pins[shard_id] = max(0, self._pins[shard_id] - 1)
+
+    def note_bound_fallback(self, count: int = 1) -> None:
+        """Count a compact-bound ambiguity resolved against exact bounds."""
+        with self._lock:
+            self.bound_fallbacks_total += int(count)
+
+    def pick_victim(self, skip=()) -> int | None:
+        """The LRU unpinned resident shard, or ``None`` if under budget.
+
+        ``skip`` excludes shards whose state lock a previous eviction
+        attempt could not take without blocking.
+        """
+        with self._lock:
+            if (
+                self.budget_bytes is None
+                or self._resident_total <= self.budget_bytes
+            ):
+                return None
+            victim, victim_used = None, None
+            for shard_id in range(self.n_shards):
+                if (
+                    shard_id in skip
+                    or not self._resident[shard_id]
+                    or self._pins[shard_id] > 0
+                ):
+                    continue
+                used = self._last_used[shard_id]
+                if victim is None or used < victim_used:
+                    victim, victim_used = shard_id, used
+            return victim
+
+    # -- accounting surface ------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of currently materialised shard state."""
+        with self._lock:
+            return self._resident_total
+
+    @property
+    def pinned_bytes(self) -> int:
+        """Resident bytes held by shards with at least one pin."""
+        with self._lock:
+            return sum(
+                self._bytes[s]
+                for s in range(self.n_shards)
+                if self._pins[s] > 0
+            )
+
+    def snapshot(self) -> dict:
+        """Counters, gauges and the per-shard LRU table for ``/stats``."""
+        with self._lock:
+            clock = self._clock
+            shards = [
+                {
+                    "shard_id": shard_id,
+                    "resident": self._resident[shard_id],
+                    "bytes": self._bytes[shard_id],
+                    "pins": self._pins[shard_id],
+                    "lru_age": (
+                        clock - 1 - self._last_used[shard_id]
+                        if self._resident[shard_id]
+                        else None
+                    ),
+                }
+                for shard_id in range(self.n_shards)
+            ]
+            return {
+                "budget_bytes": self.budget_bytes,
+                "resident_bytes": self._resident_total,
+                "pinned_bytes": sum(
+                    self._bytes[s]
+                    for s in range(self.n_shards)
+                    if self._pins[s] > 0
+                ),
+                "shards_resident": sum(self._resident),
+                "n_shards": self.n_shards,
+                "loads_total": self.loads_total,
+                "faults_total": self.faults_total,
+                "evictions_total": self.evictions_total,
+                "evicted_bytes_total": self.evicted_bytes_total,
+                "bound_fallbacks_total": self.bound_fallbacks_total,
+                "peak_resident_bytes": self.peak_resident_bytes,
+                "shards": shards,
+            }
+
+
 # -- shard-parallel factorization ------------------------------------------
 
 
@@ -593,6 +848,15 @@ class ShardedMogulIndex:
         self._shard_nnz = shard_nnz
         self._factors = factors
         self._full_block: PackedUnitLower | None = None
+        #: Per-shard materialisation locks: the first-touch carve (and
+        #: eviction) is exactly-once even under concurrent scans.
+        self._state_locks = [threading.Lock() for _ in range(n_shards)]
+        #: Always-resident pruning surfaces, built at first materialisation.
+        self._resident_bounds: list[ShardBounds | None] = [None] * n_shards
+        self._bounds_dtype = "float64"
+        #: Residency accounting/eviction; ``None`` until
+        #: :meth:`configure_memory_budget` opts in.
+        self.residency: ShardResidencyManager | None = None
 
     # -- shape -----------------------------------------------------------
 
@@ -645,7 +909,68 @@ class ShardedMogulIndex:
     # -- shard access ----------------------------------------------------
 
     def shard_state(self, shard_id: int) -> ShardState:
-        """The shard's query-time state, materialised on first touch."""
+        """The shard's query-time state, materialised on first touch.
+
+        Thread-safe: a per-shard lock makes the lazy carve exactly-once
+        even when several ``query_jobs`` workers (or a query racing
+        eviction) hit a cold shard together.  The lock-free fast path
+        returns a local reference, so a concurrent eviction can never
+        hand the caller a torn state — the arrays it holds stay valid,
+        the index merely forgets them.
+        """
+        state = self._states[shard_id]
+        if state is not None:
+            mgr = self.residency
+            if mgr is not None:
+                mgr.touch(shard_id)
+            return state
+        with self._state_locks[shard_id]:
+            state = self._materialize_locked(shard_id)
+        self._maybe_evict()
+        return state
+
+    def acquire_shard(self, shard_id: int) -> ShardState:
+        """Materialise (if needed) and *pin* a shard for an in-flight scan.
+
+        The pin is refcounted on the residency manager and taken under
+        the shard's state lock, so eviction can never interleave between
+        materialisation and pinning.  Pair with :meth:`release_shard`
+        (``try/finally``).  Without a configured budget this is
+        :meth:`shard_state` plus a no-op.
+        """
+        with self._state_locks[shard_id]:
+            state = self._materialize_locked(shard_id)
+            mgr = self.residency
+            if mgr is not None:
+                mgr.pin(shard_id)
+        self._maybe_evict()
+        return state
+
+    def release_shard(self, shard_id: int) -> None:
+        """Drop the pin taken by :meth:`acquire_shard`."""
+        mgr = self.residency
+        if mgr is not None:
+            mgr.unpin(shard_id)
+
+    def shard_bounds(self, shard_id: int) -> ShardBounds:
+        """The shard's always-resident pruning surface.
+
+        Built at first materialisation and never evicted — pruning
+        consults every shard's bounds on every batch, so this is the
+        floor of the memory budget.  Touching a cold shard materialises
+        it once to derive the view.
+        """
+        view = self._resident_bounds[shard_id]
+        if view is not None:
+            return view
+        with self._state_locks[shard_id]:
+            self._materialize_locked(shard_id)
+            view = self._resident_bounds[shard_id]
+        self._maybe_evict()
+        return view
+
+    def _materialize_locked(self, shard_id: int) -> ShardState:
+        """Load + carve a shard under its state lock; register residency."""
         state = self._states[shard_id]
         if state is None:
             if self._sources is None:
@@ -663,7 +988,125 @@ class ShardedMogulIndex:
                 use_superlu=self._use_superlu,
             )
             self._states[shard_id] = state
+        self._note_materialized(shard_id, state)
         return state
+
+    def _note_materialized(self, shard_id: int, state: ShardState) -> None:
+        """Build the resident bounds view and register the shard's bytes."""
+        if self._resident_bounds[shard_id] is None:
+            self._resident_bounds[shard_id] = ShardBounds(
+                state, self._bounds_dtype
+            )
+        mgr = self.residency
+        if mgr is not None:
+            mgr.on_materialize(
+                shard_id, _shard_state_nbytes(state, self._bounds_dtype)
+            )
+            mgr.touch(shard_id)
+
+    def _maybe_evict(self) -> None:
+        """Evict LRU shards until the budget holds (or nothing is evictable).
+
+        Called *after* releasing any shard state lock (never while one is
+        held) and takes victim locks non-blocking, so it cannot deadlock
+        against concurrent materialisations.  Shards whose lock is busy
+        or that get pinned underneath us are skipped; if everything is
+        pinned the budget is allowed to overshoot rather than block a
+        scan.  Indexes with no loaders (built in-process) never evict —
+        there would be nothing to fault the state back in from.
+        """
+        mgr = self.residency
+        if mgr is None or self._sources is None:
+            return
+        skip: set[int] = set()
+        while True:
+            victim = mgr.pick_victim(skip)
+            if victim is None:
+                return
+            lock = self._state_locks[victim]
+            if not lock.acquire(blocking=False):
+                skip.add(victim)
+                continue
+            try:
+                state = self._states[victim]
+                if state is None or not mgr.begin_evict(victim):
+                    skip.add(victim)
+                    continue
+                self._states[victim] = None
+            finally:
+                lock.release()
+            # Drop our reference before closing the loader: once the
+            # state's arrays deallocate, the mmaps' exported buffers are
+            # gone and the close actually releases the file handles.
+            state = None
+            source = self._sources[victim]
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()
+
+    def configure_memory_budget(
+        self,
+        memory_budget_mb: float | None = None,
+        bounds_dtype: str = "float64",
+    ) -> ShardResidencyManager:
+        """Opt in to residency accounting, LRU eviction and compact bounds.
+
+        ``memory_budget_mb`` bounds the evictable shard-state bytes
+        (``None`` keeps everything resident but still accounts);
+        ``bounds_dtype`` selects the always-resident bound-table
+        representation (``float64`` exact, ``float32``/``int8`` compact
+        with certified exact fallback).  Answers and per-query stats are
+        bitwise identical to the unbudgeted engine under any setting.
+        Already-materialised shards are registered immediately and the
+        budget enforced before returning.
+        """
+        if bounds_dtype not in BOUND_TABLE_DTYPES:
+            raise ValueError(
+                f"bounds_dtype must be one of {BOUND_TABLE_DTYPES}, "
+                f"got {bounds_dtype!r}"
+            )
+        budget_bytes = None
+        if memory_budget_mb is not None:
+            budget = float(memory_budget_mb)
+            if budget <= 0:
+                raise ValueError(
+                    f"memory budget must be positive, got {memory_budget_mb!r}"
+                )
+            budget_bytes = int(budget * (1 << 20))
+        if bounds_dtype != self._bounds_dtype:
+            self._bounds_dtype = bounds_dtype
+            self._resident_bounds = [None] * self.n_shards
+        self.residency = ShardResidencyManager(budget_bytes, self.n_shards)
+        for shard_id, state in enumerate(self._states):
+            if state is not None:
+                with self._state_locks[shard_id]:
+                    state = self._states[shard_id]
+                    if state is not None:
+                        self._note_materialized(shard_id, state)
+        self._maybe_evict()
+        return self.residency
+
+    def residency_snapshot(self) -> dict:
+        """The residency accounting surface for ``/stats`` and ``/metrics``."""
+        bounds_bytes = sum(
+            view.nbytes
+            for view in self._resident_bounds
+            if view is not None
+        )
+        mgr = self.residency
+        if mgr is None:
+            return {
+                "enabled": False,
+                "bounds_dtype": self._bounds_dtype,
+                "bounds_bytes": int(bounds_bytes),
+                "shards_resident": self.shards_loaded,
+                "n_shards": self.n_shards,
+            }
+        payload = mgr.snapshot()
+        payload["enabled"] = True
+        payload["bounds_dtype"] = self._bounds_dtype
+        payload["bounds_bytes"] = int(bounds_bytes)
+        return payload
 
     def shard_of_node(self, node: int) -> int:
         """Shard owning an original node id (-1 for border nodes)."""
@@ -1004,11 +1447,10 @@ def _run_shard_scans(index, n_shards: int, query_jobs: int, pool, scan_one):
     jobs = min(int(query_jobs), n_shards)
     if jobs <= 1 or n_shards <= 1:
         return [scan_one(shard_id) for shard_id in range(n_shards)]
-    # Materialise lazily-loaded shard states up front on this thread:
-    # shard_state's first-touch carve is not synchronized, and two
-    # threads racing it would carve the same shard twice.
-    for shard_id in range(n_shards):
-        index.shard_state(shard_id)
+    # Cold shards materialise exactly once under their per-shard state
+    # locks — workers hitting the same shard serialize on the carve, and
+    # a memory-budgeted index only materialises the shards its scans
+    # actually visit (pre-loading everything here would defeat eviction).
     if pool is not None:
         return list(pool.map(scan_one, range(n_shards)))
     with ThreadPoolExecutor(max_workers=jobs) as ephemeral:
@@ -1135,9 +1577,14 @@ def scatter_gather_search(
     x_border_abs = np.abs(x_mat[border_start:, :])
 
     def scan_shard(shard_id: int):
-        shard = index.shard_state(shard_id)
-        n_local = shard.n_clusters
-        first = shard.first_cluster
+        # The scan prunes against the always-resident bounds view and
+        # pins the heavy shard state lazily — only once a cluster must
+        # actually be visited, or a compact-bound decision is ambiguous
+        # and needs the exact float64 table.  A fully-pruned shard costs
+        # no materialisation at all under a memory budget.
+        bounds = index.shard_bounds(shard_id)
+        n_local = bounds.n_clusters
+        first = bounds.first_cluster
         accs = [
             TopKAccumulator(
                 k,
@@ -1160,56 +1607,116 @@ def scatter_gather_search(
         pruned_nodes = np.zeros(n_queries, dtype=np.int64)
         scored_clusters = np.zeros(n_queries, dtype=np.int64)
         scored_nodes = np.zeros(n_queries, dtype=np.int64)
-        sizes = shard.sizes
+        sizes = bounds.sizes
 
-        if not use_pruning:
-            scan = list(range(n_local))
-            estimates = None
-        else:
-            estimates = shard.bounds_table.estimate_all(x_border_abs)
-            thresholds = np.asarray([acc.threshold for acc in accs])
-            may_need = eligible & (estimates >= thresholds)
-            visit_mask = may_need.any(axis=1)
-            skipped = ~visit_mask
-            if np.any(skipped):
-                pruned_clusters += eligible[skipped].sum(axis=0)
-                pruned_nodes += sizes[skipped] @ eligible[skipped]
-            scan = [lc for lc in range(n_local) if visit_mask[lc]]
-            if cluster_order == "bound_desc":
-                scan.sort(key=lambda lc: -float(estimates[lc].max()))
+        shard: ShardState | None = None
+        exact_est: np.ndarray | None = None
 
-        for lc in scan:
-            row_eligible = eligible[lc]
-            sl = shard.cluster_slices[lc]
-            size = sl.stop - sl.start
-            if use_pruning:
-                pruned = row_eligible & (estimates[lc] < thresholds)
-                pruned_count = int(np.count_nonzero(pruned))
-                if pruned_count:
-                    pruned_clusters[pruned] += 1
-                    pruned_nodes[pruned] += size
-                if pruned_count == int(np.count_nonzero(row_eligible)):
-                    continue
-                active = np.flatnonzero(row_eligible & ~pruned)
+        def heavy() -> ShardState:
+            nonlocal shard
+            if shard is None:
+                shard = index.acquire_shard(shard_id)
+            return shard
+
+        def exact_estimates() -> np.ndarray:
+            # The exact table: resident directly (float64 mode) or
+            # faulted back via the heavy state (compact fallback path —
+            # counted, and bitwise identical to the unbudgeted table).
+            nonlocal exact_est
+            if exact_est is None:
+                if bounds.table is not None:
+                    exact_est = bounds.table.estimate_all(x_border_abs)
+                else:
+                    exact_est = heavy().bounds_table.estimate_all(
+                        x_border_abs
+                    )
+                    mgr = index.residency
+                    if mgr is not None:
+                        mgr.note_bound_fallback()
+            return exact_est
+
+        try:
+            lo = hi = None
+            if not use_pruning:
+                scan = list(range(n_local))
+                estimates = None
             else:
-                active = np.flatnonzero(row_eligible)
-                if active.size == 0:
-                    continue
-            cols = None if active.size == n_queries else active
-            shard.back_cluster(lc, y_mat, x_mat, border_start, cols=cols)
-            block_maxima = (
-                x_mat[sl.start : sl.stop, active].max(axis=0)
-                if size
-                else np.zeros(active.size)
-            )
-            for idx, j in enumerate(active):
-                scored_clusters[j] += 1
-                scored_nodes[j] += size
-                acc = accs[j]
-                if block_maxima[idx] >= acc.threshold:
-                    acc.offer_block(x_mat[:, j], sl.start, sl.stop)
-                    if use_pruning:
-                        thresholds[j] = acc.threshold
+                if bounds.compact is None:
+                    estimates = exact_estimates()
+                else:
+                    lo, hi = bounds.compact.estimate_bands(x_border_abs)
+                    estimates = None
+                thresholds = np.asarray([acc.threshold for acc in accs])
+                if estimates is None:
+                    # Three-way compact decision: certified below /
+                    # certified at-least / ambiguous -> exact fallback.
+                    at_least = lo >= thresholds
+                    ambiguous = eligible & ~at_least & ~(hi < thresholds)
+                    if np.any(ambiguous):
+                        estimates = exact_estimates()
+                        may_need = eligible & (estimates >= thresholds)
+                    else:
+                        may_need = eligible & at_least
+                else:
+                    may_need = eligible & (estimates >= thresholds)
+                visit_mask = may_need.any(axis=1)
+                skipped = ~visit_mask
+                if np.any(skipped):
+                    pruned_clusters += eligible[skipped].sum(axis=0)
+                    pruned_nodes += sizes[skipped] @ eligible[skipped]
+                scan = [lc for lc in range(n_local) if visit_mask[lc]]
+                if cluster_order == "bound_desc":
+                    # The visit order shapes the threshold trajectory,
+                    # so it must sort by the *exact* estimates.
+                    estimates = exact_estimates()
+                    scan.sort(key=lambda lc: -float(estimates[lc].max()))
+
+            for lc in scan:
+                row_eligible = eligible[lc]
+                sl = bounds.cluster_slices[lc]
+                size = sl.stop - sl.start
+                if use_pruning:
+                    if estimates is None:
+                        below = hi[lc] < thresholds
+                        unsure = (
+                            row_eligible
+                            & ~below
+                            & ~(lo[lc] >= thresholds)
+                        )
+                        if np.any(unsure):
+                            estimates = exact_estimates()
+                    if estimates is not None:
+                        below = estimates[lc] < thresholds
+                    pruned = row_eligible & below
+                    pruned_count = int(np.count_nonzero(pruned))
+                    if pruned_count:
+                        pruned_clusters[pruned] += 1
+                        pruned_nodes[pruned] += size
+                    if pruned_count == int(np.count_nonzero(row_eligible)):
+                        continue
+                    active = np.flatnonzero(row_eligible & ~pruned)
+                else:
+                    active = np.flatnonzero(row_eligible)
+                    if active.size == 0:
+                        continue
+                cols = None if active.size == n_queries else active
+                heavy().back_cluster(lc, y_mat, x_mat, border_start, cols=cols)
+                block_maxima = (
+                    x_mat[sl.start : sl.stop, active].max(axis=0)
+                    if size
+                    else np.zeros(active.size)
+                )
+                for idx, j in enumerate(active):
+                    scored_clusters[j] += 1
+                    scored_nodes[j] += size
+                    acc = accs[j]
+                    if block_maxima[idx] >= acc.threshold:
+                        acc.offer_block(x_mat[:, j], sl.start, sl.stop)
+                        if use_pruning:
+                            thresholds[j] = acc.threshold
+        finally:
+            if shard is not None:
+                index.release_shard(shard_id)
 
         shard_stats.clusters_pruned = int(pruned_clusters.sum())
         shard_stats.pruned_nodes = int(pruned_nodes.sum())
@@ -1387,9 +1894,11 @@ def scatter_gather_rerank(
     x_border_abs = np.abs(x_mat[border_start:, :])
 
     def scan_shard(shard_id: int):
-        shard = index.shard_state(shard_id)
-        n_local = shard.n_clusters
-        first = shard.first_cluster
+        # Same lazy pin + certified compact-bound protocol as the full
+        # scan (see scatter_gather_search.scan_shard).
+        bounds = index.shard_bounds(shard_id)
+        n_local = bounds.n_clusters
+        first = bounds.first_cluster
         accs = [
             TopKAccumulator(
                 k,
@@ -1415,46 +1924,99 @@ def scatter_gather_rerank(
         scored_clusters = np.zeros(n_queries, dtype=np.int64)
         scored_nodes = np.zeros(n_queries, dtype=np.int64)
 
-        if not use_pruning:
-            scan = [lc for lc in range(n_local) if eligible[lc].any()]
-            estimates = None
-        else:
-            estimates = shard.bounds_table.estimate_all(x_border_abs)
-            thresholds = np.asarray([acc.threshold for acc in accs])
-            may_need = eligible & (estimates >= thresholds)
-            visit_mask = may_need.any(axis=1)
-            skipped = ~visit_mask
-            if np.any(skipped):
-                pruned_clusters += eligible[skipped].sum(axis=0)
-                pruned_nodes += cand_counts[skipped].sum(axis=0)
-            scan = [lc for lc in range(n_local) if visit_mask[lc]]
-            if cluster_order == "bound_desc":
-                scan.sort(key=lambda lc: -float(estimates[lc].max()))
+        shard: ShardState | None = None
+        exact_est: np.ndarray | None = None
 
-        for lc in scan:
-            row_eligible = eligible[lc]
-            sl = shard.cluster_slices[lc]
-            size = sl.stop - sl.start
-            if use_pruning:
-                pruned = row_eligible & (estimates[lc] < thresholds)
-                if np.any(pruned):
-                    pruned_clusters[pruned] += 1
-                    pruned_nodes[pruned] += cand_counts[lc][pruned]
-                active = np.flatnonzero(row_eligible & ~pruned)
-                if active.size == 0:
-                    continue
+        def heavy() -> ShardState:
+            nonlocal shard
+            if shard is None:
+                shard = index.acquire_shard(shard_id)
+            return shard
+
+        def exact_estimates() -> np.ndarray:
+            nonlocal exact_est
+            if exact_est is None:
+                if bounds.table is not None:
+                    exact_est = bounds.table.estimate_all(x_border_abs)
+                else:
+                    exact_est = heavy().bounds_table.estimate_all(
+                        x_border_abs
+                    )
+                    mgr = index.residency
+                    if mgr is not None:
+                        mgr.note_bound_fallback()
+            return exact_est
+
+        try:
+            lo = hi = None
+            if not use_pruning:
+                scan = [lc for lc in range(n_local) if eligible[lc].any()]
+                estimates = None
             else:
-                active = np.flatnonzero(row_eligible)
-            cols = None if active.size == n_queries else active
-            shard.back_cluster(lc, y_mat, x_mat, border_start, cols=cols)
-            for j in active:
-                scored_clusters[j] += 1
-                scored_nodes[j] += size
-                members = pending[j][first + lc]
-                acc = accs[j]
-                acc.offer_candidates(x_mat[members, j], members)
+                if bounds.compact is None:
+                    estimates = exact_estimates()
+                else:
+                    lo, hi = bounds.compact.estimate_bands(x_border_abs)
+                    estimates = None
+                thresholds = np.asarray([acc.threshold for acc in accs])
+                if estimates is None:
+                    at_least = lo >= thresholds
+                    ambiguous = eligible & ~at_least & ~(hi < thresholds)
+                    if np.any(ambiguous):
+                        estimates = exact_estimates()
+                        may_need = eligible & (estimates >= thresholds)
+                    else:
+                        may_need = eligible & at_least
+                else:
+                    may_need = eligible & (estimates >= thresholds)
+                visit_mask = may_need.any(axis=1)
+                skipped = ~visit_mask
+                if np.any(skipped):
+                    pruned_clusters += eligible[skipped].sum(axis=0)
+                    pruned_nodes += cand_counts[skipped].sum(axis=0)
+                scan = [lc for lc in range(n_local) if visit_mask[lc]]
+                if cluster_order == "bound_desc":
+                    estimates = exact_estimates()
+                    scan.sort(key=lambda lc: -float(estimates[lc].max()))
+
+            for lc in scan:
+                row_eligible = eligible[lc]
+                sl = bounds.cluster_slices[lc]
+                size = sl.stop - sl.start
                 if use_pruning:
-                    thresholds[j] = acc.threshold
+                    if estimates is None:
+                        below = hi[lc] < thresholds
+                        unsure = (
+                            row_eligible
+                            & ~below
+                            & ~(lo[lc] >= thresholds)
+                        )
+                        if np.any(unsure):
+                            estimates = exact_estimates()
+                    if estimates is not None:
+                        below = estimates[lc] < thresholds
+                    pruned = row_eligible & below
+                    if np.any(pruned):
+                        pruned_clusters[pruned] += 1
+                        pruned_nodes[pruned] += cand_counts[lc][pruned]
+                    active = np.flatnonzero(row_eligible & ~pruned)
+                    if active.size == 0:
+                        continue
+                else:
+                    active = np.flatnonzero(row_eligible)
+                cols = None if active.size == n_queries else active
+                heavy().back_cluster(lc, y_mat, x_mat, border_start, cols=cols)
+                for j in active:
+                    scored_clusters[j] += 1
+                    scored_nodes[j] += size
+                    members = pending[j][first + lc]
+                    acc = accs[j]
+                    acc.offer_candidates(x_mat[members, j], members)
+                    if use_pruning:
+                        thresholds[j] = acc.threshold
+        finally:
+            if shard is not None:
+                index.release_shard(shard_id)
 
         shard_stats.clusters_pruned = int(pruned_clusters.sum())
         shard_stats.pruned_nodes = int(pruned_nodes.sum())

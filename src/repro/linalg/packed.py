@@ -177,6 +177,27 @@ class PackedUnitLower:
             return int(self._l_nnz)
         return self._unit_csc.nnz
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the packed factor arrays (memory-accounting surface)."""
+        if self.n <= 1:
+            return 0
+        if self.uses_superlu:
+            return int(
+                self._l_data.nbytes
+                + self._l_indices.nbytes
+                + self._l_indptr.nbytes
+                + self._u_data.nbytes
+                + self._u_index.nbytes
+                + self._u_indptr.nbytes
+            )
+        return int(
+            sum(
+                m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+                for m in (self._unit_csc, self._unit_csc_t)
+            )
+        )
+
     def solve_lower(self, b: np.ndarray) -> np.ndarray:
         """Solve :math:`(I + L_{strict})\\,z = b` (forward substitution).
 

@@ -104,6 +104,46 @@ _HELP = {
         "counter",
         "Seconds spent per accuracy level and tier (tiered engines).",
     ),
+    "repro_resident_bytes": (
+        "gauge",
+        "Evictable shard-state bytes currently resident in memory.",
+    ),
+    "repro_memory_budget_bytes": (
+        "gauge",
+        "Configured shard-residency budget in bytes (0 = accounting only).",
+    ),
+    "repro_pinned_bytes": (
+        "gauge",
+        "Resident bytes pinned by in-flight scans (ineligible for eviction).",
+    ),
+    "repro_shards_resident": (
+        "gauge",
+        "Shards whose heavy state is currently materialized.",
+    ),
+    "repro_bounds_bytes": (
+        "gauge",
+        "Always-resident per-shard bound-table bytes (never evicted).",
+    ),
+    "repro_shard_loads_total": (
+        "counter",
+        "Shard-state materializations, cold loads and re-faults alike.",
+    ),
+    "repro_shard_faults_total": (
+        "counter",
+        "Shard-state re-materializations after an eviction.",
+    ),
+    "repro_shard_evictions_total": (
+        "counter",
+        "Shard states evicted back to their mmap loaders.",
+    ),
+    "repro_shard_evicted_bytes_total": (
+        "counter",
+        "Cumulative bytes released by shard evictions.",
+    ),
+    "repro_bound_fallbacks_total": (
+        "counter",
+        "Shard scans that fell back from quantized to exact float64 bounds.",
+    ),
 }
 
 
@@ -173,6 +213,7 @@ def render_prometheus(
     tier_counters: dict | None = None,
     slowlog_stats: dict | None = None,
     worker_stats: dict | None = None,
+    residency_stats: dict | None = None,
 ) -> str:
     """The full exposition document for one scrape.
 
@@ -183,7 +224,11 @@ def render_prometheus(
     engine, flight recorder), mirroring the JSON ``/metrics`` assembly
     in the server.  ``worker_stats`` carries ``query_workers``,
     ``workers_busy`` and ``engine_wait_seconds`` from the scheduler
-    snapshot.
+    snapshot.  ``residency_stats`` is a
+    :meth:`repro.core.sharded.ShardedMogulIndex.residency_snapshot`
+    dict; the residency gauges and counters are emitted whenever it is
+    present (even unbudgeted — accounting without eviction), so
+    scrapers see ``repro_resident_bytes`` for every sharded deployment.
     """
     snapshot = metrics.snapshot()
     writer = _Writer()
@@ -257,4 +302,39 @@ def render_prometheus(
                 accuracy=label,
                 tier="rerank",
             )
+    if residency_stats:
+        writer.sample(
+            "repro_resident_bytes", residency_stats.get("resident_bytes", 0)
+        )
+        writer.sample(
+            "repro_memory_budget_bytes",
+            residency_stats.get("budget_bytes") or 0,
+        )
+        writer.sample(
+            "repro_pinned_bytes", residency_stats.get("pinned_bytes", 0)
+        )
+        writer.sample(
+            "repro_shards_resident", residency_stats.get("shards_resident", 0)
+        )
+        writer.sample(
+            "repro_bounds_bytes", residency_stats.get("bounds_bytes", 0)
+        )
+        writer.sample(
+            "repro_shard_loads_total", residency_stats.get("loads_total", 0)
+        )
+        writer.sample(
+            "repro_shard_faults_total", residency_stats.get("faults_total", 0)
+        )
+        writer.sample(
+            "repro_shard_evictions_total",
+            residency_stats.get("evictions_total", 0),
+        )
+        writer.sample(
+            "repro_shard_evicted_bytes_total",
+            residency_stats.get("evicted_bytes_total", 0),
+        )
+        writer.sample(
+            "repro_bound_fallbacks_total",
+            residency_stats.get("bound_fallbacks_total", 0),
+        )
     return writer.render()

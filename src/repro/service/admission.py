@@ -202,9 +202,18 @@ class AdmissionController:
         dispatch = self.metrics.stage_histograms().get("engine.dispatch")
         if dispatch is None or dispatch.count == 0:
             return None
+        mean_seconds = dispatch.mean_seconds
+        if not math.isfinite(mean_seconds) or mean_seconds <= 0.0:
+            # A cold or degenerate drain rate (no batch has completed,
+            # a zero/NaN mean) has no estimate — clamp to "unknown"
+            # rather than divide into 0/inf downstream.
+            return None
         batch = max(1.0, self.metrics.mean_batch_size)
         workers = max(1, int(self.query_workers))
-        return (depth / batch) * dispatch.mean_seconds / workers
+        estimate = (depth / batch) * mean_seconds / workers
+        if not math.isfinite(estimate):
+            return None
+        return estimate
 
     def overloaded(self, depth: int) -> bool:
         """Whether a request arriving at ``depth`` queued faces overload."""
@@ -271,7 +280,7 @@ class AdmissionController:
         is integral).  Without a delay estimate, 1 second.
         """
         estimate = self.estimated_queue_delay_seconds(depth)
-        if estimate is None:
+        if estimate is None or not math.isfinite(estimate):
             return 1.0
         return float(min(10, max(1, math.ceil(estimate))))
 

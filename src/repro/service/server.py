@@ -670,6 +670,9 @@ class RetrievalServer:
         tiers = self._tier_counters()
         if tiers is not None:
             snapshot["tiers"] = tiers
+        residency = self._residency_stats()
+        if residency is not None:
+            snapshot["residency"] = residency
         return snapshot
 
     def _prometheus(self) -> str:
@@ -681,6 +684,7 @@ class RetrievalServer:
             tier_counters=self._tier_counters(),
             slowlog_stats=self.flight.stats(),
             worker_stats=self._worker_stats(),
+            residency_stats=self._residency_stats(),
         )
 
     def _slowlog(self) -> dict:
@@ -709,6 +713,20 @@ class RetrievalServer:
             }
         return tiers
 
+    def _residency_stats(self) -> dict | None:
+        """Shard-residency accounting of a sharded index (else ``None``).
+
+        Duck-typed like :meth:`_tier_counters`: the engine wrapper chain
+        (tiered, live) forwards ``index``, and only
+        :class:`repro.core.sharded.ShardedMogulIndex` exposes
+        ``residency_snapshot``.
+        """
+        index = getattr(self.ranker, "index", None)
+        snapshot = getattr(index, "residency_snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()
+
     def _stats(self) -> dict:
         index = self.ranker.index
         payload = {
@@ -735,6 +753,9 @@ class RetrievalServer:
                     index.shard_nnz(s) for s in range(index.n_shards)
                 ],
             }
+            residency = self._residency_stats()
+            if residency is not None:
+                payload["index"]["residency"] = residency
         tiers = self._tier_counters()
         if tiers is not None:
             # Tiered engine: the accuracy dial's per-level accounting
